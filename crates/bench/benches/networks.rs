@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks: the RL agent's hot paths — kernel policy
+//! forward, value forward, and the gradient accumulation that dominates
+//! PPO update time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppo::ActorCritic;
+use rlbf::{BackfillActorCritic, NetConfig, ObsConfig, Observation, JOB_FEATURES};
+use std::hint::black_box;
+use tinynn::Matrix;
+
+fn obs_of_size(slots: usize) -> Observation {
+    let mut features = Matrix::zeros(slots + 1, JOB_FEATURES);
+    for s in 0..slots {
+        for c in 0..JOB_FEATURES {
+            features.set(s, c, ((s * 13 + c) as f64 * 0.17).sin() * 0.5 + 0.5);
+        }
+    }
+    let mut mask = vec![true; slots];
+    mask.push(true);
+    let mut queue_index: Vec<Option<usize>> = (0..slots).map(Some).collect();
+    queue_index.push(None);
+    Observation {
+        features,
+        mask,
+        queue_index,
+    }
+}
+
+fn ac_of_size(slots: usize) -> BackfillActorCritic {
+    BackfillActorCritic::new(
+        NetConfig {
+            obs: ObsConfig {
+                max_obsv_size: slots,
+            },
+            ..NetConfig::default()
+        },
+        5,
+    )
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_forward");
+    for slots in [32usize, 64, 128] {
+        let ac = ac_of_size(slots);
+        let obs = obs_of_size(slots);
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, _| {
+            b.iter(|| ac.logits(black_box(&obs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_value(c: &mut Criterion) {
+    let ac = ac_of_size(128);
+    let obs = obs_of_size(128);
+    c.bench_function("value_forward_128", |b| {
+        b.iter(|| ac.value_of(black_box(&obs)))
+    });
+}
+
+fn bench_policy_backward(c: &mut Criterion) {
+    let obs = obs_of_size(64);
+    c.bench_function("policy_grad_accumulate_64", |b| {
+        let mut ac = ac_of_size(64);
+        b.iter(|| ac.accumulate_policy_grad(black_box(&obs), 3, 0.01))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_value, bench_policy_backward);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks: simulator throughput under each policy and
+//! backfilling strategy. These quantify the substrate cost that bounds RL
+//! training speed (every PPO trajectory is one of these simulations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcsim::prelude::*;
+use std::hint::black_box;
+use swf::TracePreset;
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = TracePreset::Lublin1.generate(1000, 3);
+    let mut group = c.benchmark_group("scheduler_1000_jobs");
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("easy", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    run_scheduler(
+                        black_box(&trace),
+                        policy,
+                        Backfill::Easy(RuntimeEstimator::RequestTime),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backfill_strategies(c: &mut Criterion) {
+    let trace = TracePreset::SdscSp2.generate(1000, 4);
+    let mut group = c.benchmark_group("backfill_1000_jobs");
+    let cases = [
+        ("none", Backfill::None),
+        ("easy", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        ("easy_ar", Backfill::Easy(RuntimeEstimator::ActualRuntime)),
+        (
+            "conservative",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ];
+    for (name, backfill) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| run_scheduler(black_box(&trace), Policy::Fcfs, backfill))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("lublin_generate_1000", |b| {
+        let model = TracePreset::Lublin1.model();
+        b.iter(|| model.generate(black_box(1000), 7))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_backfill_strategies,
+    bench_trace_generation
+);
+criterion_main!(benches);

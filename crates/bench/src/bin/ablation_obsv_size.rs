@@ -1,0 +1,66 @@
+//! **Ablation**: observation window size (`MAX_OBSV_SIZE`).
+//!
+//! The paper fixes 128 slots and notes the value is "a configurable
+//! training parameter". This sweep quantifies what the cutoff costs: too
+//! few slots hide backfill candidates (the environment then skips
+//! decisions entirely), too many mostly pad with zeros and slow training.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_obsv_size [--full]
+//! ```
+
+use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
+use hpcsim::Policy;
+use rlbf::prelude::*;
+use serde::Serialize;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Row {
+    max_obsv_size: usize,
+    train_seconds: f64,
+    eval_bsld: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = TracePreset::Lublin2;
+    let trace = load_trace(preset, &scale);
+    let sizes = [8, 16, 32, 64, 128];
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &size in &sizes {
+        let mut s = scale;
+        s.max_obsv_size = size;
+        let t0 = std::time::Instant::now();
+        let result = train(&trace, s.train_config(Policy::Fcfs));
+        let train_seconds = t0.elapsed().as_secs_f64();
+        let agent = RlbfAgent::from_training(&result, preset.name());
+        let eval_bsld = agent.evaluate(
+            &trace,
+            Policy::Fcfs,
+            scale.eval_samples,
+            scale.eval_window,
+            0xab1a,
+        );
+        rows.push(vec![
+            size.to_string(),
+            format!("{train_seconds:.1}"),
+            fmt_bsld(eval_bsld),
+        ]);
+        records.push(Row {
+            max_obsv_size: size,
+            train_seconds,
+            eval_bsld,
+        });
+        eprintln!("obsv {size}: bsld {eval_bsld:.2} ({train_seconds:.1}s)");
+    }
+
+    print_table(
+        "Ablation — observation window size (Lublin-2, FCFS base)",
+        &["MAX_OBSV_SIZE", "train (s)", "eval bsld"],
+        &rows,
+    );
+    write_json("ablation_obsv_size", &records);
+}

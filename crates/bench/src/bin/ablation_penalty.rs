@@ -1,0 +1,65 @@
+//! **Ablation**: the violation penalty (paper §3.4's "large negative
+//! reward" for delaying the reserved job, magnitude unspecified).
+//!
+//! Zero penalty lets the agent gamble with the reserved job's start; an
+//! enormous one collapses the policy towards never backfilling anything
+//! risky. The sweep shows where the useful band lies.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_penalty [--full]
+//! ```
+
+use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
+use hpcsim::Policy;
+use rlbf::prelude::*;
+use serde::Serialize;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Row {
+    penalty: f64,
+    eval_bsld: f64,
+    final_epoch_violations: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = TracePreset::SdscSp2;
+    let trace = load_trace(preset, &scale);
+    let penalties = [0.0, 0.5, 2.0, 5.0, 20.0];
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &penalty in &penalties {
+        let mut cfg = scale.train_config(Policy::Fcfs);
+        cfg.env.violation_penalty = penalty;
+        let result = train(&trace, cfg);
+        let final_epoch_violations = result.history.last().map(|e| e.violations).unwrap_or(0);
+        let agent = RlbfAgent::from_training(&result, preset.name());
+        let eval_bsld = agent.evaluate(
+            &trace,
+            Policy::Fcfs,
+            scale.eval_samples,
+            scale.eval_window,
+            0xab1b,
+        );
+        rows.push(vec![
+            format!("{penalty}"),
+            fmt_bsld(eval_bsld),
+            final_epoch_violations.to_string(),
+        ]);
+        records.push(Row {
+            penalty,
+            eval_bsld,
+            final_epoch_violations,
+        });
+        eprintln!("penalty {penalty}: bsld {eval_bsld:.2}, final-epoch violations {final_epoch_violations}");
+    }
+
+    print_table(
+        "Ablation — violation penalty (SDSC-SP2, FCFS base)",
+        &["penalty", "eval bsld", "final-epoch violations"],
+        &rows,
+    );
+    write_json("ablation_penalty", &records);
+}

@@ -1,0 +1,63 @@
+//! **Ablation**: the terminal-reward baseline.
+//!
+//! The paper normalizes the terminal reward against FCFS + SJF-ordered
+//! EASY (§3.4). This sweep compares that choice against normalizing by the
+//! episode's own base policy + EASY, and against the raw negative bsld
+//! (no baseline — the high-variance option the normalization exists to
+//! avoid).
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_reward_baseline [--full]
+//! ```
+
+use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
+use hpcsim::Policy;
+use rlbf::prelude::*;
+use serde::Serialize;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Row {
+    reward: String,
+    eval_bsld: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = TracePreset::Lublin1;
+    let trace = load_trace(preset, &scale);
+    let kinds = [
+        ("SjfRelative (paper)", RewardKind::SjfRelative),
+        ("EasyRelative", RewardKind::EasyRelative),
+        ("NegBsld (no baseline)", RewardKind::NegBsld),
+    ];
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (label, kind) in kinds {
+        let mut cfg = scale.train_config(Policy::Fcfs);
+        cfg.env.reward = kind;
+        let result = train(&trace, cfg);
+        let agent = RlbfAgent::from_training(&result, preset.name());
+        let eval_bsld = agent.evaluate(
+            &trace,
+            Policy::Fcfs,
+            scale.eval_samples,
+            scale.eval_window,
+            0xab1c,
+        );
+        rows.push(vec![label.to_string(), fmt_bsld(eval_bsld)]);
+        records.push(Row {
+            reward: label.into(),
+            eval_bsld,
+        });
+        eprintln!("{label}: bsld {eval_bsld:.2}");
+    }
+
+    print_table(
+        "Ablation — terminal-reward baseline (Lublin-1, FCFS base)",
+        &["reward definition", "eval bsld"],
+        &rows,
+    );
+    write_json("ablation_reward_baseline", &records);
+}

@@ -1,0 +1,70 @@
+//! **Table 2**: the four job traces and their characteristics
+//! (`size`, `it`, `rt`, `nt`), comparing the generated stand-ins against
+//! the paper's targets.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2_trace_stats [--full]
+//! ```
+
+use bench::{load_trace, print_table, write_json, Scale};
+use serde::Serialize;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Table2Row {
+    name: String,
+    size: u32,
+    it_target: f64,
+    it_measured: f64,
+    rt_target: f64,
+    rt_measured: f64,
+    nt_target: f64,
+    nt_measured: f64,
+    runtime_kind: String,
+    offered_load: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for preset in TracePreset::ALL {
+        let targets = preset.targets();
+        let trace = load_trace(preset, &scale);
+        let s = trace.stats();
+        let runtime_kind = if targets.has_user_estimates {
+            "both"
+        } else {
+            "AR"
+        };
+        rows.push(vec![
+            preset.name().to_string(),
+            s.cluster_procs.to_string(),
+            format!("{:.0}/{:.0}", s.mean_interarrival, targets.mean_interarrival),
+            format!("{:.0}/{:.0}", s.mean_request_time, targets.mean_request_time),
+            format!("{:.1}/{:.1}", s.mean_procs, targets.mean_procs),
+            runtime_kind.to_string(),
+            format!("{:.2}", s.offered_load),
+        ]);
+        records.push(Table2Row {
+            name: preset.name().into(),
+            size: s.cluster_procs,
+            it_target: targets.mean_interarrival,
+            it_measured: s.mean_interarrival,
+            rt_target: targets.mean_request_time,
+            rt_measured: s.mean_request_time,
+            nt_target: targets.mean_procs,
+            nt_measured: s.mean_procs,
+            runtime_kind: runtime_kind.into(),
+            offered_load: s.offered_load,
+        });
+    }
+    print_table(
+        "Table 2 — job traces (measured/target)",
+        &["name", "size", "it (s)", "rt (s)", "nt", "runtime", "load"],
+        &rows,
+    );
+    println!("\nmeasured/target pairs should agree within the calibration tolerance");
+    println!("(±15% for it and rt, ±30% for nt — see swf::preset tests).");
+    write_json("table2_trace_stats", &records);
+}

@@ -1,0 +1,57 @@
+//! **Table 3**: the base schedulers' priority functions, demonstrated on a
+//! probe queue so the ranking behaviour of each policy is visible.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table3_policies
+//! ```
+
+use bench::print_table;
+use hpcsim::Policy;
+use swf::Job;
+
+fn main() {
+    println!("Table 3 — scheduler priority functions (lower score runs first)");
+    println!("  FCFS:  score(t) = st");
+    println!("  SJF:   score(t) = rt");
+    println!("  WFP3:  score(t) = -(wt/rt)^3 * nt");
+    println!("  F1:    score(t) = log10(rt)*nt + 870*log10(st)");
+
+    // A probe queue exercising each dimension: age, length, width.
+    let now = 7200.0;
+    let queue = [
+        ("old small short", Job::new(0, 0.0, 2, 600.0, 600.0)),
+        ("old wide long", Job::new(1, 0.0, 64, 36000.0, 36000.0)),
+        ("new small short", Job::new(2, 7000.0, 2, 600.0, 600.0)),
+        ("new wide short", Job::new(3, 7000.0, 64, 600.0, 600.0)),
+        ("mid medium", Job::new(4, 3600.0, 16, 7200.0, 7200.0)),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, job) in &queue {
+        let mut row = vec![
+            label.to_string(),
+            format!("{:.0}", job.submit),
+            format!("{:.0}", job.request_time),
+            job.procs.to_string(),
+        ];
+        for p in Policy::ALL {
+            row.push(format!("{:.1}", p.score(job, now)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Policy scores on a probe queue (now = 7200s)",
+        &["job", "st", "rt", "nt", "FCFS", "SJF", "WFP3", "F1"],
+        &rows,
+    );
+
+    for p in Policy::ALL {
+        let mut q: Vec<Job> = queue.iter().map(|(_, j)| *j).collect();
+        p.sort_queue(&mut q, now);
+        let order: Vec<String> = q
+            .iter()
+            .map(|j| queue.iter().find(|(_, k)| k.id == j.id).unwrap().0.to_string())
+            .collect();
+        println!("{:<5} runs: {}", p.name(), order.join("  ->  "));
+    }
+}

@@ -1,0 +1,145 @@
+//! **Table 4**: bsld of RLBackfilling vs EASY / EASY-AR across base
+//! policies and traces, evaluated on sampled job windows the training
+//! never saw (the paper's 10 × 1024-job protocol).
+//!
+//! Columns follow the paper exactly: FCFS+EASY, FCFS+EASY-AR, FCFS+RLBF,
+//! SJF+EASY, SJF+EASY-AR, SJF+RLBF, WFP3+EASY, F1+EASY. Synthetic traces
+//! have no user estimates, so their EASY-AR columns are `-` (EASY ≡
+//! EASY-AR there), matching the paper's table layout.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table4_performance [--full]
+//! ```
+
+use bench::{fmt_bsld, load_trace, na, print_table, train_or_load_agent, write_json, Scale};
+use hpcsim::{Backfill, Policy, RuntimeEstimator};
+use rlbf::evaluate_heuristic;
+use serde::Serialize;
+use swf::TracePreset;
+
+const EVAL_SEED: u64 = 0xe7a1;
+
+#[derive(Serialize)]
+struct Table4Row {
+    trace: String,
+    fcfs_easy: f64,
+    fcfs_easy_ar: Option<f64>,
+    fcfs_rlbf: f64,
+    sjf_easy: f64,
+    sjf_easy_ar: Option<f64>,
+    sjf_rlbf: f64,
+    wfp3_easy: f64,
+    f1_easy: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+
+    for preset in TracePreset::ALL {
+        let trace = load_trace(preset, &scale);
+        let has_estimates = preset.targets().has_user_estimates;
+        eprintln!("== {} ==", preset.name());
+
+        let heur = |policy: Policy, backfill: Backfill| {
+            evaluate_heuristic(
+                &trace,
+                policy,
+                backfill,
+                scale.eval_samples,
+                scale.eval_window,
+                EVAL_SEED,
+            )
+        };
+        let easy = Backfill::Easy(RuntimeEstimator::RequestTime);
+        let easy_ar = Backfill::Easy(RuntimeEstimator::ActualRuntime);
+
+        let fcfs_easy = heur(Policy::Fcfs, easy);
+        let sjf_easy = heur(Policy::Sjf, easy);
+        let wfp3_easy = heur(Policy::Wfp3, easy);
+        let f1_easy = heur(Policy::F1, easy);
+        let (fcfs_easy_ar, sjf_easy_ar) = if has_estimates {
+            (
+                Some(heur(Policy::Fcfs, easy_ar)),
+                Some(heur(Policy::Sjf, easy_ar)),
+            )
+        } else {
+            (None, None)
+        };
+
+        let fcfs_agent = train_or_load_agent(preset, Policy::Fcfs, &scale);
+        let fcfs_rlbf = fcfs_agent.evaluate(
+            &trace,
+            Policy::Fcfs,
+            scale.eval_samples,
+            scale.eval_window,
+            EVAL_SEED,
+        );
+        let sjf_agent = train_or_load_agent(preset, Policy::Sjf, &scale);
+        let sjf_rlbf = sjf_agent.evaluate(
+            &trace,
+            Policy::Sjf,
+            scale.eval_samples,
+            scale.eval_window,
+            EVAL_SEED,
+        );
+
+        rows.push(vec![
+            preset.name().to_string(),
+            fmt_bsld(fcfs_easy),
+            fcfs_easy_ar.map(fmt_bsld).unwrap_or_else(na),
+            fmt_bsld(fcfs_rlbf),
+            fmt_bsld(sjf_easy),
+            sjf_easy_ar.map(fmt_bsld).unwrap_or_else(na),
+            fmt_bsld(sjf_rlbf),
+            fmt_bsld(wfp3_easy),
+            fmt_bsld(f1_easy),
+        ]);
+        records.push(Table4Row {
+            trace: preset.name().into(),
+            fcfs_easy,
+            fcfs_easy_ar,
+            fcfs_rlbf,
+            sjf_easy,
+            sjf_easy_ar,
+            sjf_rlbf,
+            wfp3_easy,
+            f1_easy,
+        });
+    }
+
+    print_table(
+        "Table 4 — bsld on sampled job windows (RLBF = RLBackfilling)",
+        &[
+            "trace",
+            "FCFS+EASY",
+            "FCFS+EASY-AR",
+            "FCFS+RLBF",
+            "SJF+EASY",
+            "SJF+EASY-AR",
+            "SJF+RLBF",
+            "WFP3+EASY",
+            "F1+EASY",
+        ],
+        &rows,
+    );
+
+    println!("\nshape checks vs the paper:");
+    for r in &records {
+        let vs_easy = 100.0 * (r.fcfs_easy - r.fcfs_rlbf) / r.fcfs_easy;
+        print!(
+            "  {:<9} FCFS+RLBF vs FCFS+EASY: {:+.1}% (paper: +26%..+59%)",
+            r.trace, vs_easy
+        );
+        if let Some(ar) = r.fcfs_easy_ar {
+            print!(
+                "  vs EASY-AR: {:+.1}% (paper: +15%..+30%)",
+                100.0 * (ar - r.fcfs_rlbf) / ar
+            );
+        }
+        println!();
+    }
+
+    write_json("table4_performance", &records);
+}

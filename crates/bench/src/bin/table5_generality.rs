@@ -1,0 +1,116 @@
+//! **Table 5**: generality — an agent trained on trace X (`RL-X`, FCFS
+//! base, as in the paper) applied to every other trace Y, under both FCFS
+//! and SJF base policies.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table5_generality [--full]
+//! ```
+
+use bench::{fmt_bsld, load_trace, na, print_table, train_or_load_agent, write_json, Scale};
+use hpcsim::{Backfill, Policy, RuntimeEstimator};
+use rlbf::{evaluate_heuristic, RlbfAgent};
+use serde::Serialize;
+use swf::TracePreset;
+
+const EVAL_SEED: u64 = 0x97a5;
+
+#[derive(Serialize)]
+struct Table5Cell {
+    base_policy: String,
+    eval_trace: String,
+    column: String,
+    bsld: Option<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+
+    // Train (or load) one agent per trace, FCFS base — the paper's RL-X.
+    let agents: Vec<(TracePreset, RlbfAgent)> = TracePreset::ALL
+        .iter()
+        .map(|&p| (p, train_or_load_agent(p, Policy::Fcfs, &scale)))
+        .collect();
+
+    let mut records = Vec::new();
+    for base in [Policy::Fcfs, Policy::Sjf] {
+        let mut rows = Vec::new();
+        for eval_preset in TracePreset::ALL {
+            let trace = load_trace(eval_preset, &scale);
+            let has_estimates = eval_preset.targets().has_user_estimates;
+
+            let easy = if has_estimates {
+                Some(evaluate_heuristic(
+                    &trace,
+                    base,
+                    Backfill::Easy(RuntimeEstimator::RequestTime),
+                    scale.eval_samples,
+                    scale.eval_window,
+                    EVAL_SEED,
+                ))
+            } else {
+                None
+            };
+            let easy_ar = evaluate_heuristic(
+                &trace,
+                base,
+                Backfill::Easy(RuntimeEstimator::ActualRuntime),
+                scale.eval_samples,
+                scale.eval_window,
+                EVAL_SEED,
+            );
+
+            let mut row = vec![
+                eval_preset.name().to_string(),
+                easy.map(fmt_bsld).unwrap_or_else(na),
+                fmt_bsld(easy_ar),
+            ];
+            records.push(Table5Cell {
+                base_policy: base.name().into(),
+                eval_trace: eval_preset.name().into(),
+                column: "EASY".into(),
+                bsld: easy,
+            });
+            records.push(Table5Cell {
+                base_policy: base.name().into(),
+                eval_trace: eval_preset.name().into(),
+                column: "EASY-AR".into(),
+                bsld: Some(easy_ar),
+            });
+
+            for (train_preset, agent) in &agents {
+                let bsld = agent.evaluate(
+                    &trace,
+                    base,
+                    scale.eval_samples,
+                    scale.eval_window,
+                    EVAL_SEED,
+                );
+                row.push(fmt_bsld(bsld));
+                records.push(Table5Cell {
+                    base_policy: base.name().into(),
+                    eval_trace: eval_preset.name().into(),
+                    column: format!("RL-{}", train_preset.name()),
+                    bsld: Some(bsld),
+                });
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Table 5 — {} as the base scheduling policy", base.name()),
+            &[
+                "trace",
+                "EASY",
+                "EASY-AR",
+                "RL-SDSC-SP2",
+                "RL-HPC2N",
+                "RL-Lublin-1",
+                "RL-Lublin-2",
+            ],
+            &rows,
+        );
+    }
+
+    println!("\nshape check: cross-trained agents (off-diagonal) should still beat");
+    println!("EASY in most cells — the paper's generality claim (§4.4).");
+    write_json("table5_generality", &records);
+}

@@ -1,0 +1,165 @@
+//! Shared experiment infrastructure for the paper-reproduction binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`; this
+//! library provides the pieces they share: experiment scaling (`--quick`
+//! vs `--full`), agent training with on-disk checkpoint caching (so
+//! Table 4, Table 5 and the ablations reuse the same trained models), and
+//! result emission (pretty table to stdout + JSON under `results/`).
+
+use hpcsim::Policy;
+use rlbf::prelude::*;
+use rlbf::ObsConfig;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use swf::{Trace, TracePreset};
+
+pub mod scale;
+
+pub use scale::Scale;
+
+/// The deterministic seed experiments generate traces with.
+pub const TRACE_SEED: u64 = 20240914;
+
+/// Generates the evaluation trace for a preset at the experiment scale.
+pub fn load_trace(preset: TracePreset, scale: &Scale) -> Trace {
+    preset.generate(scale.trace_jobs, TRACE_SEED)
+}
+
+/// Where experiment outputs (JSON + agent checkpoints) live.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("RLBF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(dir.join("agents")).expect("can create results dir");
+    dir
+}
+
+/// Writes a serializable result as pretty JSON under `results/`.
+pub fn write_json(name: &str, value: &impl Serialize) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("result serializes");
+    std::fs::write(&path, json).expect("can write result file");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Trains (or loads a cached) RLBackfilling agent for `preset` with the
+/// given base policy. Checkpoints are keyed by preset, policy and scale so
+/// Table 4, Table 5 and the ablations share models instead of retraining.
+pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> RlbfAgent {
+    let key = format!(
+        "rlbf-{}-{}-e{}t{}j{}o{}",
+        preset.name().to_ascii_lowercase(),
+        base.name().to_ascii_lowercase(),
+        scale.epochs,
+        scale.traj_per_epoch,
+        scale.jobs_per_traj,
+        scale.max_obsv_size
+    );
+    let path = results_dir().join("agents").join(format!("{key}.json"));
+    if path.exists() {
+        if let Ok(agent) = RlbfAgent::load(&path) {
+            eprintln!("loaded cached agent {key}");
+            return agent;
+        }
+    }
+    eprintln!("training agent {key} …");
+    let trace = load_trace(preset, scale);
+    let result = train(&trace, scale.train_config(base));
+    let agent = RlbfAgent::from_training(&result, preset.name());
+    agent.save(&path).expect("can save agent checkpoint");
+    agent
+}
+
+/// Renders a row-major table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a bsld value the way the paper's tables do.
+pub fn fmt_bsld(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// A not-applicable cell (the paper prints `-` for EASY on synthetic
+/// traces, which have no user estimates).
+pub fn na() -> String {
+    "-".to_string()
+}
+
+/// Environment/network configs at a given observation size (keeps the two
+/// in agreement, which `rlbf::train` asserts).
+pub fn obs_configs(max_obsv_size: usize) -> (EnvConfig, NetConfig) {
+    let obs = ObsConfig { max_obsv_size };
+    (
+        EnvConfig {
+            obs,
+            ..EnvConfig::default()
+        },
+        NetConfig {
+            obs,
+            ..NetConfig::default()
+        },
+    )
+}
+
+/// Checks a path exists relative to the workspace (used by smoke tests).
+pub fn workspace_file(rel: &str) -> bool {
+    Path::new(rel).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_flags() {
+        let s = Scale::from_args(["--quick".to_string()].iter().cloned());
+        assert_eq!(s.epochs, Scale::quick().epochs);
+        let f = Scale::from_args(["--full".to_string()].iter().cloned());
+        assert_eq!(f.epochs, Scale::full().epochs);
+        let custom = Scale::from_args(
+            ["--epochs".to_string(), "7".to_string(), "--samples".to_string(), "3".to_string()]
+                .iter()
+                .cloned(),
+        );
+        assert_eq!(custom.epochs, 7);
+        assert_eq!(custom.eval_samples, 3);
+    }
+
+    #[test]
+    fn obs_configs_agree() {
+        let (env, net) = obs_configs(48);
+        assert_eq!(env.obs, net.obs);
+        assert_eq!(env.obs.max_obsv_size, 48);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_bsld(1.23456), "1.23");
+        assert_eq!(na(), "-");
+    }
+}

@@ -1,0 +1,148 @@
+//! Runtime estimators: where backfilling gets its notion of "how long will
+//! this job run".
+//!
+//! The paper's Figure 1 experiment varies exactly this knob: EASY backfilling
+//! with the user request time, with the actual runtime (a perfect
+//! prediction), and with predictions carrying +5% … +100% random error.
+
+use serde::{Deserialize, Serialize};
+use swf::Job;
+
+/// A deterministic source of runtime estimates for scheduling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RuntimeEstimator {
+    /// The user-submitted request time (wall time). This is what production
+    /// EASY deployments use; it systematically overestimates.
+    RequestTime,
+    /// The actual runtime — an oracle, standing in for a perfect runtime
+    /// predictor ("EASY-AR" in the paper's tables).
+    ActualRuntime,
+    /// The actual runtime inflated by a per-job random factor drawn
+    /// uniformly from `[1, 1 + max_over_frac]` — the "+X%" noisy
+    /// predictions of Figure 1. Deterministic per `(job id, seed)` so the
+    /// same job is always predicted the same way within a simulation.
+    NoisyActual {
+        /// Maximum relative overestimation (e.g. `0.2` for the "+20%" case).
+        max_over_frac: f64,
+        /// Seed decorrelating noise across experiment repetitions.
+        seed: u64,
+    },
+}
+
+impl RuntimeEstimator {
+    /// The estimated runtime of `job`, in seconds. Always ≥ 1 s and, by
+    /// construction of the variants, never below the actual runtime (a
+    /// completed job in an archive trace never exceeded its request).
+    pub fn estimate(&self, job: &Job) -> f64 {
+        match *self {
+            RuntimeEstimator::RequestTime => job.request_time,
+            RuntimeEstimator::ActualRuntime => job.runtime,
+            RuntimeEstimator::NoisyActual {
+                max_over_frac,
+                seed,
+            } => {
+                let u = hash_unit(job.id as u64, seed);
+                job.runtime * (1.0 + max_over_frac.max(0.0) * u)
+            }
+        }
+        .max(1.0)
+    }
+
+    /// Human-readable label used in experiment tables ("EASY", "EASY-AR",
+    /// "+20%", …).
+    pub fn label(&self) -> String {
+        match *self {
+            RuntimeEstimator::RequestTime => "request".into(),
+            RuntimeEstimator::ActualRuntime => "actual".into(),
+            RuntimeEstimator::NoisyActual { max_over_frac, .. } => {
+                format!("+{:.0}%", max_over_frac * 100.0)
+            }
+        }
+    }
+}
+
+/// SplitMix64-style hash of `(x, seed)` mapped to `[0, 1)`.
+fn hash_unit(x: u64, seed: u64) -> f64 {
+    let mut z = x
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seed ^ 0xd1b5_4a32_d192_ed03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job::new(7, 0.0, 4, 3600.0, 1000.0)
+    }
+
+    #[test]
+    fn request_time_estimator_returns_request() {
+        assert_eq!(RuntimeEstimator::RequestTime.estimate(&job()), 3600.0);
+    }
+
+    #[test]
+    fn actual_estimator_returns_runtime() {
+        assert_eq!(RuntimeEstimator::ActualRuntime.estimate(&job()), 1000.0);
+    }
+
+    #[test]
+    fn noisy_estimator_is_bounded_and_deterministic() {
+        let e = RuntimeEstimator::NoisyActual {
+            max_over_frac: 0.2,
+            seed: 5,
+        };
+        let j = job();
+        let a = e.estimate(&j);
+        assert!((1000.0..=1200.0 + 1e-9).contains(&a), "estimate {a}");
+        assert_eq!(a, e.estimate(&j));
+    }
+
+    #[test]
+    fn noisy_estimator_varies_across_jobs_and_seeds() {
+        let e = RuntimeEstimator::NoisyActual {
+            max_over_frac: 1.0,
+            seed: 5,
+        };
+        let j1 = Job::new(1, 0.0, 1, 1000.0, 1000.0);
+        let j2 = Job::new(2, 0.0, 1, 1000.0, 1000.0);
+        assert_ne!(e.estimate(&j1), e.estimate(&j2));
+        let e2 = RuntimeEstimator::NoisyActual {
+            max_over_frac: 1.0,
+            seed: 6,
+        };
+        assert_ne!(e.estimate(&j1), e2.estimate(&j1));
+    }
+
+    #[test]
+    fn zero_noise_equals_actual() {
+        let e = RuntimeEstimator::NoisyActual {
+            max_over_frac: 0.0,
+            seed: 1,
+        };
+        assert_eq!(e.estimate(&job()), 1000.0);
+    }
+
+    #[test]
+    fn hash_unit_is_in_unit_interval() {
+        for x in 0..10_000u64 {
+            let u = hash_unit(x, 42);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RuntimeEstimator::RequestTime.label(), "request");
+        assert_eq!(RuntimeEstimator::ActualRuntime.label(), "actual");
+        let e = RuntimeEstimator::NoisyActual {
+            max_over_frac: 0.4,
+            seed: 0,
+        };
+        assert_eq!(e.label(), "+40%");
+    }
+}

@@ -1,0 +1,58 @@
+//! Event-driven HPC cluster simulator for scheduling research.
+//!
+//! This crate is the substrate the paper trains and evaluates in (its role
+//! is played by the RLScheduler simulator in the original work). It models a
+//! homogeneous cluster executing a [`swf::Trace`] under a pluggable
+//! combination of:
+//!
+//! * a **base scheduling policy** ([`policy::Policy`]): FCFS, SJF, WFP3 or
+//!   F1 — the priority functions of Table 3;
+//! * a **backfilling strategy**: none, [`easy`] (the EASY algorithm with a
+//!   pluggable [`estimator::RuntimeEstimator`] — user request time, the
+//!   actual runtime "ideal prediction", or noisy predictions for Figure 1),
+//!   or [`conservative`] backfilling (every queued job gets a reservation);
+//! * interactive, externally-driven backfilling through
+//!   [`state::Simulation`]'s decision-point API — this is the hook the
+//!   `rlbf` crate uses to let a reinforcement-learning agent make the
+//!   backfilling decisions.
+//!
+//! The simulator is deterministic: the same trace, policy and estimator
+//! always produce the same schedule.
+//!
+//! ```
+//! use hpcsim::prelude::*;
+//! use swf::TracePreset;
+//!
+//! let trace = TracePreset::Lublin1.generate(512, 7);
+//! let result = run_scheduler(
+//!     &trace,
+//!     Policy::Fcfs,
+//!     Backfill::Easy(RuntimeEstimator::RequestTime),
+//! );
+//! assert!(result.metrics.mean_bounded_slowdown >= 1.0);
+//! ```
+
+pub mod conservative;
+pub mod easy;
+pub mod estimator;
+pub mod metrics;
+pub mod policy;
+pub mod profile;
+pub mod runner;
+pub mod state;
+pub mod timeline;
+
+pub use estimator::RuntimeEstimator;
+pub use metrics::Metrics;
+pub use policy::Policy;
+pub use runner::{run_scheduler, Backfill, ScheduleResult};
+pub use state::{SimEvent, Simulation};
+
+/// Convenient glob import for simulator users.
+pub mod prelude {
+    pub use crate::estimator::RuntimeEstimator;
+    pub use crate::metrics::Metrics;
+    pub use crate::policy::Policy;
+    pub use crate::runner::{run_scheduler, Backfill, ScheduleResult};
+    pub use crate::state::{SimEvent, Simulation};
+}

@@ -1,0 +1,141 @@
+//! Scheduling-quality metrics.
+//!
+//! The paper's headline metric is the **average bounded job slowdown**
+//! (`bsld`, Feitelson & Rudolph 1998) with a 10-second interactive
+//! threshold; we also report the auxiliary metrics commonly used alongside
+//! it (wait, turnaround, utilization) for the extended experiments.
+
+use crate::state::CompletedJob;
+use serde::{Deserialize, Serialize};
+use swf::job::BSLD_BOUND_SECS;
+
+/// Aggregate metrics over one simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of completed jobs.
+    pub jobs: usize,
+    /// Average bounded slowdown (the paper's `bsld`).
+    pub mean_bounded_slowdown: f64,
+    /// Average plain slowdown.
+    pub mean_slowdown: f64,
+    /// Average queue wait, seconds.
+    pub mean_wait: f64,
+    /// Maximum queue wait, seconds.
+    pub max_wait: f64,
+    /// Average turnaround (wait + runtime), seconds.
+    pub mean_turnaround: f64,
+    /// Machine utilization over the schedule's makespan: busy
+    /// processor-seconds divided by `cluster × makespan`.
+    pub utilization: f64,
+    /// Time from first submission to last completion, seconds.
+    pub makespan: f64,
+}
+
+impl Metrics {
+    /// Computes metrics over completed jobs on a cluster of `cluster_procs`.
+    pub fn of(completed: &[CompletedJob], cluster_procs: u32) -> Self {
+        let n = completed.len();
+        if n == 0 {
+            return Self {
+                jobs: 0,
+                mean_bounded_slowdown: 0.0,
+                mean_slowdown: 0.0,
+                mean_wait: 0.0,
+                max_wait: 0.0,
+                mean_turnaround: 0.0,
+                utilization: 0.0,
+                makespan: 0.0,
+            };
+        }
+        let mut bsld = 0.0;
+        let mut sld = 0.0;
+        let mut wait = 0.0;
+        let mut max_wait: f64 = 0.0;
+        let mut turnaround = 0.0;
+        let mut busy = 0.0;
+        let mut first_submit = f64::INFINITY;
+        let mut last_end = f64::NEG_INFINITY;
+        for c in completed {
+            bsld += c.job.bounded_slowdown(c.start, BSLD_BOUND_SECS);
+            sld += c.job.slowdown(c.start);
+            let w = c.wait();
+            wait += w;
+            max_wait = max_wait.max(w);
+            turnaround += w + c.job.runtime;
+            busy += c.job.procs as f64 * c.job.runtime;
+            first_submit = first_submit.min(c.job.submit);
+            last_end = last_end.max(c.end());
+        }
+        let nf = n as f64;
+        let makespan = (last_end - first_submit).max(0.0);
+        Self {
+            jobs: n,
+            mean_bounded_slowdown: bsld / nf,
+            mean_slowdown: sld / nf,
+            mean_wait: wait / nf,
+            max_wait,
+            mean_turnaround: turnaround / nf,
+            utilization: if makespan > 0.0 {
+                busy / (cluster_procs as f64 * makespan)
+            } else {
+                0.0
+            },
+            makespan,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bsld={:.2} wait={:.0}s util={:.1}% jobs={}",
+            self.mean_bounded_slowdown,
+            self.mean_wait,
+            self.utilization * 100.0,
+            self.jobs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf::Job;
+
+    fn completed(job: Job, start: f64) -> CompletedJob {
+        CompletedJob { job, start }
+    }
+
+    #[test]
+    fn empty_schedule_is_all_zero() {
+        let m = Metrics::of(&[], 16);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.mean_bounded_slowdown, 0.0);
+    }
+
+    #[test]
+    fn metrics_match_hand_computation() {
+        let jobs = [
+            completed(Job::new(0, 0.0, 2, 100.0, 100.0), 0.0), // bsld 1, wait 0
+            completed(Job::new(1, 0.0, 2, 100.0, 100.0), 100.0), // bsld 2, wait 100
+        ];
+        let m = Metrics::of(&jobs, 2);
+        assert!((m.mean_bounded_slowdown - 1.5).abs() < 1e-12);
+        assert!((m.mean_wait - 50.0).abs() < 1e-12);
+        assert_eq!(m.max_wait, 100.0);
+        assert!((m.mean_turnaround - 150.0).abs() < 1e-12);
+        // busy = 2*100 + 2*100 = 400; makespan 200; cluster 2 -> util 1.0
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(m.makespan, 200.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_uses_ten_second_bound() {
+        // 1-second job waiting 99s: bsld contribution 10, not 100.
+        let jobs = [completed(Job::new(0, 0.0, 1, 1.0, 1.0), 99.0)];
+        let m = Metrics::of(&jobs, 1);
+        assert!((m.mean_bounded_slowdown - 10.0).abs() < 1e-12);
+        assert!((m.mean_slowdown - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Resource-availability profiles over future time.
+//!
+//! A profile answers "how many processors will be free at time t, given the
+//! currently running jobs (under some runtime estimate) and any future
+//! reservations already granted?". It is the planning structure behind both
+//! EASY (computing the reserved job's shadow time) and conservative
+//! backfilling (granting every queued job a reservation).
+
+/// A piecewise-constant availability timeline starting at `now`.
+///
+/// Internally a sorted list of `(time, delta)` events over a baseline of
+/// `free` processors; queries assemble prefix sums on demand. Queue depths
+/// in HPC scheduling are small (≤ a few hundred), so the O(n²) worst case
+/// of the fit search is irrelevant in practice.
+#[derive(Debug, Clone)]
+pub struct AvailabilityProfile {
+    now: f64,
+    free: i64,
+    /// `(time, processor delta)`; positive = release, negative = claim.
+    events: Vec<(f64, i64)>,
+}
+
+impl AvailabilityProfile {
+    /// A profile with `free` processors available from `now` on.
+    pub fn new(now: f64, free: u32) -> Self {
+        Self {
+            now,
+            free: free as i64,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records that `procs` processors are released at `time` (a running
+    /// job's estimated completion).
+    pub fn add_release(&mut self, time: f64, procs: u32) {
+        self.events.push((time.max(self.now), procs as i64));
+    }
+
+    /// Records a planned occupation of `procs` processors on
+    /// `[start, end)` (a granted reservation).
+    pub fn add_usage(&mut self, start: f64, end: f64, procs: u32) {
+        let start = start.max(self.now);
+        if end <= start {
+            return;
+        }
+        self.events.push((start, -(procs as i64)));
+        self.events.push((end, procs as i64));
+    }
+
+    /// Availability just after `time` (events at exactly `time` included).
+    pub fn avail_at(&self, time: f64) -> i64 {
+        let mut avail = self.free;
+        for &(t, d) in &self.events {
+            if t <= time {
+                avail += d;
+            }
+        }
+        avail
+    }
+
+    /// The earliest time ≥ `not_before` at which `procs` processors are
+    /// continuously available for `duration` seconds.
+    ///
+    /// Candidate start times are `not_before` itself and every event time
+    /// after it; between events availability is constant, so these are the
+    /// only minima. Returns `f64::INFINITY` if the demand can never be met
+    /// (caller bug: demand exceeds the cluster).
+    pub fn earliest_fit(&self, procs: u32, duration: f64, not_before: f64) -> f64 {
+        let not_before = not_before.max(self.now);
+        let mut times: Vec<f64> = self
+            .events
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|&t| t > not_before)
+            .collect();
+        times.push(not_before);
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+
+        'candidate: for &start in &times {
+            if self.avail_at(start) < procs as i64 {
+                continue;
+            }
+            let end = start + duration;
+            for &(t, _) in &self.events {
+                if t > start && t < end && self.avail_at(t) < procs as i64 {
+                    continue 'candidate;
+                }
+            }
+            return start;
+        }
+        f64::INFINITY
+    }
+
+    /// The earliest time ≥ `now` at which `procs` processors are available
+    /// (ignoring how long they stay available) — the EASY *shadow time* for
+    /// the reserved job when the profile only contains releases.
+    pub fn earliest_avail(&self, procs: u32) -> f64 {
+        self.earliest_fit(procs, 0.0, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_is_constant() {
+        let p = AvailabilityProfile::new(10.0, 8);
+        assert_eq!(p.avail_at(10.0), 8);
+        assert_eq!(p.avail_at(1e9), 8);
+        assert_eq!(p.earliest_fit(8, 100.0, 10.0), 10.0);
+        assert_eq!(p.earliest_fit(9, 100.0, 10.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn releases_accumulate() {
+        let mut p = AvailabilityProfile::new(0.0, 2);
+        p.add_release(100.0, 4);
+        p.add_release(200.0, 2);
+        assert_eq!(p.avail_at(0.0), 2);
+        assert_eq!(p.avail_at(100.0), 6);
+        assert_eq!(p.avail_at(250.0), 8);
+        assert_eq!(p.earliest_avail(6), 100.0);
+        assert_eq!(p.earliest_avail(7), 200.0);
+    }
+
+    #[test]
+    fn usage_blocks_an_interval() {
+        let mut p = AvailabilityProfile::new(0.0, 8);
+        p.add_usage(50.0, 150.0, 6);
+        // 4 procs for 100s: fits immediately only if it ends by t=50.
+        assert_eq!(p.earliest_fit(4, 40.0, 0.0), 0.0);
+        assert_eq!(p.earliest_fit(4, 100.0, 0.0), 150.0);
+        // 2 procs fit through the blocked window.
+        assert_eq!(p.earliest_fit(2, 1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fit_respects_not_before() {
+        let p = AvailabilityProfile::new(0.0, 8);
+        assert_eq!(p.earliest_fit(4, 10.0, 500.0), 500.0);
+    }
+
+    #[test]
+    fn usage_before_now_is_clamped() {
+        let mut p = AvailabilityProfile::new(100.0, 4);
+        p.add_usage(0.0, 200.0, 2);
+        assert_eq!(p.avail_at(100.0), 2);
+        assert_eq!(p.avail_at(200.0), 4);
+    }
+
+    #[test]
+    fn zero_length_usage_is_ignored() {
+        let mut p = AvailabilityProfile::new(0.0, 4);
+        p.add_usage(10.0, 10.0, 4);
+        assert_eq!(p.avail_at(10.0), 4);
+    }
+
+    #[test]
+    fn reservation_chain_stacks_correctly() {
+        // Conservative-backfilling shape: running job releases at t=100,
+        // a reservation claims [100, 200), a second fit must land at 200.
+        let mut p = AvailabilityProfile::new(0.0, 0);
+        p.add_release(100.0, 4);
+        p.add_usage(100.0, 200.0, 4);
+        assert_eq!(p.earliest_fit(4, 50.0, 0.0), 200.0);
+    }
+}

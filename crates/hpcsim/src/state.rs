@@ -1,0 +1,538 @@
+//! The event-driven simulation state machine.
+//!
+//! [`Simulation`] advances a trace through submission, queueing, start and
+//! completion events under a base [`Policy`]. Whenever the policy-selected
+//! head job cannot start (insufficient free processors) **and** at least one
+//! other queued job would fit, the machine pauses and reports a
+//! [`SimEvent::BackfillOpportunity`] — the decision points at which EASY,
+//! conservative, or the RL agent act. The driver then calls
+//! [`Simulation::backfill`] zero or more times and resumes with
+//! [`Simulation::advance`].
+//!
+//! The machine never takes backfilling decisions itself, which is what lets
+//! heuristics and the learning agent share one simulator (paper §3.4: "RL
+//! decision points occur at specific, distinct moments").
+
+use crate::policy::Policy;
+use crate::profile::AvailabilityProfile;
+use swf::{Job, Trace};
+
+/// Time-comparison slack for completion processing.
+const EPS: f64 = 1e-9;
+
+/// A job currently executing on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningJob {
+    /// The job being executed.
+    pub job: Job,
+    /// Absolute start time.
+    pub start: f64,
+}
+
+impl RunningJob {
+    /// Actual completion time (known to the simulator, not the scheduler).
+    pub fn end(&self) -> f64 {
+        self.start + self.job.runtime
+    }
+}
+
+/// A finished job together with its realized start time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedJob {
+    /// The job that ran.
+    pub job: Job,
+    /// Absolute start time.
+    pub start: f64,
+}
+
+impl CompletedJob {
+    /// Time spent waiting in the queue.
+    pub fn wait(&self) -> f64 {
+        (self.start - self.job.submit).max(0.0)
+    }
+
+    /// Absolute completion time.
+    pub fn end(&self) -> f64 {
+        self.start + self.job.runtime
+    }
+}
+
+/// What the simulation paused on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// The head job cannot start and at least one other queued job fits the
+    /// free processors: a backfilling decision is required.
+    BackfillOpportunity,
+    /// Every job in the trace has completed.
+    Done,
+}
+
+/// Outcome of a single backfill action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackfillOutcome {
+    /// Whether starting this job pushed back the reserved (head) job's
+    /// ground-truth earliest start time — the violation the paper punishes
+    /// with a large negative reward (§3.4).
+    pub delays_reserved: bool,
+}
+
+/// Errors from misusing the backfill API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackfillError {
+    /// Index out of range of the waiting queue.
+    BadIndex,
+    /// Attempted to backfill the reserved head job (always masked, §3.2).
+    ReservedJob,
+    /// The job does not fit the currently free processors.
+    DoesNotFit,
+}
+
+impl std::fmt::Display for BackfillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackfillError::BadIndex => write!(f, "queue index out of range"),
+            BackfillError::ReservedJob => write!(f, "the reserved job cannot be backfilled"),
+            BackfillError::DoesNotFit => write!(f, "job does not fit the free processors"),
+        }
+    }
+}
+
+impl std::error::Error for BackfillError {}
+
+/// The simulation state machine. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    policy: Policy,
+    cluster_procs: u32,
+    free: u32,
+    now: f64,
+    arrivals: Vec<Job>,
+    next_arrival: usize,
+    queue: Vec<Job>,
+    running: Vec<RunningJob>,
+    completed: Vec<CompletedJob>,
+    /// Re-arm flag: an opportunity is only reported after the state changed
+    /// (time advanced or a job started), so a driver that declines to
+    /// backfill is never asked twice about the identical state.
+    opportunity_armed: bool,
+}
+
+impl Simulation {
+    /// Starts a fresh simulation of `trace` under `policy`.
+    pub fn new(trace: &Trace, policy: Policy) -> Self {
+        Self {
+            policy,
+            cluster_procs: trace.cluster_procs(),
+            free: trace.cluster_procs(),
+            now: 0.0,
+            arrivals: trace.jobs().to_vec(),
+            next_arrival: 0,
+            queue: Vec::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            opportunity_armed: true,
+        }
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Free processors right now.
+    pub fn free_procs(&self) -> u32 {
+        self.free
+    }
+
+    /// Total processors in the cluster.
+    pub fn cluster_procs(&self) -> u32 {
+        self.cluster_procs
+    }
+
+    /// The base policy driving head-of-queue selection.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The waiting queue, sorted by the policy as of the last scheduling
+    /// pass; index 0 is the reserved job during a backfill opportunity.
+    pub fn queue(&self) -> &[Job] {
+        &self.queue
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Jobs that finished, in completion order.
+    pub fn completed(&self) -> &[CompletedJob] {
+        &self.completed
+    }
+
+    /// The reserved job (head of the sorted queue), if any.
+    pub fn reserved_job(&self) -> Option<&Job> {
+        self.queue.first()
+    }
+
+    /// Advances the simulation until the next backfilling opportunity or
+    /// completion of the whole trace.
+    pub fn advance(&mut self) -> SimEvent {
+        loop {
+            self.ingest_arrivals();
+            self.start_ready_jobs();
+            if self.opportunity_armed
+                && !self.queue.is_empty()
+                && self.has_backfill_candidate()
+            {
+                self.opportunity_armed = false;
+                return SimEvent::BackfillOpportunity;
+            }
+            if !self.advance_time() {
+                debug_assert!(self.queue.is_empty() && self.running.is_empty());
+                return SimEvent::Done;
+            }
+        }
+    }
+
+    /// Queue indices (excluding the reserved head) of jobs that fit the
+    /// currently free processors — the raw action space at an opportunity.
+    pub fn backfill_candidates(&self) -> Vec<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, j)| j.procs <= self.free)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Starts the queued job at `queue_idx` immediately (a backfill).
+    ///
+    /// Reports whether the action delayed the reserved job's ground-truth
+    /// earliest start (computed from *actual* runtimes — the simulator
+    /// knows the truth even though schedulers only see estimates).
+    pub fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
+        if queue_idx >= self.queue.len() {
+            return Err(BackfillError::BadIndex);
+        }
+        if queue_idx == 0 {
+            return Err(BackfillError::ReservedJob);
+        }
+        let job = self.queue[queue_idx];
+        if job.procs > self.free {
+            return Err(BackfillError::DoesNotFit);
+        }
+        let delays_reserved = self.would_delay_reserved(&job);
+        self.queue.remove(queue_idx);
+        self.start_job(job);
+        self.opportunity_armed = true;
+        Ok(BackfillOutcome { delays_reserved })
+    }
+
+    /// Ground-truth availability profile (actual runtimes of running jobs).
+    fn actual_profile(&self) -> AvailabilityProfile {
+        let mut prof = AvailabilityProfile::new(self.now, self.free);
+        for r in &self.running {
+            prof.add_release(r.end().max(self.now), r.job.procs);
+        }
+        prof
+    }
+
+    /// Whether starting `job` now would push back the reserved job's
+    /// earliest possible start under ground-truth runtimes.
+    fn would_delay_reserved(&self, job: &Job) -> bool {
+        let Some(reserved) = self.reserved_job() else {
+            return false;
+        };
+        let prof = self.actual_profile();
+        let shadow_before = prof.earliest_avail(reserved.procs);
+        let mut after = prof;
+        after.add_usage(self.now, self.now + job.runtime, job.procs);
+        let shadow_after = after.earliest_avail(reserved.procs);
+        shadow_after > shadow_before + EPS
+    }
+
+    fn ingest_arrivals(&mut self) {
+        while self
+            .arrivals
+            .get(self.next_arrival)
+            .is_some_and(|j| j.submit <= self.now + EPS)
+        {
+            self.queue.push(self.arrivals[self.next_arrival]);
+            self.next_arrival += 1;
+        }
+    }
+
+    /// Starts policy-selected head jobs while they fit.
+    fn start_ready_jobs(&mut self) {
+        while !self.queue.is_empty() {
+            self.policy.sort_queue(&mut self.queue, self.now);
+            if self.queue[0].procs <= self.free {
+                let job = self.queue.remove(0);
+                self.start_job(job);
+                self.opportunity_armed = true;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn start_job(&mut self, job: Job) {
+        debug_assert!(job.procs <= self.free, "start_job overcommits the cluster");
+        self.free -= job.procs;
+        self.running.push(RunningJob {
+            job,
+            start: self.now,
+        });
+    }
+
+    fn has_backfill_candidate(&self) -> bool {
+        self.queue.iter().skip(1).any(|j| j.procs <= self.free)
+    }
+
+    /// Moves time to the next arrival or completion; returns `false` when
+    /// the simulation is finished.
+    fn advance_time(&mut self) -> bool {
+        let next_arrival = self.arrivals.get(self.next_arrival).map(|j| j.submit);
+        let next_completion = self
+            .running
+            .iter()
+            .map(RunningJob::end)
+            .min_by(f64::total_cmp);
+        let target = match (next_arrival, next_completion) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => return false,
+        };
+        debug_assert!(
+            target >= self.now - EPS,
+            "time must not go backwards: {} -> {target}",
+            self.now
+        );
+        self.now = target.max(self.now);
+        self.process_completions();
+        self.opportunity_armed = true;
+        true
+    }
+
+    fn process_completions(&mut self) {
+        let now = self.now;
+        let mut freed = 0u32;
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].end() <= now + EPS {
+                let r = self.running.swap_remove(i);
+                freed += r.job.procs;
+                self.completed.push(CompletedJob {
+                    job: r.job,
+                    start: r.start,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.free += freed;
+        debug_assert!(self.free <= self.cluster_procs, "released more than claimed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(cluster: u32, jobs: Vec<Job>) -> Trace {
+        Trace::new("test", cluster, jobs)
+    }
+
+    /// Drives a simulation to completion without ever backfilling.
+    fn run_no_backfill(mut sim: Simulation) -> Simulation {
+        while sim.advance() != SimEvent::Done {}
+        sim
+    }
+
+    #[test]
+    fn single_job_runs_at_submission() {
+        let t = trace(4, vec![Job::new(0, 100.0, 4, 50.0, 50.0)]);
+        let sim = run_no_backfill(Simulation::new(&t, Policy::Fcfs));
+        assert_eq!(sim.completed().len(), 1);
+        assert_eq!(sim.completed()[0].start, 100.0);
+        assert_eq!(sim.free_procs(), 4);
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_full() {
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 4, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+            ],
+        );
+        let sim = run_no_backfill(Simulation::new(&t, Policy::Fcfs));
+        let second = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+        assert_eq!(second.start, 100.0);
+        assert_eq!(second.wait(), 90.0);
+    }
+
+    #[test]
+    fn parallel_jobs_share_the_cluster() {
+        let t = trace(
+            8,
+            vec![
+                Job::new(0, 0.0, 4, 100.0, 100.0),
+                Job::new(1, 0.0, 4, 100.0, 100.0),
+            ],
+        );
+        let sim = run_no_backfill(Simulation::new(&t, Policy::Fcfs));
+        assert!(sim.completed().iter().all(|c| c.start == 0.0));
+    }
+
+    #[test]
+    fn opportunity_fires_when_head_blocked_and_candidate_fits() {
+        // Job 0 occupies 3 of 4 procs; job 1 (4 procs) blocks; job 2 (1 proc) fits.
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 10.0, 10.0),
+            ],
+        );
+        let mut sim = Simulation::new(&t, Policy::Fcfs);
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        assert_eq!(sim.reserved_job().unwrap().id, 1);
+        assert_eq!(sim.backfill_candidates(), vec![1]);
+        assert_eq!(sim.queue()[1].id, 2);
+    }
+
+    #[test]
+    fn declining_an_opportunity_does_not_loop() {
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 10.0, 10.0),
+            ],
+        );
+        let mut sim = Simulation::new(&t, Policy::Fcfs);
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        // Decline: simply advance again; the sim must make progress and
+        // eventually finish with everyone scheduled.
+        let mut guard = 0;
+        while sim.advance() != SimEvent::Done {
+            guard += 1;
+            assert!(guard < 100, "simulation failed to make progress");
+        }
+        assert_eq!(sim.completed().len(), 3);
+    }
+
+    #[test]
+    fn backfill_starts_job_immediately() {
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 10.0, 10.0),
+            ],
+        );
+        let mut sim = Simulation::new(&t, Policy::Fcfs);
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        let out = sim.backfill(1).unwrap();
+        // Job 2 ends at now+10 = 30 < 100 (when job 0 releases), so the
+        // reserved 4-proc job is not delayed.
+        assert!(!out.delays_reserved);
+        while sim.advance() != SimEvent::Done {}
+        let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+        assert_eq!(c2.start, 20.0);
+        // Reserved job still starts at 100.
+        let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+        assert_eq!(c1.start, 100.0);
+    }
+
+    #[test]
+    fn backfill_detects_delaying_the_reserved_job() {
+        // Cluster 4. Job 0: 3 procs until t=100. Reserved job 1 needs 4.
+        // Job 2: 1 proc, runtime 500 — backfilling it at t=20 delays job 1
+        // from 100 to 520.
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 500.0, 500.0),
+            ],
+        );
+        let mut sim = Simulation::new(&t, Policy::Fcfs);
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        let out = sim.backfill(1).unwrap();
+        assert!(out.delays_reserved);
+        while sim.advance() != SimEvent::Done {}
+        let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+        assert_eq!(c1.start, 520.0);
+    }
+
+    #[test]
+    fn backfill_error_cases() {
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 2, 10.0, 10.0),
+                Job::new(3, 21.0, 1, 10.0, 10.0),
+            ],
+        );
+        let mut sim = Simulation::new(&t, Policy::Fcfs);
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        assert_eq!(sim.backfill(0), Err(BackfillError::ReservedJob));
+        assert_eq!(sim.backfill(9), Err(BackfillError::BadIndex));
+        // Job 2 (queue index 1) needs 2 procs but only 1 is free; job 3
+        // (queue index 2) is the fitting candidate that armed the event.
+        assert_eq!(sim.backfill_candidates(), vec![2]);
+        assert_eq!(sim.backfill(1), Err(BackfillError::DoesNotFit));
+        assert!(sim.backfill(2).is_ok());
+    }
+
+    #[test]
+    fn sjf_reorders_the_queue() {
+        // Long job submitted first, short second; SJF runs the short one
+        // first once the blocker finishes.
+        let t = trace(
+            4,
+            vec![
+                Job::new(0, 0.0, 4, 100.0, 100.0),
+                Job::new(1, 1.0, 4, 900.0, 900.0),
+                Job::new(2, 2.0, 4, 10.0, 10.0),
+            ],
+        );
+        let sim = run_no_backfill(Simulation::new(&t, Policy::Sjf));
+        let short = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+        let long = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+        assert!(short.start < long.start);
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once() {
+        let t = swf::TracePreset::Lublin1.generate(300, 3);
+        let sim = run_no_backfill(Simulation::new(&t, Policy::Fcfs));
+        assert_eq!(sim.completed().len(), t.len());
+        let mut ids: Vec<usize> = sim.completed().iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.len());
+        assert_eq!(sim.free_procs(), t.cluster_procs());
+    }
+
+    #[test]
+    fn no_job_starts_before_submission() {
+        let t = swf::TracePreset::Lublin2.generate(300, 4);
+        let sim = run_no_backfill(Simulation::new(&t, Policy::F1));
+        for c in sim.completed() {
+            assert!(c.start + EPS >= c.job.submit);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the availability profile — the planning structure
+//! under both EASY's shadow computation and conservative backfilling.
+
+use hpcsim::profile::AvailabilityProfile;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Release { time: f64, procs: u32 },
+    Usage { start: f64, len: f64, procs: u32 },
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    let release = (0.0f64..10_000.0, 1u32..16).prop_map(|(time, procs)| Event::Release { time, procs });
+    let usage = (0.0f64..10_000.0, 1.0f64..5_000.0, 1u32..16)
+        .prop_map(|(start, len, procs)| Event::Usage { start, len, procs });
+    proptest::collection::vec(prop_oneof![release, usage], 0..20)
+}
+
+fn build(free: u32, events: &[Event]) -> AvailabilityProfile {
+    let mut p = AvailabilityProfile::new(0.0, free);
+    for e in events {
+        match *e {
+            Event::Release { time, procs } => p.add_release(time, procs),
+            Event::Usage { start, len, procs } => p.add_usage(start, start + len, procs),
+        }
+    }
+    p
+}
+
+proptest! {
+    /// Whatever `earliest_fit` returns satisfies the demand over the whole
+    /// requested interval (checked at the start and at every breakpoint
+    /// inside it), and no earlier event time would have worked.
+    #[test]
+    fn earliest_fit_is_feasible_and_minimal(
+        free in 8u32..64,
+        events in arb_events(),
+        procs in 1u32..8,
+        duration in 1.0f64..5_000.0,
+        not_before in 0.0f64..5_000.0,
+    ) {
+        let p = build(free, &events);
+        let t = p.earliest_fit(procs, duration, not_before);
+        prop_assert!(t.is_finite(), "demand below baseline free must always fit");
+        prop_assert!(t >= not_before);
+
+        // Feasibility over [t, t+duration).
+        let check_times: Vec<f64> = std::iter::once(t)
+            .chain((0..200).map(|i| t + duration * (i as f64 + 0.5) / 200.0))
+            .collect();
+        for &ct in &check_times {
+            if ct < t + duration {
+                prop_assert!(
+                    p.avail_at(ct) >= procs as i64,
+                    "availability {} < {} at {}",
+                    p.avail_at(ct), procs, ct
+                );
+            }
+        }
+
+        // Minimality: starting exactly at `not_before` (if earlier than t)
+        // must be infeasible somewhere in its window.
+        if t > not_before + 1e-9 {
+            let infeasible = (0..400).any(|i| {
+                let ct = not_before + duration * i as f64 / 400.0;
+                ct < not_before + duration && p.avail_at(ct) < procs as i64
+            });
+            prop_assert!(infeasible, "earliest_fit skipped a feasible earlier start");
+        }
+    }
+
+    /// Availability never goes below `baseline − claimed` and releases only
+    /// ever increase it.
+    #[test]
+    fn releases_are_monotone(
+        free in 1u32..64,
+        releases in proptest::collection::vec((0.0f64..10_000.0, 1u32..16), 0..20),
+    ) {
+        let mut p = AvailabilityProfile::new(0.0, free);
+        for &(time, procs) in &releases {
+            p.add_release(time, procs);
+        }
+        let mut times: Vec<f64> = releases.iter().map(|&(t, _)| t).collect();
+        times.push(0.0);
+        times.push(1e9);
+        times.sort_by(f64::total_cmp);
+        let mut prev = i64::MIN;
+        for &t in &times {
+            let a = p.avail_at(t);
+            prop_assert!(a >= prev, "availability decreased without usage");
+            prev = a;
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Rollout storage: trajectories of (observation, action, reward, value,
+//! log-prob) tuples, finished into advantages and value targets.
+
+use crate::gae::{gae_advantages, normalize, rewards_to_go};
+use serde::{Deserialize, Serialize};
+
+/// One environment step as recorded during rollout collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Step<O> {
+    /// Observation the agent acted on.
+    pub obs: O,
+    /// Chosen action (slot index).
+    pub action: usize,
+    /// Reward received *after* the action.
+    pub reward: f64,
+    /// Critic value estimate at `obs`.
+    pub value: f64,
+    /// Log-probability of `action` under the rollout policy.
+    pub log_prob: f64,
+}
+
+/// A finished batch ready for a PPO update.
+#[derive(Debug, Clone)]
+pub struct Batch<O> {
+    /// Flattened steps across trajectories.
+    pub steps: Vec<Step<O>>,
+    /// GAE advantages, normalized over the whole batch.
+    pub advantages: Vec<f64>,
+    /// Rewards-to-go (value regression targets).
+    pub returns: Vec<f64>,
+}
+
+impl<O> Batch<O> {
+    /// Number of steps in the batch.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the batch holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Accumulates trajectories and converts them into a training [`Batch`].
+#[derive(Debug, Clone)]
+pub struct RolloutBuffer<O> {
+    gamma: f64,
+    lambda: f64,
+    steps: Vec<Step<O>>,
+    advantages: Vec<f64>,
+    returns: Vec<f64>,
+    path_start: usize,
+}
+
+impl<O> RolloutBuffer<O> {
+    /// A buffer computing GAE(γ, λ).
+    pub fn new(gamma: f64, lambda: f64) -> Self {
+        Self {
+            gamma,
+            lambda,
+            steps: Vec::new(),
+            advantages: Vec::new(),
+            returns: Vec::new(),
+            path_start: 0,
+        }
+    }
+
+    /// Records one step of the current trajectory.
+    pub fn push(&mut self, step: Step<O>) {
+        self.steps.push(step);
+    }
+
+    /// Number of recorded steps (all trajectories).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Closes the current trajectory. `last_value` bootstraps truncated
+    /// paths (0.0 for genuine terminations).
+    pub fn finish_path(&mut self, last_value: f64) {
+        let path = &self.steps[self.path_start..];
+        if path.is_empty() {
+            return;
+        }
+        let rewards: Vec<f64> = path.iter().map(|s| s.reward).collect();
+        let mut values: Vec<f64> = path.iter().map(|s| s.value).collect();
+        values.push(last_value);
+        self.advantages
+            .extend(gae_advantages(&rewards, &values, self.gamma, self.lambda));
+        self.returns
+            .extend(rewards_to_go(&rewards, last_value, self.gamma));
+        self.path_start = self.steps.len();
+    }
+
+    /// Appends a whole pre-collected trajectory (the parallel-collection
+    /// path: workers build trajectories independently, the trainer merges).
+    pub fn absorb_trajectory(&mut self, steps: Vec<Step<O>>, last_value: f64) {
+        debug_assert_eq!(self.path_start, self.steps.len(), "unfinished path");
+        self.steps.extend(steps);
+        self.finish_path(last_value);
+    }
+
+    /// Finalizes into a batch with batch-normalized advantages. Panics if a
+    /// trajectory was left unfinished.
+    pub fn into_batch(mut self) -> Batch<O> {
+        assert_eq!(
+            self.path_start,
+            self.steps.len(),
+            "call finish_path before into_batch"
+        );
+        normalize(&mut self.advantages);
+        Batch {
+            steps: self.steps,
+            advantages: self.advantages,
+            returns: self.returns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(reward: f64, value: f64) -> Step<()> {
+        Step {
+            obs: (),
+            action: 0,
+            reward,
+            value,
+            log_prob: -1.0,
+        }
+    }
+
+    #[test]
+    fn single_terminal_reward_propagates_to_all_steps() {
+        // γ=1: every step's return equals the terminal reward — the paper's
+        // sparse-reward scheme ("each step returns a reward of 0, only
+        // returning the true reward at the very last step", §3.4).
+        let mut buf = RolloutBuffer::new(1.0, 1.0);
+        buf.push(step(0.0, 0.0));
+        buf.push(step(0.0, 0.0));
+        buf.push(step(5.0, 0.0));
+        buf.finish_path(0.0);
+        let batch = buf.into_batch();
+        assert_eq!(batch.returns, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn multiple_paths_are_independent() {
+        let mut buf = RolloutBuffer::new(1.0, 1.0);
+        buf.push(step(1.0, 0.0));
+        buf.finish_path(0.0);
+        buf.push(step(3.0, 0.0));
+        buf.finish_path(0.0);
+        let batch = buf.into_batch();
+        assert_eq!(batch.returns, vec![1.0, 3.0]);
+        assert_eq!(batch.len(), 2);
+        // normalized advantages: symmetric around 0
+        assert!((batch.advantages[0] + batch.advantages[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_trajectory_matches_manual_pushes() {
+        let mut a = RolloutBuffer::new(0.99, 0.95);
+        a.push(step(1.0, 0.5));
+        a.push(step(2.0, 0.25));
+        a.finish_path(0.0);
+
+        let mut b = RolloutBuffer::new(0.99, 0.95);
+        b.absorb_trajectory(vec![step(1.0, 0.5), step(2.0, 0.25)], 0.0);
+
+        assert_eq!(a.into_batch().advantages, b.into_batch().advantages);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_path")]
+    fn unfinished_path_panics() {
+        let mut buf = RolloutBuffer::new(1.0, 1.0);
+        buf.push(step(1.0, 0.0));
+        let _ = buf.into_batch();
+    }
+
+    #[test]
+    fn empty_finish_is_a_noop() {
+        let mut buf: RolloutBuffer<()> = RolloutBuffer::new(1.0, 1.0);
+        buf.finish_path(0.0);
+        assert!(buf.is_empty());
+        let batch = buf.into_batch();
+        assert!(batch.is_empty());
+    }
+}

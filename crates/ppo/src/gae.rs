@@ -1,0 +1,129 @@
+//! Return and advantage estimation: discounted cumulative sums and
+//! Generalized Advantage Estimation (Schulman et al. 2016).
+
+/// Discounted cumulative sum: `out[i] = Σ_{j≥i} γ^(j−i) · x[j]`.
+pub fn discount_cumsum(x: &[f64], gamma: f64) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    let mut acc = 0.0;
+    for i in (0..x.len()).rev() {
+        acc = x[i] + gamma * acc;
+        out[i] = acc;
+    }
+    out
+}
+
+/// GAE(γ, λ) advantages for one trajectory.
+///
+/// `values` holds the critic's estimates for every state in the trajectory
+/// **plus** the bootstrap value of the state after the last step (0 for a
+/// terminal state), i.e. `values.len() == rewards.len() + 1`.
+pub fn gae_advantages(rewards: &[f64], values: &[f64], gamma: f64, lambda: f64) -> Vec<f64> {
+    assert_eq!(
+        values.len(),
+        rewards.len() + 1,
+        "values must include the bootstrap entry"
+    );
+    let deltas: Vec<f64> = rewards
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| r + gamma * values[i + 1] - values[i])
+        .collect();
+    discount_cumsum(&deltas, gamma * lambda)
+}
+
+/// Rewards-to-go (the value-function regression target): discounted suffix
+/// sums of the rewards, bootstrapped with `last_value` for truncated
+/// trajectories.
+pub fn rewards_to_go(rewards: &[f64], last_value: f64, gamma: f64) -> Vec<f64> {
+    let mut ext: Vec<f64> = rewards.to_vec();
+    ext.push(last_value);
+    let mut full = discount_cumsum(&ext, gamma);
+    full.pop();
+    full
+}
+
+/// Normalizes advantages to zero mean / unit standard deviation — the
+/// variance-reduction trick the paper describes for its value-network
+/// baseline ("using the improvement of the current policy over historical
+/// policies … reduces the variance of inputs", §3.3.2).
+pub fn normalize(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let std = var.sqrt().max(1e-8);
+    for x in xs {
+        *x = (*x - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discount_cumsum_matches_hand_computation() {
+        let out = discount_cumsum(&[1.0, 1.0, 1.0], 0.5);
+        assert_eq!(out, vec![1.75, 1.5, 1.0]);
+    }
+
+    #[test]
+    fn discount_gamma_one_is_suffix_sum() {
+        let out = discount_cumsum(&[1.0, 2.0, 3.0], 1.0);
+        assert_eq!(out, vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_is_returns_minus_values() {
+        // λ=1 ⇒ advantage = discounted return − value.
+        let rewards = [0.0, 0.0, 10.0];
+        let values = [1.0, 2.0, 3.0, 0.0];
+        let adv = gae_advantages(&rewards, &values, 1.0, 1.0);
+        assert!((adv[0] - (10.0 - 1.0)).abs() < 1e-12);
+        assert!((adv[1] - (10.0 - 2.0)).abs() < 1e-12);
+        assert!((adv[2] - (10.0 - 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_with_lambda_zero_is_td_error() {
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 0.25, 0.125];
+        let adv = gae_advantages(&rewards, &values, 0.9, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 0.25 - 0.5)).abs() < 1e-12);
+        assert!((adv[1] - (2.0 + 0.9 * 0.125 - 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap")]
+    fn gae_requires_bootstrap_value() {
+        gae_advantages(&[1.0], &[1.0], 1.0, 1.0);
+    }
+
+    #[test]
+    fn rewards_to_go_bootstraps_truncated_paths() {
+        let rtg = rewards_to_go(&[1.0, 1.0], 10.0, 0.5);
+        // [1 + 0.5*(1 + 0.5*10), 1 + 0.5*10]
+        assert_eq!(rtg, vec![1.0 + 0.5 * 6.0, 6.0]);
+    }
+
+    #[test]
+    fn normalize_gives_zero_mean_unit_std() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut xs);
+        let mean: f64 = xs.iter().sum::<f64>() / 4.0;
+        let var: f64 = xs.iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_handles_constant_and_empty_input() {
+        let mut xs = vec![5.0, 5.0];
+        normalize(&mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+        let mut empty: Vec<f64> = vec![];
+        normalize(&mut empty);
+    }
+}

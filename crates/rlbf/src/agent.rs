@@ -1,0 +1,259 @@
+//! The trained RLBackfilling agent: greedy evaluation, the paper's
+//! sampling-based benchmark protocol, and checkpointing.
+
+use crate::env::{BackfillEnv, EnvConfig};
+use crate::nets::BackfillActorCritic;
+use crate::train::TrainResult;
+use hpcsim::{Metrics, Policy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use swf::Trace;
+
+/// A trained agent bundled with everything needed to deploy it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlbfAgent {
+    /// The actor-critic networks.
+    pub ac: BackfillActorCritic,
+    /// The base policy the agent was trained with (it can be evaluated
+    /// under any policy; Table 5's generality study does exactly that).
+    pub trained_with: Policy,
+    /// Environment configuration (observation size must match the nets).
+    pub env: EnvConfig,
+    /// Name of the training trace (e.g. "Lublin-1") — the `RL-X` labels of
+    /// Table 5.
+    pub trained_on: String,
+}
+
+impl RlbfAgent {
+    /// Wraps a training result into a deployable agent.
+    pub fn from_training(result: &TrainResult, trained_on: impl Into<String>) -> Self {
+        Self {
+            ac: result.ac.clone(),
+            trained_with: result.config.base_policy,
+            env: result.config.env,
+            trained_on: trained_on.into(),
+        }
+    }
+
+    /// Schedules `trace` to completion, taking greedy (argmax) backfilling
+    /// decisions — the paper's test-time behaviour (§3.3.1).
+    pub fn schedule(&self, trace: &Trace, base_policy: Policy) -> Metrics {
+        let mut env = BackfillEnv::new(trace, base_policy, self.env);
+        while let Some(obs) = env.observation().cloned() {
+            let slot = self.ac.act_greedy(&obs);
+            env.step(slot)
+                .expect("greedy actions are valid by construction");
+        }
+        env.metrics()
+    }
+
+    /// The paper's evaluation protocol (§4.3): sample `samples` random
+    /// windows of `window_len` jobs, schedule each, report the mean bounded
+    /// slowdown. Samples run in parallel; the seed makes the windows
+    /// reproducible so competing schedulers see identical sequences.
+    pub fn evaluate(
+        &self,
+        trace: &Trace,
+        base_policy: Policy,
+        samples: usize,
+        window_len: usize,
+        seed: u64,
+    ) -> f64 {
+        let windows = sample_windows(trace, samples, window_len, seed);
+        let total: f64 = windows
+            .par_iter()
+            .map(|w| self.schedule(w, base_policy).mean_bounded_slowdown)
+            .sum();
+        total / samples as f64
+    }
+
+    /// Saves the agent as JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("agent serializes"))
+    }
+
+    /// Loads an agent saved with [`Self::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Per-window evaluation statistics — [`RlbfAgent::evaluate`] reports only
+/// the mean (the paper's protocol); this carries the spread as well.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Mean bounded slowdown over the windows.
+    pub mean: f64,
+    /// Population standard deviation over the windows.
+    pub std: f64,
+    /// Minimum window bsld.
+    pub min: f64,
+    /// Maximum window bsld.
+    pub max: f64,
+    /// Per-window bsld, in sampling order.
+    pub per_window: Vec<f64>,
+}
+
+impl EvalReport {
+    /// Aggregates per-window results.
+    pub fn from_samples(per_window: Vec<f64>) -> Self {
+        let n = per_window.len().max(1) as f64;
+        let mean = per_window.iter().sum::<f64>() / n;
+        let var = per_window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: per_window.iter().copied().fold(f64::INFINITY, f64::min),
+            max: per_window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            per_window,
+        }
+    }
+}
+
+impl RlbfAgent {
+    /// Like [`Self::evaluate`] but returning the full spread across
+    /// windows, not just the mean.
+    pub fn evaluate_detailed(
+        &self,
+        trace: &Trace,
+        base_policy: Policy,
+        samples: usize,
+        window_len: usize,
+        seed: u64,
+    ) -> EvalReport {
+        let windows = sample_windows(trace, samples, window_len, seed);
+        let per_window: Vec<f64> = windows
+            .par_iter()
+            .map(|w| self.schedule(w, base_policy).mean_bounded_slowdown)
+            .collect();
+        EvalReport::from_samples(per_window)
+    }
+}
+
+/// The evaluation windows used by [`RlbfAgent::evaluate`] — exposed so
+/// heuristic baselines can be measured on the *same* sequences.
+pub fn sample_windows(trace: &Trace, samples: usize, window_len: usize, seed: u64) -> Vec<Trace> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| trace.sample_window(window_len, &mut rng))
+        .collect()
+}
+
+/// Mean bounded slowdown of a heuristic scheduler over the same evaluation
+/// windows (the EASY/EASY-AR columns of Tables 4 and 5).
+pub fn evaluate_heuristic(
+    trace: &Trace,
+    base_policy: Policy,
+    backfill: hpcsim::Backfill,
+    samples: usize,
+    window_len: usize,
+    seed: u64,
+) -> f64 {
+    let windows = sample_windows(trace, samples, window_len, seed);
+    let total: f64 = windows
+        .par_iter()
+        .map(|w| {
+            hpcsim::run_scheduler(w, base_policy, backfill)
+                .metrics
+                .mean_bounded_slowdown
+        })
+        .sum();
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainConfig};
+    use hpcsim::{Backfill, RuntimeEstimator};
+    use swf::TracePreset;
+
+    fn quick_agent(trace: &Trace) -> RlbfAgent {
+        let mut cfg = TrainConfig::smoke();
+        cfg.epochs = 1;
+        cfg.traj_per_epoch = 4;
+        let result = train(trace, cfg);
+        RlbfAgent::from_training(&result, trace.name())
+    }
+
+    #[test]
+    fn agent_schedules_every_job() {
+        let trace = TracePreset::Lublin1.generate(500, 51);
+        let agent = quick_agent(&trace);
+        let m = agent.schedule(&trace.window(0, 200), Policy::Fcfs);
+        assert_eq!(m.jobs, 200);
+        // And under a base policy it was not trained with (generality).
+        let m2 = agent.schedule(&trace.window(0, 200), Policy::Sjf);
+        assert_eq!(m2.jobs, 200);
+    }
+
+    #[test]
+    fn evaluate_is_reproducible_and_windows_are_shared() {
+        let trace = TracePreset::Lublin2.generate(800, 52);
+        let agent = quick_agent(&trace);
+        let a = agent.evaluate(&trace, Policy::Fcfs, 3, 128, 99);
+        let b = agent.evaluate(&trace, Policy::Fcfs, 3, 128, 99);
+        assert_eq!(a, b);
+        let heur = evaluate_heuristic(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            3,
+            128,
+            99,
+        );
+        assert!(heur.is_finite() && heur >= 1.0);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let trace = TracePreset::Lublin1.generate(300, 53);
+        let agent = quick_agent(&trace);
+        let dir = std::env::temp_dir().join("rlbf_agent_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.json");
+        agent.save(&path).unwrap();
+        let back = RlbfAgent::load(&path).unwrap();
+        assert_eq!(back.trained_on, agent.trained_on);
+        assert_eq!(back.trained_with, agent.trained_with);
+        let w = trace.window(0, 100);
+        assert_eq!(
+            agent.schedule(&w, Policy::Fcfs).mean_bounded_slowdown,
+            back.schedule(&w, Policy::Fcfs).mean_bounded_slowdown
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eval_report_statistics_are_consistent() {
+        let r = EvalReport::from_samples(vec![2.0, 4.0, 6.0]);
+        assert!((r.mean - 4.0).abs() < 1e-12);
+        assert_eq!((r.min, r.max), (2.0, 6.0));
+        assert!((r.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.per_window.len(), 3);
+    }
+
+    #[test]
+    fn evaluate_detailed_mean_matches_evaluate() {
+        let trace = TracePreset::Lublin2.generate(600, 54);
+        let agent = quick_agent(&trace);
+        let mean = agent.evaluate(&trace, Policy::Fcfs, 4, 128, 3);
+        let detailed = agent.evaluate_detailed(&trace, Policy::Fcfs, 4, 128, 3);
+        assert!((mean - detailed.mean).abs() < 1e-12);
+        assert!(detailed.min <= detailed.mean && detailed.mean <= detailed.max);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("rlbf_agent_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(RlbfAgent::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! The batch-job model (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A single HPC batch job.
+///
+/// Field names follow Table 1 of the paper and the Standard Workload Format:
+/// `submit` is the job submission time (symbol `st`), `procs` the number of
+/// requested nodes (`nt`), `request_time` the user runtime estimate (`rt`)
+/// and `runtime` the actual runtime observed after the job ran.
+///
+/// All times are in seconds. The scheduler treats `request_time` as a hard
+/// upper bound: a real system would kill the job at `submit + wait +
+/// request_time`, which is why users overestimate (see
+/// [`crate::overestimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable job identifier, unique within a trace (SWF job number).
+    pub id: usize,
+    /// Submission time in seconds relative to the start of the trace.
+    pub submit: f64,
+    /// Number of processors (nodes) the job requests and will occupy.
+    pub procs: u32,
+    /// User-provided runtime estimate ("Request Time"/"Wall Time"), seconds.
+    pub request_time: f64,
+    /// Actual runtime, seconds. Only known to the simulator, never to the
+    /// scheduler (except through an `hpcsim`-side estimator that models an
+    /// oracle prediction).
+    pub runtime: f64,
+}
+
+impl Job {
+    /// Creates a job, clamping the pathological values that appear in real
+    /// archive traces: non-positive runtimes become 1 second (zero-length
+    /// jobs otherwise break slowdown metrics) and the request time is raised
+    /// to at least the actual runtime, matching how production schedulers
+    /// log jobs that finished within their allocation.
+    pub fn new(id: usize, submit: f64, procs: u32, request_time: f64, runtime: f64) -> Self {
+        let runtime = runtime.max(1.0);
+        let request_time = request_time.max(runtime);
+        Self {
+            id,
+            submit,
+            procs: procs.max(1),
+            request_time,
+            runtime,
+        }
+    }
+
+    /// Bounded slowdown of this job given the time it started running.
+    ///
+    /// `bsld = max(1, (wait + runtime) / max(runtime, bound))` with the
+    /// interactive threshold `bound` (10 s in the paper, after Feitelson &
+    /// Rudolph) preventing very short jobs from dominating the average.
+    pub fn bounded_slowdown(&self, start_time: f64, bound: f64) -> f64 {
+        debug_assert!(start_time + 1e-9 >= self.submit, "job started before submission");
+        let wait = (start_time - self.submit).max(0.0);
+        ((wait + self.runtime) / self.runtime.max(bound)).max(1.0)
+    }
+
+    /// Plain (unbounded) slowdown: turnaround over runtime.
+    pub fn slowdown(&self, start_time: f64) -> f64 {
+        let wait = (start_time - self.submit).max(0.0);
+        ((wait + self.runtime) / self.runtime).max(1.0)
+    }
+}
+
+/// The interactive threshold used for bounded slowdown throughout the paper.
+pub const BSLD_BOUND_SECS: f64 = 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_degenerate_values() {
+        let j = Job::new(0, 0.0, 0, 5.0, -3.0);
+        assert_eq!(j.procs, 1);
+        assert_eq!(j.runtime, 1.0);
+        assert!(j.request_time >= j.runtime);
+    }
+
+    #[test]
+    fn request_time_at_least_runtime() {
+        let j = Job::new(1, 10.0, 4, 100.0, 500.0);
+        assert_eq!(j.request_time, 500.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_no_wait_is_one() {
+        let j = Job::new(0, 100.0, 1, 50.0, 50.0);
+        assert_eq!(j.bounded_slowdown(100.0, BSLD_BOUND_SECS), 1.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_bounds_short_jobs() {
+        // A 1-second job waiting 99 seconds: unbounded slowdown would be 100,
+        // bounded uses max(runtime, 10) = 10 in the denominator.
+        let j = Job::new(0, 0.0, 1, 1.0, 1.0);
+        assert_eq!(j.slowdown(99.0), 100.0);
+        assert_eq!(j.bounded_slowdown(99.0, BSLD_BOUND_SECS), 10.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_matches_formula_for_long_jobs() {
+        let j = Job::new(0, 0.0, 1, 200.0, 100.0);
+        // wait 300 => (300 + 100) / 100 = 4
+        assert_eq!(j.bounded_slowdown(300.0, BSLD_BOUND_SECS), 4.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_never_below_one() {
+        let j = Job::new(0, 0.0, 1, 5.0, 5.0);
+        assert_eq!(j.bounded_slowdown(0.0, BSLD_BOUND_SECS), 1.0);
+    }
+}

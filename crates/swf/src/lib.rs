@@ -1,0 +1,43 @@
+//! Workload substrate for the RLBackfilling reproduction.
+//!
+//! This crate provides everything the scheduler simulator consumes:
+//!
+//! * [`Job`] — the batch-job model (submit time, requested processors,
+//!   user-requested runtime, actual runtime), following the attribute
+//!   glossary in Table 1 of the paper and the Standard Workload Format.
+//! * [`parse`] — a parser and writer for the Standard Workload Format (SWF)
+//!   used by the Parallel Workloads Archive, so real traces such as
+//!   SDSC-SP2 or HPC2N can be loaded verbatim when available.
+//! * [`lublin`] — the Lublin–Feitelson synthetic workload model (JPDC 2003),
+//!   the model the paper uses to generate its Lublin-1 and Lublin-2 traces.
+//! * [`overestimate`] — a user request-time overestimation model, used to
+//!   synthesize realistic `Request Time` columns for trace presets standing
+//!   in for the archive traces (which are not redistributable here).
+//! * [`preset`] — the four calibrated trace presets of Table 2
+//!   (SDSC-SP2, HPC2N, Lublin-1, Lublin-2).
+//! * [`stats`] — trace statistics matching the columns of Table 2.
+//!
+//! # Quick example
+//!
+//! ```
+//! use swf::preset::TracePreset;
+//!
+//! let trace = TracePreset::Lublin1.generate(1_000, 42);
+//! assert_eq!(trace.jobs().len(), 1_000);
+//! let stats = trace.stats();
+//! assert!(stats.mean_interarrival > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod job;
+pub mod lublin;
+pub mod overestimate;
+pub mod parse;
+pub mod preset;
+pub mod stats;
+pub mod trace;
+
+pub use job::Job;
+pub use preset::TracePreset;
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,187 @@
+//! User request-time overestimation model.
+//!
+//! Real users pad their runtime estimates heavily because jobs exceeding the
+//! request are killed (paper §1; Lee et al. 2005; Tsafrir et al. 2007 found
+//! estimates are also "round" values like 15 min or 4 h). We model a user
+//! request as:
+//!
+//! 1. With probability [`OverestimateModel::exact_prob`], a tight estimate
+//!    (uniform padding of at most 10%).
+//! 2. Otherwise, a multiplicative padding factor `1 + Exp(mean_factor − 1)`
+//!    — a long-tailed overestimate.
+//! 3. The raw request is then rounded **up** to the next "round" wall-clock
+//!    value (multiples of 15 minutes, with a 5-minute floor) and capped.
+//!
+//! The request is always at least the actual runtime, so simulated jobs are
+//! never killed — matching how completed jobs appear in archive traces.
+
+use crate::job::Job;
+use crate::trace::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+/// Granularity users round wall-times to (15 minutes).
+pub const ROUND_STEP_SECS: f64 = 900.0;
+/// Smallest request users bother specifying (5 minutes).
+pub const MIN_REQUEST_SECS: f64 = 300.0;
+
+/// A stochastic model turning actual runtimes into user request times.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OverestimateModel {
+    /// Probability that a user supplies a near-exact estimate.
+    pub exact_prob: f64,
+    /// Mean multiplicative padding factor for non-exact users (≥ 1).
+    pub mean_factor: f64,
+    /// Hard cap on request times (e.g. the queue's wall-clock limit).
+    pub cap: f64,
+}
+
+impl OverestimateModel {
+    /// A model with a given mean padding factor and a 48-hour cap.
+    pub fn with_mean_factor(mean_factor: f64) -> Self {
+        Self {
+            exact_prob: 0.15,
+            mean_factor: mean_factor.max(1.0),
+            cap: 48.0 * 3600.0,
+        }
+    }
+
+    /// Draws a request time for a job with the given actual runtime.
+    pub fn request_time<R: Rng + ?Sized>(&self, runtime: f64, rng: &mut R) -> f64 {
+        let raw = if rng.random_bool(self.exact_prob.clamp(0.0, 1.0)) {
+            runtime * rng.random_range(1.0..1.1)
+        } else {
+            let extra = (self.mean_factor - 1.0).max(1e-9);
+            let exp = Exp::new(1.0 / extra).expect("rate is positive");
+            runtime * (1.0 + exp.sample(rng))
+        };
+        let rounded = (raw / ROUND_STEP_SECS).ceil() * ROUND_STEP_SECS;
+        rounded.max(MIN_REQUEST_SECS).min(self.cap).max(runtime)
+    }
+
+    /// Applies the model to a whole trace, deterministically per seed.
+    pub fn apply(&self, trace: &Trace, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let jobs = trace
+            .jobs()
+            .iter()
+            .map(|j| Job {
+                request_time: self.request_time(j.runtime, &mut rng),
+                ..*j
+            })
+            .collect();
+        Trace::new(trace.name(), trace.cluster_procs(), jobs)
+    }
+
+    /// Calibrates `mean_factor` by bisection so that applying the model to
+    /// `trace` yields the target mean request time (e.g. the `rt` column of
+    /// Table 2). Rounding makes the relationship only piecewise-monotone, so
+    /// the result is approximate; the returned model's achieved mean is
+    /// within a few percent for realistic targets.
+    pub fn calibrated_for(trace: &Trace, target_mean_request: f64) -> Self {
+        let mean_request = |m: &Self| -> f64 {
+            let t = m.apply(trace, 0xca11_b8a7e);
+            t.stats().mean_request_time
+        };
+        let (mut lo, mut hi) = (1.0, 64.0);
+        let mut model = Self::with_mean_factor(1.0);
+        if mean_request(&{
+            let mut m = model;
+            m.mean_factor = hi;
+            m
+        }) < target_mean_request
+        {
+            model.mean_factor = hi;
+            return model;
+        }
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            model.mean_factor = mid;
+            if mean_request(&model) < target_mean_request {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        model.mean_factor = 0.5 * (lo + hi);
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lublin::LublinModel;
+
+    #[test]
+    fn request_never_below_runtime() {
+        let m = OverestimateModel::with_mean_factor(3.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 1..2000u32 {
+            let runtime = i as f64 * 37.0;
+            assert!(m.request_time(runtime, &mut rng) >= runtime);
+        }
+    }
+
+    #[test]
+    fn requests_are_round_values_when_uncapped() {
+        let m = OverestimateModel::with_mean_factor(2.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let r = m.request_time(1000.0, &mut rng);
+            assert!(
+                (r / ROUND_STEP_SECS).fract().abs() < 1e-9 || r == m.cap,
+                "request {r} is not a round value"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_is_respected_for_padding() {
+        let mut m = OverestimateModel::with_mean_factor(50.0);
+        m.cap = 3600.0;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            // runtime below cap: padding must not exceed the cap
+            assert!(m.request_time(1800.0, &mut rng) <= 3600.0);
+        }
+        // runtime above cap: the runtime floor wins (job completed, so the
+        // trace implies the request covered it)
+        assert!(m.request_time(7200.0, &mut rng) >= 7200.0);
+    }
+
+    #[test]
+    fn calibration_hits_target_mean() {
+        let lublin = LublinModel::calibrated(128, 800.0, 2500.0, 10.0);
+        let trace = lublin.generate(4000, 11);
+        let target = 6687.0;
+        let model = OverestimateModel::calibrated_for(&trace, target);
+        let achieved = model.apply(&trace, 77).stats().mean_request_time;
+        assert!(
+            (achieved - target).abs() / target < 0.10,
+            "achieved mean request {achieved} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let lublin = LublinModel::calibrated(64, 500.0, 1500.0, 8.0);
+        let trace = lublin.generate(300, 5);
+        let m = OverestimateModel::with_mean_factor(3.0);
+        assert_eq!(m.apply(&trace, 9).jobs(), m.apply(&trace, 9).jobs());
+        assert_ne!(m.apply(&trace, 9).jobs(), m.apply(&trace, 10).jobs());
+    }
+
+    #[test]
+    fn apply_preserves_everything_but_request() {
+        let lublin = LublinModel::calibrated(64, 500.0, 1500.0, 8.0);
+        let trace = lublin.generate(300, 5);
+        let m = OverestimateModel::with_mean_factor(3.0);
+        let out = m.apply(&trace, 9);
+        for (a, b) in trace.jobs().iter().zip(out.jobs()) {
+            assert_eq!((a.id, a.submit, a.procs, a.runtime), (b.id, b.submit, b.procs, b.runtime));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The four trace presets of Table 2.
+//!
+//! The Parallel Workloads Archive traces (SDSC-SP2, HPC2N) cannot be
+//! redistributed with this reproduction, so `SdscSp2` and `Hpc2n` are
+//! **calibrated synthetic stand-ins**: Lublin-model workloads whose cluster
+//! size, mean inter-arrival time, mean requested runtime and mean requested
+//! processors match the Table 2 statistics, with a user overestimation model
+//! on top (the archive traces carry real user estimates; the Lublin traces
+//! in the paper have none). `Lublin1` and `Lublin2` are generated exactly as
+//! in the paper: straight from the Lublin model, actual runtimes only.
+//!
+//! Real archive files, when available, can be loaded with
+//! [`crate::parse::parse_swf_file`] and used everywhere a preset trace is.
+
+use crate::lublin::LublinModel;
+use crate::overestimate::OverestimateModel;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Targets from Table 2 of the paper (plus calibration extras we chose;
+/// see the module docs of [`crate::preset`] for rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Targets {
+    /// Cluster processor count (`size`).
+    pub cluster_procs: u32,
+    /// Mean inter-arrival time in seconds (`it`).
+    pub mean_interarrival: f64,
+    /// Mean *requested* runtime in seconds (`rt`).
+    pub mean_request_time: f64,
+    /// Mean requested processors (`nt`).
+    pub mean_procs: f64,
+    /// Whether the trace carries genuine user estimates (real traces) or
+    /// only actual runtimes (synthetic traces, paper §4.1.2).
+    pub has_user_estimates: bool,
+    /// Mean *actual* runtime used for calibration. Table 2 only reports the
+    /// requested mean for real traces; we pick an actual mean below it so
+    /// the overestimation gap the paper studies exists (see DESIGN.md).
+    pub mean_runtime: f64,
+    /// Gamma shape of inter-arrival gaps. Real archive traces are far
+    /// burstier (CV ≈ 2) than the synthetic Lublin traces; burstiness
+    /// drives the transient congestion that makes backfilling matter.
+    pub arrival_shape: f64,
+}
+
+/// The four job traces of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TracePreset {
+    /// SDSC-SP2 (1998): 128 processors, bursty, heavy overestimation.
+    SdscSp2,
+    /// HPC2N (2002): 240 processors, small jobs, extreme overestimation.
+    Hpc2n,
+    /// Lublin-1: 256 processors, medium jobs (paper's synthetic trace 1).
+    Lublin1,
+    /// Lublin-2: 256 processors, wide short jobs (paper's synthetic trace 2).
+    Lublin2,
+}
+
+impl TracePreset {
+    /// All four presets, in Table 2 order.
+    pub const ALL: [TracePreset; 4] = [
+        TracePreset::SdscSp2,
+        TracePreset::Hpc2n,
+        TracePreset::Lublin1,
+        TracePreset::Lublin2,
+    ];
+
+    /// The preset's name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TracePreset::SdscSp2 => "SDSC-SP2",
+            TracePreset::Hpc2n => "HPC2N",
+            TracePreset::Lublin1 => "Lublin-1",
+            TracePreset::Lublin2 => "Lublin-2",
+        }
+    }
+
+    /// Table 2 statistics this preset is calibrated against.
+    pub fn targets(&self) -> Table2Targets {
+        match self {
+            TracePreset::SdscSp2 => Table2Targets {
+                cluster_procs: 128,
+                mean_interarrival: 1055.0,
+                mean_request_time: 6687.0,
+                mean_procs: 11.0,
+                has_user_estimates: true,
+                mean_runtime: 5500.0,
+                arrival_shape: 0.25,
+            },
+            TracePreset::Hpc2n => Table2Targets {
+                cluster_procs: 240,
+                mean_interarrival: 538.0,
+                mean_request_time: 17024.0,
+                mean_procs: 6.0,
+                has_user_estimates: true,
+                mean_runtime: 9000.0,
+                arrival_shape: 0.25,
+            },
+            TracePreset::Lublin1 => Table2Targets {
+                cluster_procs: 256,
+                mean_interarrival: 771.0,
+                mean_request_time: 4862.0,
+                mean_procs: 22.0,
+                has_user_estimates: false,
+                mean_runtime: 4862.0,
+                arrival_shape: 0.5,
+            },
+            TracePreset::Lublin2 => Table2Targets {
+                cluster_procs: 256,
+                mean_interarrival: 460.0,
+                mean_request_time: 1695.0,
+                mean_procs: 39.0,
+                has_user_estimates: false,
+                mean_runtime: 1695.0,
+                arrival_shape: 0.5,
+            },
+        }
+    }
+
+    /// The calibrated Lublin model underlying this preset.
+    pub fn model(&self) -> LublinModel {
+        let t = self.targets();
+        let mut template = LublinModel::with_shapes(t.cluster_procs);
+        template.arrival_shape = t.arrival_shape;
+        LublinModel::calibrated_from(
+            template,
+            t.mean_interarrival,
+            t.mean_runtime,
+            t.mean_procs,
+        )
+    }
+
+    /// Generates `n` jobs deterministically from `seed`.
+    ///
+    /// For the real-trace stand-ins the request-time column is synthesized
+    /// with an [`OverestimateModel`] calibrated to the Table 2 `rt` mean;
+    /// for the Lublin presets the request equals the actual runtime (the
+    /// paper's synthetic traces have no user estimates).
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        let t = self.targets();
+        let base = self.model().generate(n, seed);
+        let base = Trace::new(self.name(), t.cluster_procs, base.jobs().to_vec());
+        if !t.has_user_estimates {
+            return base;
+        }
+        let over = OverestimateModel::calibrated_for(&base, t.mean_request_time);
+        over.apply(&base, seed ^ 0x0e5e_7172a7e)
+    }
+}
+
+impl std::fmt::Display for TracePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TracePreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "sdscsp2" | "sdsc" => Ok(TracePreset::SdscSp2),
+            "hpc2n" => Ok(TracePreset::Hpc2n),
+            "lublin1" => Ok(TracePreset::Lublin1),
+            "lublin2" => Ok(TracePreset::Lublin2),
+            other => Err(format!(
+                "unknown trace preset {other:?} (expected sdsc-sp2, hpc2n, lublin-1 or lublin-2)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_hit_table2_statistics() {
+        for p in TracePreset::ALL {
+            let t = p.targets();
+            let s = p.generate(6000, 123).stats();
+            assert_eq!(s.cluster_procs, t.cluster_procs, "{p}: cluster size");
+            let rel = |a: f64, b: f64| (a - b).abs() / b;
+            assert!(
+                rel(s.mean_interarrival, t.mean_interarrival) < 0.15,
+                "{p}: it {} vs {}",
+                s.mean_interarrival,
+                t.mean_interarrival
+            );
+            assert!(
+                rel(s.mean_request_time, t.mean_request_time) < 0.15,
+                "{p}: rt {} vs {}",
+                s.mean_request_time,
+                t.mean_request_time
+            );
+            assert!(
+                rel(s.mean_procs, t.mean_procs) < 0.30,
+                "{p}: nt {} vs {}",
+                s.mean_procs,
+                t.mean_procs
+            );
+        }
+    }
+
+    #[test]
+    fn real_trace_standins_overestimate_synthetics_dont() {
+        let sdsc = TracePreset::SdscSp2.generate(1000, 1);
+        assert!(sdsc.jobs().iter().any(|j| j.request_time > j.runtime * 1.5));
+        let lublin = TracePreset::Lublin1.generate(1000, 1);
+        assert!(lublin.jobs().iter().all(|j| j.request_time == j.runtime));
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for p in TracePreset::ALL {
+            let parsed: TracePreset = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("mars-cluster".parse::<TracePreset>().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TracePreset::Hpc2n.generate(500, 42);
+        let b = TracePreset::Hpc2n.generate(500, 42);
+        assert_eq!(a.jobs(), b.jobs());
+    }
+}

@@ -1,0 +1,131 @@
+//! Trace summary statistics (the columns of Table 2 in the paper).
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a job trace, mirroring Table 2: cluster size,
+/// average inter-arrival time (`it`), average requested runtime (`rt`),
+/// and average requested processors (`nt`), plus actual-runtime aggregates
+/// used for calibration and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total processors in the cluster (`size` in Table 2).
+    pub cluster_procs: u32,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean inter-arrival time between consecutive submissions, seconds
+    /// (`it` in Table 2).
+    pub mean_interarrival: f64,
+    /// Mean user-requested runtime, seconds (`rt` in Table 2).
+    pub mean_request_time: f64,
+    /// Mean actual runtime, seconds.
+    pub mean_runtime: f64,
+    /// Mean requested processors (`nt` in Table 2).
+    pub mean_procs: f64,
+    /// Maximum requested processors across jobs.
+    pub max_procs: u32,
+    /// Total core-seconds of work (`sum procs * runtime`).
+    pub total_work: f64,
+    /// Offered load: total work divided by available capacity over the
+    /// trace's submission span. Values near or above 1 mean congestion.
+    pub offered_load: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace. An empty trace yields zeroed stats.
+    pub fn of(trace: &Trace) -> Self {
+        let jobs = trace.jobs();
+        let n = jobs.len();
+        if n == 0 {
+            return Self {
+                cluster_procs: trace.cluster_procs(),
+                jobs: 0,
+                mean_interarrival: 0.0,
+                mean_request_time: 0.0,
+                mean_runtime: 0.0,
+                mean_procs: 0.0,
+                max_procs: 0,
+                total_work: 0.0,
+                offered_load: 0.0,
+            };
+        }
+        let span = (jobs[n - 1].submit - jobs[0].submit).max(1.0);
+        let mean_interarrival = if n > 1 { span / (n - 1) as f64 } else { 0.0 };
+        let mean_request_time = jobs.iter().map(|j| j.request_time).sum::<f64>() / n as f64;
+        let mean_runtime = jobs.iter().map(|j| j.runtime).sum::<f64>() / n as f64;
+        let mean_procs = jobs.iter().map(|j| j.procs as f64).sum::<f64>() / n as f64;
+        let max_procs = jobs.iter().map(|j| j.procs).max().unwrap_or(0);
+        let total_work: f64 = jobs.iter().map(|j| j.procs as f64 * j.runtime).sum();
+        let offered_load = total_work / (trace.cluster_procs() as f64 * span);
+        Self {
+            cluster_procs: trace.cluster_procs(),
+            jobs: n,
+            mean_interarrival,
+            mean_request_time,
+            mean_runtime,
+            mean_procs,
+            max_procs,
+            total_work,
+            offered_load,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "size={} jobs={} it={:.0}s rt={:.0}s ar={:.0}s nt={:.1} load={:.2}",
+            self.cluster_procs,
+            self.jobs,
+            self.mean_interarrival,
+            self.mean_request_time,
+            self.mean_runtime,
+            self.mean_procs,
+            self.offered_load
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let t = Trace::new("e", 8, vec![]);
+        let s = t.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_runtime, 0.0);
+    }
+
+    #[test]
+    fn stats_means_match_hand_computation() {
+        let t = Trace::new(
+            "t",
+            10,
+            vec![
+                Job::new(0, 0.0, 2, 100.0, 50.0),
+                Job::new(1, 30.0, 4, 200.0, 150.0),
+                Job::new(2, 60.0, 6, 300.0, 250.0),
+            ],
+        );
+        let s = t.stats();
+        assert_eq!(s.jobs, 3);
+        assert!((s.mean_interarrival - 30.0).abs() < 1e-9);
+        assert!((s.mean_request_time - 200.0).abs() < 1e-9);
+        assert!((s.mean_runtime - 150.0).abs() < 1e-9);
+        assert!((s.mean_procs - 4.0).abs() < 1e-9);
+        assert_eq!(s.max_procs, 6);
+        // work = 2*50 + 4*150 + 6*250 = 2200, span = 60, capacity = 600
+        assert!((s.total_work - 2200.0).abs() < 1e-9);
+        assert!((s.offered_load - 2200.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_job_has_zero_interarrival() {
+        let t = Trace::new("t", 10, vec![Job::new(0, 5.0, 1, 10.0, 10.0)]);
+        assert_eq!(t.stats().mean_interarrival, 0.0);
+    }
+}

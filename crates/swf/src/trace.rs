@@ -1,0 +1,188 @@
+//! A job trace: an ordered job sequence plus the cluster it ran on.
+
+use crate::job::Job;
+use crate::stats::TraceStats;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of jobs together with the size of the cluster
+/// (total processor count) the trace targets.
+///
+/// Invariant: jobs are sorted by `submit` time (ties broken by id) and every
+/// job fits the cluster (`procs <= cluster_procs`). [`Trace::new`] enforces
+/// both, mirroring the sanitation every SWF consumer performs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    cluster_procs: u32,
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting jobs by submission time and dropping jobs
+    /// larger than the cluster (real archive traces contain a handful of
+    /// such unrunnable records; keeping them would deadlock any simulator).
+    pub fn new(name: impl Into<String>, cluster_procs: u32, mut jobs: Vec<Job>) -> Self {
+        assert!(cluster_procs > 0, "cluster must have at least one processor");
+        jobs.retain(|j| j.procs <= cluster_procs);
+        jobs.sort_by(|a, b| {
+            a.submit
+                .partial_cmp(&b.submit)
+                .expect("job submit times must not be NaN")
+                .then(a.id.cmp(&b.id))
+        });
+        Self {
+            name: name.into(),
+            cluster_procs,
+            jobs,
+        }
+    }
+
+    /// Trace name (e.g. `"SDSC-SP2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of processors in the (homogeneous) cluster.
+    pub fn cluster_procs(&self) -> u32 {
+        self.cluster_procs
+    }
+
+    /// The jobs, sorted by submission time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs in the trace.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The first `n` jobs as a new trace (the paper evaluates on the first
+    /// 10K jobs of each archive trace).
+    pub fn first_n(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            cluster_procs: self.cluster_procs,
+            jobs: self.jobs.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Samples a contiguous window of `len` jobs starting at a random
+    /// offset, re-basing submission times so the window starts at 0 while
+    /// keeping relative arrival gaps — exactly how the paper samples
+    /// 256-job training sequences and 1024-job evaluation sequences.
+    ///
+    /// Returns the whole trace (re-based) if it is shorter than `len`.
+    pub fn sample_window<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Trace {
+        let start = if self.jobs.len() > len {
+            rng.random_range(0..=self.jobs.len() - len)
+        } else {
+            0
+        };
+        self.window(start, len)
+    }
+
+    /// The deterministic window `[start, start+len)`, re-based to time 0.
+    pub fn window(&self, start: usize, len: usize) -> Trace {
+        let slice = &self.jobs[start.min(self.jobs.len())..];
+        let slice = &slice[..len.min(slice.len())];
+        let base = slice.first().map(|j| j.submit).unwrap_or(0.0);
+        let jobs = slice
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Job {
+                id: i,
+                submit: j.submit - base,
+                ..*j
+            })
+            .collect();
+        Trace {
+            name: self.name.clone(),
+            cluster_procs: self.cluster_procs,
+            jobs,
+        }
+    }
+
+    /// Summary statistics in the format of Table 2 of the paper.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mk_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job::new(i, (i as f64) * 10.0, 2, 100.0, 50.0))
+            .collect()
+    }
+
+    #[test]
+    fn new_sorts_by_submit() {
+        let mut jobs = mk_jobs(5);
+        jobs.reverse();
+        let t = Trace::new("t", 16, jobs);
+        for w in t.jobs().windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    fn new_drops_oversized_jobs() {
+        let mut jobs = mk_jobs(3);
+        jobs.push(Job::new(99, 5.0, 1000, 10.0, 10.0));
+        let t = Trace::new("t", 16, jobs);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn window_rebases_times_and_ids() {
+        let t = Trace::new("t", 16, mk_jobs(10));
+        let w = t.window(4, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.jobs()[0].submit, 0.0);
+        assert_eq!(w.jobs()[0].id, 0);
+        assert_eq!(w.jobs()[2].submit, 20.0);
+    }
+
+    #[test]
+    fn window_past_end_is_truncated() {
+        let t = Trace::new("t", 16, mk_jobs(10));
+        assert_eq!(t.window(8, 5).len(), 2);
+        assert_eq!(t.window(20, 5).len(), 0);
+    }
+
+    #[test]
+    fn sample_window_has_requested_len() {
+        let t = Trace::new("t", 16, mk_jobs(100));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let w = t.sample_window(32, &mut rng);
+            assert_eq!(w.len(), 32);
+            assert_eq!(w.jobs()[0].submit, 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_window_short_trace_returns_all() {
+        let t = Trace::new("t", 16, mk_jobs(5));
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(t.sample_window(32, &mut rng).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_proc_cluster_panics() {
+        let _ = Trace::new("t", 0, vec![]);
+    }
+}

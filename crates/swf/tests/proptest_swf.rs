@@ -1,0 +1,115 @@
+//! Property tests for the workload substrate: SWF round-trips, generator
+//! bounds, and the overestimation model's contract.
+
+use proptest::prelude::*;
+use swf::lublin::LublinModel;
+use swf::overestimate::OverestimateModel;
+use swf::{Job, Trace};
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(
+        (0.0f64..1e7, 1u32..=256, 1.0f64..1e5, 1.0f64..4.0),
+        1..200,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, procs, runtime, over))| {
+                Job::new(i, submit, procs, runtime * over, runtime)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Writing a trace as SWF and parsing it back preserves every job.
+    #[test]
+    fn swf_round_trip(jobs in arb_jobs()) {
+        let trace = Trace::new("rt", 256, jobs);
+        let mut buf = Vec::new();
+        swf::parse::write_swf(&trace, &mut buf).unwrap();
+        let back = swf::parse::parse_swf(std::io::Cursor::new(buf))
+            .unwrap()
+            .into_trace("rt");
+        prop_assert_eq!(back.cluster_procs(), trace.cluster_procs());
+        prop_assert_eq!(back.jobs().len(), trace.jobs().len());
+        for (a, b) in trace.jobs().iter().zip(back.jobs()) {
+            prop_assert_eq!(a.procs, b.procs);
+            prop_assert!((a.submit - b.submit).abs() < 1e-9);
+            prop_assert!((a.runtime - b.runtime).abs() < 1e-9);
+            prop_assert!((a.request_time - b.request_time).abs() < 1e-9);
+        }
+    }
+
+    /// Traces are always sorted by submission and fit the cluster.
+    #[test]
+    fn trace_invariants(jobs in arb_jobs(), cluster in 1u32..512) {
+        let trace = Trace::new("inv", cluster, jobs);
+        for w in trace.jobs().windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+        for j in trace.jobs() {
+            prop_assert!(j.procs <= cluster);
+            prop_assert!(j.runtime >= 1.0);
+            prop_assert!(j.request_time >= j.runtime);
+        }
+    }
+
+    /// Window sampling preserves relative gaps and rebases to zero.
+    #[test]
+    fn window_preserves_gaps(jobs in arb_jobs(), start in 0usize..100, len in 1usize..50) {
+        let trace = Trace::new("w", 256, jobs);
+        let w = trace.window(start, len);
+        if !w.is_empty() {
+            prop_assert_eq!(w.jobs()[0].submit, 0.0);
+        }
+        let orig = &trace.jobs()[start.min(trace.len())..];
+        for (i, pair) in w.jobs().windows(2).enumerate() {
+            let gap_w = pair[1].submit - pair[0].submit;
+            let gap_o = orig[i + 1].submit - orig[i].submit;
+            prop_assert!((gap_w - gap_o).abs() < 1e-9);
+        }
+    }
+
+    /// The Lublin generator respects its own bounds for any calibration
+    /// target inside the valid domain.
+    #[test]
+    fn lublin_respects_bounds(
+        cluster_log2 in 3u32..9,
+        it in 50.0f64..5_000.0,
+        rt in 100.0f64..20_000.0,
+        nt_frac in 0.02f64..0.5,
+    ) {
+        let cluster = 1u32 << cluster_log2;
+        let nt = (cluster as f64 * nt_frac).max(1.0);
+        let model = LublinModel::calibrated(cluster, it, rt, nt);
+        let trace = model.generate(300, 5);
+        prop_assert_eq!(trace.len(), 300);
+        for j in trace.jobs() {
+            prop_assert!(j.procs >= 1 && j.procs <= cluster);
+            prop_assert!(j.runtime >= 1.0 && j.runtime <= model.max_runtime);
+        }
+        let s = trace.stats();
+        prop_assert!(s.mean_interarrival > 0.0);
+    }
+
+    /// The overestimation model never requests less than the runtime and
+    /// respects its cap (up to the runtime floor).
+    #[test]
+    fn overestimate_contract(
+        runtime in 1.0f64..200_000.0,
+        mean_factor in 1.0f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let m = OverestimateModel::with_mean_factor(mean_factor);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let r = m.request_time(runtime, &mut rng);
+            prop_assert!(r >= runtime);
+            prop_assert!(r <= m.cap.max(runtime));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the neural-network substrate: distribution
+//! invariants over arbitrary logits/masks and linear-algebra identities.
+
+use proptest::prelude::*;
+use tinynn::{masked_log_softmax, masked_softmax, MaskedCategorical, Matrix};
+
+fn arb_logits_and_mask() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    (1usize..32).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50.0f64..50.0, n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(logits, mut mask)| {
+                if !mask.iter().any(|&m| m) {
+                    mask[0] = true; // at least one valid slot
+                }
+                (logits, mask)
+            })
+    })
+}
+
+proptest! {
+    /// Masked softmax: sums to 1, zero exactly on masked slots, and the
+    /// log version exponentiates consistently.
+    #[test]
+    fn masked_softmax_is_a_distribution((logits, mask) in arb_logits_and_mask()) {
+        let p = masked_softmax(&logits, &mask);
+        let lp = masked_log_softmax(&logits, &mask);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 0..p.len() {
+            if mask[i] {
+                prop_assert!(p[i] > 0.0);
+                prop_assert!((p[i] - lp[i].exp()).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(p[i], 0.0);
+                prop_assert!(lp[i].is_infinite() && lp[i] < 0.0);
+            }
+        }
+    }
+
+    /// Softmax is shift-invariant: adding a constant to all logits does
+    /// not change the distribution.
+    #[test]
+    fn softmax_shift_invariance((logits, mask) in arb_logits_and_mask(), shift in -100.0f64..100.0) {
+        let p = masked_softmax(&logits, &mask);
+        let shifted: Vec<f64> = logits.iter().map(|l| l + shift).collect();
+        let q = masked_softmax(&shifted, &mask);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// argmax and samples always land on valid slots; entropy is within
+    /// [0, ln(valid_count)].
+    #[test]
+    fn categorical_respects_masks((logits, mask) in arb_logits_and_mask(), seed in 0u64..500) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let d = MaskedCategorical::new(&logits, &mask);
+        prop_assert!(mask[d.argmax()]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert!(mask[d.sample(&mut rng)]);
+        }
+        let valid = mask.iter().filter(|&&m| m).count() as f64;
+        prop_assert!(d.entropy() >= -1e-12);
+        prop_assert!(d.entropy() <= valid.ln() + 1e-9);
+    }
+
+    /// Matrix transpose is an involution and matmul is associative.
+    #[test]
+    fn matmul_associativity(
+        a in proptest::collection::vec(-2.0f64..2.0, 6),
+        b in proptest::collection::vec(-2.0f64..2.0, 12),
+        c in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 4, b);
+        let mc = Matrix::from_vec(4, 2, c);
+        prop_assert_eq!(ma.transpose().transpose(), ma.clone());
+        let left = ma.matmul(&mb).matmul(&mc);
+        let right = ma.matmul(&mb.matmul(&mc));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// `(A·B)ᵀ = Bᵀ·Aᵀ`.
+    #[test]
+    fn matmul_transpose_identity(
+        a in proptest::collection::vec(-2.0f64..2.0, 6),
+        b in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 4, b);
+        let lhs = ma.matmul(&mb).transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

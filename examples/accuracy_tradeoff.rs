@@ -1,0 +1,60 @@
+//! The paper's motivating experiment (Figure 1/2), in miniature: better
+//! runtime predictions do not monotonically improve EASY backfilling.
+//!
+//! ```text
+//! cargo run --release --example accuracy_tradeoff
+//! ```
+
+use hpcsim::prelude::*;
+use swf::TracePreset;
+
+fn main() {
+    let trace = TracePreset::SdscSp2.generate(3000, 11);
+    println!("workload: {}", trace.stats());
+    println!();
+    println!("EASY backfilling under increasingly accurate runtime predictions");
+    println!("(AR = actual runtime, the perfect prediction):");
+    println!();
+    println!("{:<8} {:>10} {:>8}", "policy", "estimator", "bsld");
+
+    for policy in [Policy::Fcfs, Policy::Sjf] {
+        let cases: Vec<(String, RuntimeEstimator)> = vec![
+            ("request".into(), RuntimeEstimator::RequestTime),
+            (
+                "+100%".into(),
+                RuntimeEstimator::NoisyActual {
+                    max_over_frac: 1.0,
+                    seed: 3,
+                },
+            ),
+            (
+                "+40%".into(),
+                RuntimeEstimator::NoisyActual {
+                    max_over_frac: 0.4,
+                    seed: 3,
+                },
+            ),
+            (
+                "+20%".into(),
+                RuntimeEstimator::NoisyActual {
+                    max_over_frac: 0.2,
+                    seed: 3,
+                },
+            ),
+            ("AR".into(), RuntimeEstimator::ActualRuntime),
+        ];
+        for (label, est) in cases {
+            let r = run_scheduler(&trace, policy, Backfill::Easy(est));
+            println!(
+                "{:<8} {:>10} {:>8.2}",
+                policy.name(),
+                label,
+                r.metrics.mean_bounded_slowdown
+            );
+        }
+        println!();
+    }
+    println!("If a noisy row beats the AR row, you are looking at the trade-off");
+    println!("of Figure 2: a tighter estimate starts the reserved job earlier but");
+    println!("shrinks the backfilling window.");
+}

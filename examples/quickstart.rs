@@ -1,0 +1,56 @@
+//! Quickstart: generate a workload, schedule it three ways, compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hpcsim::prelude::*;
+use swf::TracePreset;
+
+fn main() {
+    // 1. Generate a 2000-job workload shaped like the SDSC-SP2 trace
+    //    (Table 2 of the paper). Any SWF file loads the same way via
+    //    `swf::parse::parse_swf_file(path)?.into_trace("name")`.
+    let trace = TracePreset::SdscSp2.generate(2000, 42);
+    let stats = trace.stats();
+    println!("workload: {} — {stats}", trace.name());
+    println!();
+
+    // 2. Schedule it under FCFS with three backfilling variants.
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "scheduler", "bsld", "mean wait", "util"
+    );
+    for (label, backfill) in [
+        ("FCFS (no backfilling)", Backfill::None),
+        ("FCFS+EASY (request time)", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        ("FCFS+EASY-AR (actual)", Backfill::Easy(RuntimeEstimator::ActualRuntime)),
+        (
+            "FCFS+Conservative",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ] {
+        let r = run_scheduler(&trace, Policy::Fcfs, backfill);
+        println!(
+            "{:<28} {:>10.2} {:>10.0}s {:>7.1}%",
+            label,
+            r.metrics.mean_bounded_slowdown,
+            r.metrics.mean_wait,
+            r.metrics.utilization * 100.0
+        );
+    }
+    println!();
+
+    // 3. The same comparison across all four base policies of Table 3.
+    println!("{:<8} {:>12} {:>12}", "policy", "EASY", "EASY-AR");
+    for policy in Policy::ALL {
+        let easy = run_scheduler(&trace, policy, Backfill::Easy(RuntimeEstimator::RequestTime));
+        let ar = run_scheduler(&trace, policy, Backfill::Easy(RuntimeEstimator::ActualRuntime));
+        println!(
+            "{:<8} {:>12.2} {:>12.2}",
+            policy.name(),
+            easy.metrics.mean_bounded_slowdown,
+            ar.metrics.mean_bounded_slowdown
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Train an RLBackfilling agent and compare it against EASY baselines.
+//!
+//! ```text
+//! cargo run --release --example train_rlbackfill -- [trace] [epochs]
+//! # e.g. cargo run --release --example train_rlbackfill -- lublin-2 20
+//! ```
+//!
+//! Defaults to a reduced budget so it finishes in a couple of minutes;
+//! paper-scale training (hundreds of epochs, 100×256-job trajectories,
+//! MAX_OBSV_SIZE=128) is a matter of raising the knobs.
+
+use hpcsim::{Backfill, Policy, RuntimeEstimator};
+use rlbf::prelude::*;
+use rlbf::ObsConfig;
+use swf::TracePreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let preset: TracePreset = args
+        .get(1)
+        .map(|s| s.parse().expect("bad trace name"))
+        .unwrap_or(TracePreset::Lublin2);
+    let epochs: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("bad epoch count"))
+        .unwrap_or(15);
+
+    let trace = preset.generate(4000, 7);
+    println!("training on {} ({} jobs): {}", preset, trace.len(), trace.stats());
+
+    let obs = ObsConfig { max_obsv_size: 64 };
+    let cfg = TrainConfig {
+        base_policy: Policy::Fcfs,
+        epochs,
+        traj_per_epoch: 24,
+        jobs_per_traj: 256,
+        env: EnvConfig {
+            obs,
+            ..EnvConfig::default()
+        },
+        net: NetConfig {
+            obs,
+            ..NetConfig::default()
+        },
+        seed: 1,
+        ..TrainConfig::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    let result = train(&trace, cfg);
+    println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+    println!("\nepoch  bsld(train)  return  kl      viol");
+    for e in &result.history {
+        println!(
+            "{:>5}  {:>11.2} {:>7.3}  {:.4}  {:>4}",
+            e.epoch, e.mean_bsld, e.mean_return, e.update.approx_kl, e.violations
+        );
+    }
+
+    // Evaluate on held-out windows, against the heuristics, on the SAME
+    // windows (the paper's 10×1024 protocol, shrunk by default).
+    let agent = RlbfAgent::from_training(&result, preset.name());
+    let (samples, window) = (10, 1024);
+    let eval_seed = 1234;
+    let rlbf = agent.evaluate(&trace, Policy::Fcfs, samples, window, eval_seed);
+    let easy = evaluate_heuristic(
+        &trace,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+        samples,
+        window,
+        eval_seed,
+    );
+    let easy_ar = evaluate_heuristic(
+        &trace,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        samples,
+        window,
+        eval_seed,
+    );
+    println!("\nevaluation ({samples} windows x {window} jobs, FCFS base):");
+    println!("  FCFS+EASY     {easy:>8.2}");
+    println!("  FCFS+EASY-AR  {easy_ar:>8.2}");
+    println!("  FCFS+RLBF     {rlbf:>8.2}");
+}

@@ -1,0 +1,122 @@
+//! End-to-end integration tests: the full paper pipeline — generate a
+//! workload, train RLBackfilling, evaluate it against the heuristics on
+//! shared evaluation windows.
+
+use hpcsim::prelude::*;
+use rlbf::prelude::*;
+use rlbf::ObsConfig;
+use swf::TracePreset;
+
+fn tiny_train_config(base: Policy, seed: u64) -> TrainConfig {
+    let obs = ObsConfig { max_obsv_size: 32 };
+    TrainConfig {
+        base_policy: base,
+        epochs: 2,
+        traj_per_epoch: 6,
+        jobs_per_traj: 128,
+        env: EnvConfig {
+            obs,
+            ..EnvConfig::default()
+        },
+        net: NetConfig {
+            obs,
+            policy_hidden: vec![16, 8],
+            value_hidden: vec![16, 8],
+            ..NetConfig::default()
+        },
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn trained_agent_is_competitive_with_easy_after_warm_start() {
+    // The imitation warm-start alone must put the agent in EASY's league
+    // (within 25% on a synthetic trace where EASY has exact estimates) —
+    // this is the precondition for PPO to improve from there.
+    let trace = TracePreset::Lublin2.generate(2500, 77);
+    let result = train(&trace, tiny_train_config(Policy::Fcfs, 3));
+    let agent = RlbfAgent::from_training(&result, trace.name());
+
+    let (samples, window, seed) = (6, 512, 4242);
+    let rl = agent.evaluate(&trace, Policy::Fcfs, samples, window, seed);
+    let easy = evaluate_heuristic(
+        &trace,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+        samples,
+        window,
+        seed,
+    );
+    assert!(
+        rl <= easy * 1.25,
+        "agent bsld {rl:.2} too far above EASY {easy:.2}"
+    );
+}
+
+#[test]
+fn training_beats_skipping_everything() {
+    // A trained agent must clearly outperform the strategy of declining
+    // every backfilling opportunity (no-backfill), which is the failure
+    // mode a broken reward would collapse into.
+    let trace = TracePreset::Lublin2.generate(2500, 78);
+    let result = train(&trace, tiny_train_config(Policy::Fcfs, 5));
+    let agent = RlbfAgent::from_training(&result, trace.name());
+
+    let (samples, window, seed) = (6, 512, 1717);
+    let rl = agent.evaluate(&trace, Policy::Fcfs, samples, window, seed);
+    let none = evaluate_heuristic(&trace, Policy::Fcfs, Backfill::None, samples, window, seed);
+    assert!(
+        rl < none * 0.8,
+        "agent bsld {rl:.2} should beat no-backfill {none:.2} by a wide margin"
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let trace = TracePreset::Lublin1.generate(1500, 79);
+    let a = train(&trace, tiny_train_config(Policy::Fcfs, 9));
+    let b = train(&trace, tiny_train_config(Policy::Fcfs, 9));
+    assert_eq!(a.ac.to_json(), b.ac.to_json(), "training must be reproducible");
+    let agent_a = RlbfAgent::from_training(&a, "x");
+    let agent_b = RlbfAgent::from_training(&b, "x");
+    assert_eq!(
+        agent_a.evaluate(&trace, Policy::Fcfs, 3, 256, 5),
+        agent_b.evaluate(&trace, Policy::Fcfs, 3, 256, 5)
+    );
+}
+
+#[test]
+fn agent_transfers_across_traces_and_policies() {
+    // Table 5's protocol in miniature: an agent trained on Lublin-2 with
+    // FCFS must schedule SDSC-SP2 under SJF without errors and produce a
+    // sane schedule.
+    let train_trace = TracePreset::Lublin2.generate(1500, 80);
+    let result = train(&train_trace, tiny_train_config(Policy::Fcfs, 11));
+    let agent = RlbfAgent::from_training(&result, train_trace.name());
+
+    let eval_trace = TracePreset::SdscSp2.generate(1000, 81);
+    let m = agent.schedule(&eval_trace.window(0, 400), Policy::Sjf);
+    assert_eq!(m.jobs, 400);
+    assert!(m.mean_bounded_slowdown >= 1.0 && m.mean_bounded_slowdown.is_finite());
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_evaluation() {
+    let trace = TracePreset::Hpc2n.generate(1200, 82);
+    let result = train(&trace, tiny_train_config(Policy::Sjf, 13));
+    let agent = RlbfAgent::from_training(&result, trace.name());
+
+    let dir = std::env::temp_dir().join("rlbf_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    agent.save(&path).unwrap();
+    let restored = RlbfAgent::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let w = trace.window(100, 300);
+    assert_eq!(
+        agent.schedule(&w, Policy::Sjf).mean_bounded_slowdown,
+        restored.schedule(&w, Policy::Sjf).mean_bounded_slowdown
+    );
+}

