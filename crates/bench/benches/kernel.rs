@@ -1,0 +1,142 @@
+//! Criterion bench: `desim`-kernel simulator vs the seed cost model
+//! (reference engine + naive availability profile + seed pass logic),
+//! across trace sizes — the perf baseline future PRs regress against.
+//!
+//! The seed's conservative pass is `O(n³)`-ish and takes seconds per run
+//! at 10K jobs, so the heaviest seed cases are gated behind the `full`
+//! filter argument (`cargo bench -p bench --bench kernel -- full`); the
+//! committed headline numbers live in `results/bench_kernel.json`
+//! (emitted by `cargo run --release -p bench --bin speed_probe`).
+
+use bench::TRACE_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcsim::prelude::*;
+use hpcsim::reference::run_seed_scheduler;
+use std::hint::black_box;
+use swf::TracePreset;
+
+fn bench_easy_kernel_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("easy_lublin1");
+    for n in [1_000usize, 10_000] {
+        let trace = TracePreset::Lublin1.generate(n, TRACE_SEED);
+        group.bench_with_input(BenchmarkId::new("kernel", n), &trace, |b, t| {
+            b.iter(|| {
+                run_scheduler(
+                    black_box(t),
+                    Policy::Fcfs,
+                    Backfill::Easy(RuntimeEstimator::RequestTime),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seed", n), &trace, |b, t| {
+            b.iter(|| {
+                run_seed_scheduler(
+                    black_box(t),
+                    Policy::Fcfs,
+                    Backfill::Easy(RuntimeEstimator::RequestTime),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_easy_kernel_100k(c: &mut Criterion) {
+    // Kernel-only: a trace size the seed implementation could not sustain.
+    let trace = TracePreset::Lublin1.generate(100_000, TRACE_SEED);
+    let mut group = c.benchmark_group("easy_lublin1_large");
+    group.bench_function("kernel/100000", |b| {
+        b.iter(|| {
+            run_scheduler(
+                black_box(&trace),
+                Policy::Fcfs,
+                Backfill::Easy(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_conservative_kernel_vs_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conservative_lublin1");
+    let trace = TracePreset::Lublin1.generate(1_000, TRACE_SEED);
+    group.bench_with_input(BenchmarkId::new("kernel", 1_000), &trace, |b, t| {
+        b.iter(|| {
+            run_scheduler(
+                black_box(t),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("seed", 1_000), &trace, |b, t| {
+        b.iter(|| {
+            run_seed_scheduler(
+                black_box(t),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_replicated_experiments(c: &mut Criterion) {
+    // The workload the kernel unlocks: N independent replications of a
+    // whole experiment fanned out by desim's Replicator.
+    let trace = TracePreset::Lublin2.generate(2_000, TRACE_SEED);
+    c.bench_function("replicated_easy_8x1024", |b| {
+        let replicator = desim::Replicator::new(7);
+        b.iter(|| {
+            replicator.run(8, |_idx, seed| {
+                let windows = rlbf::sample_windows(black_box(&trace), 1, 1024, seed);
+                run_scheduler(
+                    &windows[0],
+                    Policy::Fcfs,
+                    Backfill::Easy(RuntimeEstimator::RequestTime),
+                )
+                .metrics
+                .mean_bounded_slowdown
+            })
+        })
+    });
+}
+
+fn bench_full_sizes(c: &mut Criterion) {
+    // Heavy cases (the seed conservative run takes ~5 s per iteration):
+    // only run when explicitly requested with `-- full`.
+    if !std::env::args().any(|a| a == "full") {
+        return;
+    }
+    let mut group = c.benchmark_group("full");
+    let trace = TracePreset::Lublin1.generate(10_000, TRACE_SEED);
+    group.bench_function("conservative_lublin1/kernel/10000", |b| {
+        b.iter(|| {
+            run_scheduler(
+                black_box(&trace),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.bench_function("conservative_lublin1/seed/10000", |b| {
+        b.iter(|| {
+            run_seed_scheduler(
+                black_box(&trace),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_easy_kernel_vs_seed,
+    bench_easy_kernel_100k,
+    bench_conservative_kernel_vs_seed,
+    bench_replicated_experiments,
+    bench_full_sizes,
+);
+criterion_main!(benches);

@@ -30,27 +30,25 @@ fn main() {
     println!("trace: {}", trace.stats());
 
     let noise_levels = [0.0, 0.05, 0.10, 0.20, 0.40, 1.00];
-    let estimators: Vec<(String, RuntimeEstimator)> = std::iter::once((
-        "request".to_string(),
-        RuntimeEstimator::RequestTime,
-    ))
-    .chain(noise_levels.iter().map(|&frac| {
-        let est = if frac == 0.0 {
-            RuntimeEstimator::ActualRuntime
-        } else {
-            RuntimeEstimator::NoisyActual {
-                max_over_frac: frac,
-                seed: 7,
-            }
-        };
-        let label = if frac == 0.0 {
-            "AR".to_string()
-        } else {
-            format!("+{:.0}%", frac * 100.0)
-        };
-        (label, est)
-    }))
-    .collect();
+    let estimators: Vec<(String, RuntimeEstimator)> =
+        std::iter::once(("request".to_string(), RuntimeEstimator::RequestTime))
+            .chain(noise_levels.iter().map(|&frac| {
+                let est = if frac == 0.0 {
+                    RuntimeEstimator::ActualRuntime
+                } else {
+                    RuntimeEstimator::NoisyActual {
+                        max_over_frac: frac,
+                        seed: 7,
+                    }
+                };
+                let label = if frac == 0.0 {
+                    "AR".to_string()
+                } else {
+                    format!("+{:.0}%", frac * 100.0)
+                };
+                (label, est)
+            }))
+            .collect();
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -73,7 +71,11 @@ fn main() {
     let mut header = vec!["policy"];
     let labels: Vec<&str> = estimators.iter().map(|(l, _)| l.as_str()).collect();
     header.extend(labels);
-    print_table("Figure 1 — bsld by prediction accuracy (EASY)", &header, &rows);
+    print_table(
+        "Figure 1 — bsld by prediction accuracy (EASY)",
+        &header,
+        &rows,
+    );
 
     // The paper's headline: at least one policy × noise level beats the
     // same policy with the oracle prediction.

@@ -1,0 +1,95 @@
+//! Kernel-vs-seed throughput probe. Prints a table and writes
+//! `results/bench_kernel.json` — the committed speedup numbers referenced
+//! by ARCHITECTURE.md and the PR notes.
+//!
+//! "seed" is the full seed cost model preserved in `hpcsim::reference`:
+//! linear-scan engine + naive availability profile + seed pass logic.
+//! Both sides realize identical schedules (pinned by the
+//! `event_equivalence` suite), so this measures engines, not algorithms.
+//!
+//! ```text
+//! cargo run --release -p bench --bin speed_probe            # quick sizes
+//! cargo run --release -p bench --bin speed_probe -- --full  # adds 100k
+//! ```
+
+use bench::write_json;
+use hpcsim::prelude::*;
+use hpcsim::reference::run_seed_scheduler;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    trace: String,
+    jobs: usize,
+    backfill: String,
+    kernel_ms: f64,
+    kernel_jobs_per_sec: f64,
+    /// `None` for sizes where the seed cost model is impractically slow.
+    seed_ms: Option<f64>,
+    seed_jobs_per_sec: Option<f64>,
+    speedup: Option<f64>,
+}
+
+fn time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let preset = swf::TracePreset::Lublin1;
+    let mut rows = Vec::new();
+
+    let cases: Vec<(usize, bool)> = if full {
+        vec![(1_000, true), (10_000, true), (100_000, false)]
+    } else {
+        vec![(1_000, true), (10_000, true)]
+    };
+
+    for &(n, seed_feasible) in &cases {
+        let trace = preset.generate(n, bench::TRACE_SEED);
+        let reps = (20_000 / n).clamp(1, 20);
+        for (label, bf) in [
+            ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
+            (
+                "CONS",
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            ),
+        ] {
+            let k = time(reps, || {
+                std::hint::black_box(run_scheduler(&trace, Policy::Fcfs, bf));
+            });
+            let s = seed_feasible.then(|| {
+                time(reps.min(3), || {
+                    std::hint::black_box(run_seed_scheduler(&trace, Policy::Fcfs, bf));
+                })
+            });
+            println!(
+                "{n:>7} jobs {label}  kernel {:>9.1} ms ({:>8.0} jobs/s)   seed {}   speedup {}",
+                k * 1e3,
+                n as f64 / k,
+                s.map_or("      (skipped)".into(), |s| format!(
+                    "{:>9.1} ms ({:>8.0} jobs/s)",
+                    s * 1e3,
+                    n as f64 / s
+                )),
+                s.map_or("    -".into(), |s| format!("{:>5.2}x", s / k)),
+            );
+            rows.push(Row {
+                trace: preset.name().to_string(),
+                jobs: n,
+                backfill: label.to_string(),
+                kernel_ms: k * 1e3,
+                kernel_jobs_per_sec: n as f64 / k,
+                seed_ms: s.map(|s| s * 1e3),
+                seed_jobs_per_sec: s.map(|s| n as f64 / s),
+                speedup: s.map(|s| s / k),
+            });
+        }
+    }
+    write_json("bench_kernel", &rows);
+}

@@ -40,8 +40,14 @@ fn main() {
         rows.push(vec![
             preset.name().to_string(),
             s.cluster_procs.to_string(),
-            format!("{:.0}/{:.0}", s.mean_interarrival, targets.mean_interarrival),
-            format!("{:.0}/{:.0}", s.mean_request_time, targets.mean_request_time),
+            format!(
+                "{:.0}/{:.0}",
+                s.mean_interarrival, targets.mean_interarrival
+            ),
+            format!(
+                "{:.0}/{:.0}",
+                s.mean_request_time, targets.mean_request_time
+            ),
             format!("{:.1}/{:.1}", s.mean_procs, targets.mean_procs),
             runtime_kind.to_string(),
             format!("{:.2}", s.offered_load),

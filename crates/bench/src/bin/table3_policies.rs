@@ -50,7 +50,14 @@ fn main() {
         p.sort_queue(&mut q, now);
         let order: Vec<String> = q
             .iter()
-            .map(|j| queue.iter().find(|(_, k)| k.id == j.id).unwrap().0.to_string())
+            .map(|j| {
+                queue
+                    .iter()
+                    .find(|(_, k)| k.id == j.id)
+                    .unwrap()
+                    .0
+                    .to_string()
+            })
             .collect();
         println!("{:<5} runs: {}", p.name(), order.join("  ->  "));
     }

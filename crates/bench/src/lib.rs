@@ -93,7 +93,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -142,9 +145,14 @@ mod tests {
         let f = Scale::from_args(["--full".to_string()].iter().cloned());
         assert_eq!(f.epochs, Scale::full().epochs);
         let custom = Scale::from_args(
-            ["--epochs".to_string(), "7".to_string(), "--samples".to_string(), "3".to_string()]
-                .iter()
-                .cloned(),
+            [
+                "--epochs".to_string(),
+                "7".to_string(),
+                "--samples".to_string(),
+                "3".to_string(),
+            ]
+            .iter()
+            .cloned(),
         );
         assert_eq!(custom.epochs, 7);
         assert_eq!(custom.eval_samples, 3);

@@ -1,0 +1,63 @@
+//! `desim` — a small, generic discrete-event simulation kernel.
+//!
+//! The crate grew out of the `hpcsim` port (see `ARCHITECTURE.md`): the
+//! cluster simulator used to advance time by linearly scanning job vectors
+//! for the next arrival/completion, which capped trace sizes and PPO
+//! rollout throughput. This kernel factors the event-driven core out into
+//! a reusable, workload-agnostic library:
+//!
+//! * [`SimTime`] — simulation clock time: a totally ordered `f64` wrapper
+//!   (NaN is rejected at construction), so times can key a priority queue.
+//! * [`EventQueue`] — a `BinaryHeap`-backed future-event list with **stable
+//!   FIFO tie-breaking**: events scheduled for the same instant execute in
+//!   scheduling order, making every schedule deterministic.
+//! * [`Event`] / [`SimState`] — the execution contract (desque-style, but
+//!   with *typed* event payloads instead of boxed closures: an event enum
+//!   per simulation, no per-event allocation).
+//! * [`Simulation`] — the run loop: pop, advance the clock, execute;
+//!   supports both run-to-completion and stepping, which is what lets a
+//!   driver pause at decision points (how `hpcsim` exposes backfilling
+//!   opportunities to heuristics and the RL agent).
+//! * [`Replicator`] — N independent replications with decorrelated
+//!   per-replication seeds, fanned out across OS threads.
+//!
+//! # Determinism
+//!
+//! Two properties make kernel schedules reproducible: the queue's total
+//! order `(time, insertion sequence)` leaves no tie to platform hash/heap
+//! quirks, and [`SimTime`]'s total order admits no NaN. Replications are
+//! seeded from a SplitMix64 stream of the master seed, so a replication's
+//! result depends only on `(master seed, replication index)` — never on
+//! thread scheduling.
+//!
+//! ```
+//! use desim::{Event, EventQueue, SimTime, Simulation};
+//!
+//! /// Count arrivals in a tiny Poisson-ish process.
+//! struct Counter { seen: usize, horizon: SimTime }
+//! impl desim::SimState for Counter {
+//!     fn is_complete(&self, now: SimTime) -> bool { now > self.horizon }
+//! }
+//! enum Tick { Arrive }
+//! impl Event<Counter> for Tick {
+//!     fn execute(self, state: &mut Counter, queue: &mut EventQueue<Self>) {
+//!         state.seen += 1;
+//!         let next = queue.now() + 1.0;
+//!         queue.schedule(next, Tick::Arrive);
+//!     }
+//! }
+//! let mut sim = Simulation::new(Counter { seen: 0, horizon: SimTime::new(10.0) });
+//! sim.queue_mut().schedule(SimTime::ZERO, Tick::Arrive);
+//! sim.run();
+//! assert_eq!(sim.state().seen, 11); // t = 0, 1, …, 10
+//! ```
+
+mod queue;
+mod replicate;
+mod sim;
+mod time;
+
+pub use queue::EventQueue;
+pub use replicate::{replication_seed, Replicator};
+pub use sim::{Event, SimState, Simulation};
+pub use time::SimTime;

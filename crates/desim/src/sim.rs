@@ -1,0 +1,246 @@
+//! The execution contract and run loop.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Shared state of a simulation, mutated by executing events.
+pub trait SimState {
+    /// Whether the simulation should stop before executing the next event.
+    /// The default never stops early (the queue running dry ends the run).
+    fn is_complete(&self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// A typed event: the unit of work in a simulation.
+///
+/// desque-style contract — an event receives exclusive access to the state
+/// and to the queue (to schedule follow-up events) — but with a typed
+/// payload taken **by value**: simulations define one event enum and pay
+/// no boxing or dynamic dispatch per event.
+pub trait Event<S: SimState>: Sized {
+    /// Executes the event at its scheduled time (`queue.now()`).
+    fn execute(self, state: &mut S, queue: &mut EventQueue<Self>);
+}
+
+/// A simulation: state plus its future-event list.
+///
+/// [`Simulation::run`] drives to completion; [`Simulation::step`] executes
+/// a single event, which is the hook for drivers that pause between events
+/// (e.g. an interactive scheduler exposing decision points, or a debugger
+/// single-stepping a model).
+#[derive(Debug)]
+pub struct Simulation<S: SimState, E: Event<S>> {
+    state: S,
+    queue: EventQueue<E>,
+}
+
+impl<S: SimState, E: Event<S>> Simulation<S, E> {
+    /// A simulation over `state` with an empty queue at time zero.
+    pub fn new(state: S) -> Self {
+        Self::starting_at(state, SimTime::ZERO)
+    }
+
+    /// A simulation with the clock initialized to `start`.
+    pub fn starting_at(state: S, start: SimTime) -> Self {
+        Self {
+            state,
+            queue: EventQueue::starting_at(start),
+        }
+    }
+
+    /// The current clock time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Shared access to the state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the state (initialization / teardown).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Exclusive access to the queue (scheduling initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Shared access to the queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Executes the next event, if any. Returns its execution time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.queue.pop()?;
+        event.execute(&mut self.state, &mut self.queue);
+        Some(time)
+    }
+
+    /// Runs until the state reports completion or the queue runs dry.
+    /// Returns the number of events executed.
+    pub fn run(&mut self) -> usize {
+        let mut executed = 0;
+        loop {
+            if let Some(next) = self.queue.peek_time() {
+                if self.state.is_complete(next) {
+                    return executed;
+                }
+            }
+            if self.step().is_none() {
+                return executed;
+            }
+            executed += 1;
+        }
+    }
+
+    /// Consumes the simulation, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An M/D/1-style queue with deterministic interarrival/service times:
+    /// arrivals every `gap`, service takes `service`; one server.
+    struct Md1 {
+        gap: f64,
+        service: f64,
+        remaining_arrivals: usize,
+        in_system: usize,
+        served: usize,
+        busy: bool,
+        total_wait: f64,
+        queue_entry_times: Vec<f64>,
+    }
+
+    impl SimState for Md1 {}
+
+    enum Md1Event {
+        Arrival,
+        Departure,
+    }
+
+    impl Event<Md1> for Md1Event {
+        fn execute(self, s: &mut Md1, q: &mut EventQueue<Self>) {
+            let now = q.now();
+            match self {
+                Md1Event::Arrival => {
+                    s.in_system += 1;
+                    s.queue_entry_times.push(now.as_secs());
+                    if !s.busy {
+                        s.busy = true;
+                        let entry = s.queue_entry_times.remove(0);
+                        s.total_wait += now.as_secs() - entry;
+                        q.schedule(now + s.service, Md1Event::Departure);
+                    }
+                    if s.remaining_arrivals > 0 {
+                        s.remaining_arrivals -= 1;
+                        q.schedule(now + s.gap, Md1Event::Arrival);
+                    }
+                }
+                Md1Event::Departure => {
+                    s.in_system -= 1;
+                    s.served += 1;
+                    if s.queue_entry_times.is_empty() {
+                        s.busy = false;
+                    } else {
+                        let entry = s.queue_entry_times.remove(0);
+                        s.total_wait += now.as_secs() - entry;
+                        q.schedule(now + s.service, Md1Event::Departure);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_md1(gap: f64, service: f64, arrivals: usize) -> Md1 {
+        let mut sim = Simulation::new(Md1 {
+            gap,
+            service,
+            remaining_arrivals: arrivals - 1,
+            in_system: 0,
+            served: 0,
+            busy: false,
+            total_wait: 0.0,
+            queue_entry_times: Vec::new(),
+        });
+        sim.queue_mut().schedule(SimTime::ZERO, Md1Event::Arrival);
+        sim.run();
+        sim.into_state()
+    }
+
+    #[test]
+    fn underloaded_queue_has_zero_wait() {
+        // Service 1s, arrivals every 2s: nobody ever waits.
+        let s = run_md1(2.0, 1.0, 50);
+        assert_eq!(s.served, 50);
+        assert_eq!(s.in_system, 0);
+        assert_eq!(s.total_wait, 0.0);
+    }
+
+    #[test]
+    fn overloaded_queue_accumulates_known_wait() {
+        // Service 2s, arrivals every 1s, n arrivals: the k-th arrival waits
+        // k seconds (service backlog grows one second per arrival), so the
+        // total wait is 0+1+…+(n−1).
+        let n = 20;
+        let s = run_md1(1.0, 2.0, n);
+        assert_eq!(s.served, n);
+        let expected: f64 = (0..n).map(|k| k as f64).sum();
+        assert_eq!(s.total_wait, expected);
+    }
+
+    #[test]
+    fn step_allows_pausing_between_events() {
+        let mut sim = Simulation::new(Md1 {
+            gap: 1.0,
+            service: 0.5,
+            remaining_arrivals: 3,
+            in_system: 0,
+            served: 0,
+            busy: false,
+            total_wait: 0.0,
+            queue_entry_times: Vec::new(),
+        });
+        sim.queue_mut().schedule(SimTime::ZERO, Md1Event::Arrival);
+        let mut times = Vec::new();
+        while let Some(t) = sim.step() {
+            times.push(t.as_secs());
+        }
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(sim.state().served, 4);
+    }
+
+    struct Horizon(f64);
+
+    impl SimState for Horizon {
+        fn is_complete(&self, now: SimTime) -> bool {
+            now.as_secs() > self.0
+        }
+    }
+
+    struct Tick;
+
+    impl Event<Horizon> for Tick {
+        fn execute(self, _s: &mut Horizon, q: &mut EventQueue<Self>) {
+            q.schedule_in(1.0, Tick);
+        }
+    }
+
+    #[test]
+    fn is_complete_stops_an_infinite_model() {
+        let mut sim = Simulation::new(Horizon(100.0));
+        sim.queue_mut().schedule(SimTime::ZERO, Tick);
+        let executed = sim.run();
+        assert_eq!(executed, 101, "ticks at t = 0..=100");
+        assert!(sim.now().as_secs() <= 100.0);
+    }
+}

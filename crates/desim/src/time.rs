@@ -1,0 +1,153 @@
+//! Simulation clock time.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in seconds.
+///
+/// A thin `f64` wrapper that restores total ordering so times can key the
+/// event heap: construction rejects NaN, and `Ord` is `f64::total_cmp`
+/// (which, with NaN excluded, equals numeric order; `-0.0 < +0.0` is the
+/// only residual quirk and both compare equal via `PartialEq` semantics of
+/// `total_cmp` only to themselves — the kernel never produces `-0.0`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the conventional simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time infinitely far in the future (useful as a horizon sentinel).
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Wraps a seconds value. Panics on NaN — a NaN time would silently
+    /// corrupt the event order.
+    pub fn new(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        SimTime(secs)
+    }
+
+    /// The time as seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialEq for SimTime {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(secs: f64) -> Self {
+        SimTime::new(secs)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, dur: f64) -> SimTime {
+        SimTime::new(self.0 + dur)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dur: f64) {
+        *self = *self + dur;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    /// Elapsed seconds between two times.
+    type Output = f64;
+
+    fn sub(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::new(1.0) < SimTime::new(2.0));
+        assert!(SimTime::new(-1.0) < SimTime::ZERO);
+        assert!(SimTime::new(2.0) <= SimTime::new(2.0));
+        assert_eq!(SimTime::new(3.5), SimTime::new(3.5));
+        assert!(SimTime::INFINITY > SimTime::new(1e300));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::new(10.0) + 2.5;
+        assert_eq!(t.as_secs(), 12.5);
+        assert_eq!(t - SimTime::new(10.0), 2.5);
+        let mut u = SimTime::ZERO;
+        u += 4.0;
+        assert_eq!(u, SimTime::new(4.0));
+        assert_eq!(SimTime::new(1.0).max(SimTime::new(2.0)).as_secs(), 2.0);
+        assert_eq!(SimTime::new(1.0).min(SimTime::new(2.0)).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn sorts_cleanly_in_collections() {
+        let mut ts = [
+            SimTime::new(5.0),
+            SimTime::ZERO,
+            SimTime::new(-2.0),
+            SimTime::INFINITY,
+        ];
+        ts.sort();
+        assert_eq!(
+            ts.iter().map(|t| t.as_secs()).collect::<Vec<_>>(),
+            vec![-2.0, 0.0, 5.0, f64::INFINITY]
+        );
+    }
+}

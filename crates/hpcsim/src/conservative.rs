@@ -12,14 +12,15 @@
 
 use crate::estimator::RuntimeEstimator;
 use crate::profile::AvailabilityProfile;
-use crate::state::Simulation;
+use crate::state::BackfillSim;
 
 /// Time slack when deciding whether a planned start is "now".
 const EPS: f64 = 1e-9;
 
 /// Runs one conservative backfilling pass at the current opportunity.
-/// Returns the number of jobs started early.
-pub fn conservative_pass(sim: &mut Simulation, estimator: RuntimeEstimator) -> usize {
+/// Returns the number of jobs started early. Generic over [`BackfillSim`]
+/// (kernel and reference engines share this pass).
+pub fn conservative_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimator) -> usize {
     let now = sim.now();
     let mut prof = AvailabilityProfile::new(now, sim.free_procs());
     for r in sim.running() {
@@ -59,7 +60,7 @@ mod tests {
     use super::*;
     use crate::metrics::Metrics;
     use crate::policy::Policy;
-    use crate::state::SimEvent;
+    use crate::state::{SimEvent, Simulation};
     use swf::{Job, Trace};
 
     fn run_conservative(trace: &Trace, policy: Policy, est: RuntimeEstimator) -> Simulation {
@@ -108,7 +109,11 @@ mod tests {
         // J3 running [20,170) would overlap J1's reservation [100,200) on a
         // full machine — conservative must refuse it at t=20.
         let c3 = sim.completed().iter().find(|c| c.job.id == 3).unwrap();
-        assert!(c3.start >= 100.0, "J3 must not start at 20, got {}", c3.start);
+        assert!(
+            c3.start >= 100.0,
+            "J3 must not start at 20, got {}",
+            c3.start
+        );
         let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
         assert_eq!(c1.start, 100.0);
     }

@@ -18,15 +18,17 @@
 use crate::estimator::RuntimeEstimator;
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
-use crate::state::Simulation;
+use crate::state::BackfillSim;
 
 /// Runs one EASY backfilling pass at the current opportunity, scanning the
 /// waiting queue in the base policy's priority order. Returns the number of
 /// jobs backfilled.
 ///
-/// The simulation must be paused at a
-/// [`crate::state::SimEvent::BackfillOpportunity`].
-pub fn easy_pass(sim: &mut Simulation, estimator: RuntimeEstimator) -> usize {
+/// Generic over [`BackfillSim`], so the same pass drives the kernel
+/// [`crate::state::Simulation`] and the seed
+/// [`crate::reference::ReferenceSimulation`]. The simulation must be
+/// paused at a [`crate::state::SimEvent::BackfillOpportunity`].
+pub fn easy_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimator) -> usize {
     let order = sim.policy();
     easy_pass_with_order(sim, estimator, order)
 }
@@ -35,8 +37,8 @@ pub fn easy_pass(sim: &mut Simulation, estimator: RuntimeEstimator) -> usize {
 /// independent of the base policy. The paper's reward baseline uses FCFS as
 /// the base policy with **SJF-ordered** backfilling (§3.4), which is this
 /// function with `order = Policy::Sjf`.
-pub fn easy_pass_with_order(
-    sim: &mut Simulation,
+pub fn easy_pass_with_order<S: BackfillSim>(
+    sim: &mut S,
     estimator: RuntimeEstimator,
     order: Policy,
 ) -> usize {
@@ -80,7 +82,8 @@ pub fn easy_pass_with_order(
             .map(|(i, j)| (i, *j));
         let Some((idx, job)) = pick else { break };
         let uses_extra = now + estimator.estimate(&job) > shadow;
-        sim.backfill(idx).expect("candidate was validated against free procs");
+        sim.backfill(idx)
+            .expect("candidate was validated against free procs");
         if uses_extra {
             extra -= job.procs;
         }
@@ -91,7 +94,10 @@ pub fn easy_pass_with_order(
 
 /// The reserved job's shadow time and extra-processor count under the given
 /// estimator — exposed for tests, observation encodings and diagnostics.
-pub fn shadow_and_extra(sim: &Simulation, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
+pub fn shadow_and_extra<S: BackfillSim>(
+    sim: &S,
+    estimator: RuntimeEstimator,
+) -> Option<(f64, u32)> {
     let reserved = sim.reserved_job()?;
     let mut prof = AvailabilityProfile::new(sim.now(), sim.free_procs());
     for r in sim.running() {
@@ -107,7 +113,7 @@ pub fn shadow_and_extra(sim: &Simulation, estimator: RuntimeEstimator) -> Option
 mod tests {
     use super::*;
     use crate::policy::Policy;
-    use crate::state::SimEvent;
+    use crate::state::{SimEvent, Simulation};
     use swf::{Job, Trace};
 
     fn run_easy(trace: &Trace, policy: Policy, est: RuntimeEstimator) -> Simulation {
@@ -166,9 +172,16 @@ mod tests {
     fn easy_refuses_job_that_would_delay_reservation() {
         // The 1-proc job runs 500s > shadow(100) and extra is 0
         // (reserved job wants the whole machine).
-        let sim = run_easy(&scenario(500.0), Policy::Fcfs, RuntimeEstimator::RequestTime);
+        let sim = run_easy(
+            &scenario(500.0),
+            Policy::Fcfs,
+            RuntimeEstimator::RequestTime,
+        );
         let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
-        assert_eq!(c1.start, 100.0, "reserved job must start at its shadow time");
+        assert_eq!(
+            c1.start, 100.0,
+            "reserved job must start at its shadow time"
+        );
         let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
         assert!(c2.start >= 100.0, "long job must wait for the reservation");
     }

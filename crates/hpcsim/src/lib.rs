@@ -38,6 +38,7 @@ pub mod estimator;
 pub mod metrics;
 pub mod policy;
 pub mod profile;
+pub mod reference;
 pub mod runner;
 pub mod state;
 pub mod timeline;
@@ -46,7 +47,7 @@ pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
 pub use policy::Policy;
 pub use runner::{run_scheduler, Backfill, ScheduleResult};
-pub use state::{SimEvent, Simulation};
+pub use state::{BackfillSim, SimEvent, Simulation};
 
 /// Convenient glob import for simulator users.
 pub mod prelude {

@@ -68,6 +68,15 @@ impl Policy {
         });
     }
 
+    /// Whether the score of a fixed job can change as time advances.
+    /// Time-independent policies (FCFS, SJF, F1 — functions of `st`, `rt`,
+    /// `nt` only) keep a sorted queue sorted until the next arrival, which
+    /// lets the event kernel skip per-event re-sorts; WFP3 scores grow with
+    /// waiting time, so its queue must be re-sorted whenever time moves.
+    pub fn time_dependent(&self) -> bool {
+        matches!(self, Policy::Wfp3)
+    }
+
     /// Name as used in the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {

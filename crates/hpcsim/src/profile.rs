@@ -5,19 +5,47 @@
 //! reservations already granted?". It is the planning structure behind both
 //! EASY (computing the reserved job's shadow time) and conservative
 //! backfilling (granting every queued job a reservation).
+//!
+//! # Representation
+//!
+//! The seed implementation kept an unsorted `(time, delta)` list and
+//! answered every query by re-summing it — `O(n)` per `avail_at`, which
+//! made `earliest_fit` quadratic and a conservative pass cubic. This
+//! version maintains a **sorted interval timeline**: edges are merged into
+//! a time-sorted list with running prefix availability, kept incrementally
+//! on insert (`O(n)` memmove, cheap for scheduling queue depths). Queries
+//! then run on the closed form:
+//!
+//! * [`AvailabilityProfile::avail_at`] — binary search, `O(log n)`;
+//! * [`AvailabilityProfile::earliest_fit`] — one sweep over candidate
+//!   start times with a precomputed "next shortfall" index, `O(n log n)`
+//!   instead of `O(n²)`.
+//!
+//! Query *semantics* are identical to the seed (same candidate instants,
+//! same strict/inclusive comparisons, same float arithmetic), which the
+//! property suite (`tests/proptest_profile.rs`) and the equivalence suite
+//! pin down.
 
 /// A piecewise-constant availability timeline starting at `now`.
 ///
-/// Internally a sorted list of `(time, delta)` events over a baseline of
-/// `free` processors; queries assemble prefix sums on demand. Queue depths
-/// in HPC scheduling are small (≤ a few hundred), so the O(n²) worst case
-/// of the fit search is irrelevant in practice.
+/// Internally a time-sorted list of merged `(time, delta, avail_after)`
+/// edges over a baseline of `free` processors. Deltas are integers, so
+/// availability values are exact (no float accumulation error) and
+/// independent of insertion order.
 #[derive(Debug, Clone)]
 pub struct AvailabilityProfile {
     now: f64,
     free: i64,
-    /// `(time, processor delta)`; positive = release, negative = claim.
-    events: Vec<(f64, i64)>,
+    /// Sorted by time; `avail` is the availability at and after this edge
+    /// (until the next edge).
+    edges: Vec<Edge>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    time: f64,
+    delta: i64,
+    avail: i64,
 }
 
 impl AvailabilityProfile {
@@ -26,14 +54,14 @@ impl AvailabilityProfile {
         Self {
             now,
             free: free as i64,
-            events: Vec::new(),
+            edges: Vec::new(),
         }
     }
 
     /// Records that `procs` processors are released at `time` (a running
     /// job's estimated completion).
     pub fn add_release(&mut self, time: f64, procs: u32) {
-        self.events.push((time.max(self.now), procs as i64));
+        self.insert_edge(time.max(self.now), procs as i64);
     }
 
     /// Records a planned occupation of `procs` processors on
@@ -43,51 +71,92 @@ impl AvailabilityProfile {
         if end <= start {
             return;
         }
-        self.events.push((start, -(procs as i64)));
-        self.events.push((end, procs as i64));
+        self.insert_edge(start, -(procs as i64));
+        self.insert_edge(end, procs as i64);
     }
 
-    /// Availability just after `time` (events at exactly `time` included).
-    pub fn avail_at(&self, time: f64) -> i64 {
-        let mut avail = self.free;
-        for &(t, d) in &self.events {
-            if t <= time {
-                avail += d;
-            }
+    /// Merges a delta into the sorted edge list, updating the running
+    /// availability of every later edge.
+    fn insert_edge(&mut self, time: f64, delta: i64) {
+        let idx = self
+            .edges
+            .partition_point(|e| e.time.total_cmp(&time).is_lt());
+        let insert_at = if self.edges.get(idx).is_some_and(|e| e.time == time) {
+            self.edges[idx].delta += delta;
+            idx
+        } else {
+            let avail_before = if idx == 0 {
+                self.free
+            } else {
+                self.edges[idx - 1].avail
+            };
+            self.edges.insert(
+                idx,
+                Edge {
+                    time,
+                    delta,
+                    avail: avail_before,
+                },
+            );
+            idx
+        };
+        for e in &mut self.edges[insert_at..] {
+            e.avail += delta;
         }
-        avail
+    }
+
+    /// Availability just after `time` (edges at exactly `time` included).
+    pub fn avail_at(&self, time: f64) -> i64 {
+        let idx = self
+            .edges
+            .partition_point(|e| e.time.total_cmp(&time).is_le());
+        if idx == 0 {
+            self.free
+        } else {
+            self.edges[idx - 1].avail
+        }
     }
 
     /// The earliest time ≥ `not_before` at which `procs` processors are
     /// continuously available for `duration` seconds.
     ///
-    /// Candidate start times are `not_before` itself and every event time
-    /// after it; between events availability is constant, so these are the
-    /// only minima. Returns `f64::INFINITY` if the demand can never be met
-    /// (caller bug: demand exceeds the cluster).
+    /// Candidate start times are `not_before` itself and every edge time
+    /// after it; between edges availability is constant, so these are the
+    /// only minima. A candidate is feasible when availability at the start
+    /// is sufficient and no *shortfall edge* (availability below demand)
+    /// lies strictly inside `(start, start + duration)`. Returns
+    /// `f64::INFINITY` if the demand can never be met (caller bug: demand
+    /// exceeds the cluster).
     pub fn earliest_fit(&self, procs: u32, duration: f64, not_before: f64) -> f64 {
         let not_before = not_before.max(self.now);
-        let mut times: Vec<f64> = self
-            .events
-            .iter()
-            .map(|&(t, _)| t)
-            .filter(|&t| t > not_before)
-            .collect();
-        times.push(not_before);
-        times.sort_by(f64::total_cmp);
-        times.dedup();
+        let demand = procs as i64;
 
-        'candidate: for &start in &times {
-            if self.avail_at(start) < procs as i64 {
-                continue;
-            }
+        // Shortfall edge times, already sorted (subset of a sorted list).
+        let shortfalls: Vec<f64> = self
+            .edges
+            .iter()
+            .filter(|e| e.avail < demand)
+            .map(|e| e.time)
+            .collect();
+
+        // Whether the window starting at `start` stays feasible: no
+        // shortfall edge strictly inside (start, start + duration).
+        let window_clear = |start: f64| -> bool {
             let end = start + duration;
-            for &(t, _) in &self.events {
-                if t > start && t < end && self.avail_at(t) < procs as i64 {
-                    continue 'candidate;
-                }
+            let next = shortfalls.partition_point(|&t| t.total_cmp(&start).is_le());
+            shortfalls.get(next).is_none_or(|&t| t >= end)
+        };
+
+        if self.avail_at(not_before) >= demand && window_clear(not_before) {
+            return not_before;
+        }
+        let first = self
+            .edges
+            .partition_point(|e| e.time.total_cmp(&not_before).is_le());
+        for e in &self.edges[first..] {
+            if e.avail >= demand && window_clear(e.time) {
+                return e.time;
             }
-            return start;
         }
         f64::INFINITY
     }
@@ -165,5 +234,45 @@ mod tests {
         p.add_release(100.0, 4);
         p.add_usage(100.0, 200.0, 4);
         assert_eq!(p.earliest_fit(4, 50.0, 0.0), 200.0);
+    }
+
+    #[test]
+    fn merged_edges_keep_their_breakpoint() {
+        // A release and a usage-start at the same instant net to zero, but
+        // the instant must remain a candidate/checkpoint time.
+        let mut p = AvailabilityProfile::new(0.0, 4);
+        p.add_release(100.0, 4);
+        p.add_usage(100.0, 200.0, 4);
+        assert_eq!(p.avail_at(100.0), 4);
+        assert_eq!(p.avail_at(150.0), 4);
+        assert_eq!(p.earliest_fit(8, 10.0, 0.0), 200.0);
+    }
+
+    #[test]
+    fn interleaved_inserts_match_batch_semantics() {
+        // Insert edges out of time order; the sorted timeline must agree
+        // with a brute-force sum at every probe point.
+        let spec: &[(f64, f64, u32)] = &[
+            (300.0, 500.0, 3),
+            (100.0, 400.0, 2),
+            (50.0, 350.0, 1),
+            (400.0, 410.0, 6),
+        ];
+        let mut p = AvailabilityProfile::new(0.0, 8);
+        for &(s, e, c) in spec {
+            p.add_usage(s, e, c);
+        }
+        let brute = |t: f64| -> i64 {
+            8 - spec
+                .iter()
+                .filter(|&&(s, e, _)| s <= t && t < e)
+                .map(|&(_, _, c)| c as i64)
+                .sum::<i64>()
+        };
+        for t in [
+            0.0, 50.0, 99.9, 100.0, 300.0, 349.0, 350.0, 400.0, 409.0, 410.0, 500.0,
+        ] {
+            assert_eq!(p.avail_at(t), brute(t), "at t={t}");
+        }
     }
 }

@@ -50,9 +50,38 @@ pub struct ScheduleResult {
 }
 
 /// Schedules `trace` to completion under `policy` + `backfill` and returns
-/// the realized schedule. Deterministic.
+/// the realized schedule. Deterministic. Runs on the `desim` event kernel.
 pub fn run_scheduler(trace: &Trace, policy: Policy, backfill: Backfill) -> ScheduleResult {
-    let mut sim = Simulation::new(trace, policy);
+    drive_to_completion(
+        Simulation::new(trace, policy),
+        trace.cluster_procs(),
+        backfill,
+    )
+}
+
+/// [`run_scheduler`] on the preserved seed stepping engine
+/// ([`crate::reference::ReferenceSimulation`]) — the differential-testing
+/// oracle and the benchmark baseline. Same inputs, same schedule (pinned
+/// by `tests/event_equivalence.rs`), linear-scan time advancement.
+pub fn run_scheduler_reference(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+) -> ScheduleResult {
+    drive_to_completion(
+        crate::reference::ReferenceSimulation::new(trace, policy),
+        trace.cluster_procs(),
+        backfill,
+    )
+}
+
+/// The shared driver loop: run any [`BackfillSim`] to completion, applying
+/// the selected heuristic at every decision point.
+fn drive_to_completion<S: crate::state::BackfillSim>(
+    mut sim: S,
+    cluster_procs: u32,
+    backfill: Backfill,
+) -> ScheduleResult {
     while sim.advance() == SimEvent::BackfillOpportunity {
         match backfill {
             Backfill::None => {}
@@ -67,7 +96,7 @@ pub fn run_scheduler(trace: &Trace, policy: Policy, backfill: Backfill) -> Sched
             }
         }
     }
-    let metrics = Metrics::of(sim.completed(), trace.cluster_procs());
+    let metrics = Metrics::of(sim.completed(), cluster_procs);
     ScheduleResult {
         completed: sim.completed().to_vec(),
         metrics,
@@ -98,8 +127,16 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let trace = TracePreset::SdscSp2.generate(300, 22);
-        let a = run_scheduler(&trace, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::RequestTime));
-        let b = run_scheduler(&trace, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::RequestTime));
+        let a = run_scheduler(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        );
+        let b = run_scheduler(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        );
         assert_eq!(a.completed, b.completed);
     }
 
@@ -108,8 +145,16 @@ mod tests {
         // On a trace with real overestimation the two estimators must
         // produce different schedules (this is the premise of the paper).
         let trace = TracePreset::SdscSp2.generate(800, 23);
-        let easy = run_scheduler(&trace, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::RequestTime));
-        let ar = run_scheduler(&trace, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::ActualRuntime));
+        let easy = run_scheduler(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        );
+        let ar = run_scheduler(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        );
         assert_ne!(
             easy.metrics.mean_bounded_slowdown,
             ar.metrics.mean_bounded_slowdown
@@ -118,8 +163,14 @@ mod tests {
 
     #[test]
     fn labels_are_paper_style() {
-        assert_eq!(Backfill::Easy(RuntimeEstimator::RequestTime).label(), "EASY");
-        assert_eq!(Backfill::Easy(RuntimeEstimator::ActualRuntime).label(), "EASY-AR");
+        assert_eq!(
+            Backfill::Easy(RuntimeEstimator::RequestTime).label(),
+            "EASY"
+        );
+        assert_eq!(
+            Backfill::Easy(RuntimeEstimator::ActualRuntime).label(),
+            "EASY-AR"
+        );
         let noisy = Backfill::Easy(RuntimeEstimator::NoisyActual {
             max_over_frac: 0.2,
             seed: 0,

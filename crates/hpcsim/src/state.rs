@@ -12,9 +12,27 @@
 //! The machine never takes backfilling decisions itself, which is what lets
 //! heuristics and the learning agent share one simulator (paper §3.4: "RL
 //! decision points occur at specific, distinct moments").
+//!
+//! # Event-kernel internals
+//!
+//! Time no longer advances by scanning job vectors for minima (the seed
+//! implementation, preserved as [`crate::reference::ReferenceSimulation`]).
+//! Job arrivals and completions are events on a [`desim::EventQueue`]: the
+//! next instant is a heap peek, arrivals are a chained event stream (one
+//! pending arrival event at a time, so the heap stays `O(running)` deep),
+//! and a completion carries its job id. Decision points remain *derived*
+//! conditions checked between events — they depend on the mutable queue
+//! state, so scheduling them as heap events would go stale the moment a
+//! driver backfills.
+//!
+//! Equivalence with the reference engine (identical realized schedules for
+//! every policy × backfill combination) is pinned by
+//! `tests/event_equivalence.rs`; throughput is compared by the `kernel`
+//! criterion bench.
 
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
+use desim::{EventQueue, SimTime};
 use swf::{Job, Trace};
 
 /// Time-comparison slack for completion processing.
@@ -99,6 +117,81 @@ impl std::fmt::Display for BackfillError {
 
 impl std::error::Error for BackfillError {}
 
+/// The decision-point protocol shared by the kernel [`Simulation`] and the
+/// seed [`crate::reference::ReferenceSimulation`].
+///
+/// The EASY and conservative passes are generic over this trait, so the
+/// same backfilling logic drives both engines — which is what makes the
+/// differential tests in `tests/event_equivalence.rs` meaningful: any
+/// schedule difference is attributable to the engine, not the heuristic.
+pub trait BackfillSim {
+    /// Current simulation time, seconds.
+    fn now(&self) -> f64;
+    /// Free processors right now.
+    fn free_procs(&self) -> u32;
+    /// The base policy driving head-of-queue selection.
+    fn policy(&self) -> Policy;
+    /// The waiting queue, priority-sorted; index 0 is the reserved job.
+    fn queue(&self) -> &[Job];
+    /// Jobs currently executing.
+    fn running(&self) -> &[RunningJob];
+    /// Advances to the next decision point or to completion.
+    fn advance(&mut self) -> SimEvent;
+    /// Starts the queued job at `queue_idx` immediately.
+    fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError>;
+    /// Jobs that finished, in completion order.
+    fn completed(&self) -> &[CompletedJob];
+
+    /// The reserved job (head of the sorted queue), if any.
+    fn reserved_job(&self) -> Option<&Job> {
+        self.queue().first()
+    }
+}
+
+macro_rules! impl_backfill_sim {
+    ($ty:ty) => {
+        impl BackfillSim for $ty {
+            fn now(&self) -> f64 {
+                <$ty>::now(self)
+            }
+            fn free_procs(&self) -> u32 {
+                <$ty>::free_procs(self)
+            }
+            fn policy(&self) -> Policy {
+                <$ty>::policy(self)
+            }
+            fn queue(&self) -> &[Job] {
+                <$ty>::queue(self)
+            }
+            fn running(&self) -> &[RunningJob] {
+                <$ty>::running(self)
+            }
+            fn advance(&mut self) -> SimEvent {
+                <$ty>::advance(self)
+            }
+            fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
+                <$ty>::backfill(self, queue_idx)
+            }
+            fn completed(&self) -> &[CompletedJob] {
+                <$ty>::completed(self)
+            }
+        }
+    };
+}
+
+impl_backfill_sim!(Simulation);
+impl_backfill_sim!(crate::reference::ReferenceSimulation);
+
+/// A kernel event: what happens at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterEvent {
+    /// The job at this index of the arrival list enters the waiting queue
+    /// (and schedules the next arrival, keeping one pending at a time).
+    Arrival(usize),
+    /// The running job with this id releases its processors.
+    Completion(usize),
+}
+
 /// The simulation state machine. See the module docs for the protocol.
 #[derive(Debug, Clone)]
 pub struct Simulation {
@@ -107,30 +200,45 @@ pub struct Simulation {
     free: u32,
     now: f64,
     arrivals: Vec<Job>,
-    next_arrival: usize,
     queue: Vec<Job>,
     running: Vec<RunningJob>,
     completed: Vec<CompletedJob>,
+    events: EventQueue<ClusterEvent>,
     /// Re-arm flag: an opportunity is only reported after the state changed
     /// (time advanced or a job started), so a driver that declines to
     /// backfill is never asked twice about the identical state.
     opportunity_armed: bool,
+    /// Whether the queue's policy order may be stale. Arrivals always
+    /// dirty it; time advancement dirties it only for time-dependent
+    /// policies (see [`Policy::time_dependent`]). Head/backfill removals
+    /// preserve order, so re-sorting after them is skipped — the order the
+    /// seed engine would recompute is identical, just not recomputed.
+    needs_sort: bool,
 }
 
 impl Simulation {
     /// Starts a fresh simulation of `trace` under `policy`.
     pub fn new(trace: &Trace, policy: Policy) -> Self {
+        let arrivals = trace.jobs().to_vec();
+        let mut events = EventQueue::new();
+        if !arrivals.is_empty() {
+            events.schedule(
+                SimTime::new(arrivals[0].submit.max(0.0)),
+                ClusterEvent::Arrival(0),
+            );
+        }
         Self {
             policy,
             cluster_procs: trace.cluster_procs(),
             free: trace.cluster_procs(),
             now: 0.0,
-            arrivals: trace.jobs().to_vec(),
-            next_arrival: 0,
+            arrivals,
             queue: Vec::new(),
             running: Vec::new(),
             completed: Vec::new(),
+            events,
             opportunity_armed: true,
+            needs_sort: false,
         }
     }
 
@@ -179,19 +287,30 @@ impl Simulation {
     /// completion of the whole trace.
     pub fn advance(&mut self) -> SimEvent {
         loop {
-            self.ingest_arrivals();
+            self.apply_due_events();
             self.start_ready_jobs();
-            if self.opportunity_armed
-                && !self.queue.is_empty()
-                && self.has_backfill_candidate()
-            {
+            if self.opportunity_armed && !self.queue.is_empty() && self.has_backfill_candidate() {
                 self.opportunity_armed = false;
                 return SimEvent::BackfillOpportunity;
             }
-            if !self.advance_time() {
+            // Advance the clock to the next event; the loop head then
+            // applies everything due within the epsilon window at once
+            // (simultaneous completions and arrivals).
+            let Some(next) = self.events.peek_time() else {
                 debug_assert!(self.queue.is_empty() && self.running.is_empty());
                 return SimEvent::Done;
+            };
+            debug_assert!(
+                next.as_secs() >= self.now - EPS,
+                "time must not go backwards: {} -> {next}",
+                self.now
+            );
+            let advanced = next.as_secs() > self.now;
+            self.now = next.as_secs().max(self.now);
+            if advanced && self.policy.time_dependent() {
+                self.needs_sort = true;
             }
+            self.opportunity_armed = true;
         }
     }
 
@@ -253,34 +372,74 @@ impl Simulation {
         shadow_after > shadow_before + EPS
     }
 
-    fn ingest_arrivals(&mut self) {
-        while self
-            .arrivals
-            .get(self.next_arrival)
-            .is_some_and(|j| j.submit <= self.now + EPS)
-        {
-            self.queue.push(self.arrivals[self.next_arrival]);
-            self.next_arrival += 1;
+    /// Pops and applies every event due at the current instant (within the
+    /// epsilon window) — completions free processors, arrivals join the
+    /// queue. Start decisions are *not* events; they follow in
+    /// [`Self::start_ready_jobs`] once the instant's state is settled.
+    fn apply_due_events(&mut self) {
+        let deadline = SimTime::new(self.now + EPS);
+        let mut freed = 0u32;
+        while let Some((_, event)) = self.events.pop_until(deadline) {
+            match event {
+                ClusterEvent::Arrival(idx) => {
+                    self.queue.push(self.arrivals[idx]);
+                    self.needs_sort = true;
+                    if let Some(next) = self.arrivals.get(idx + 1) {
+                        self.events.schedule(
+                            SimTime::new(next.submit).max(self.events.now()),
+                            ClusterEvent::Arrival(idx + 1),
+                        );
+                    }
+                }
+                ClusterEvent::Completion(job_id) => {
+                    let pos = self
+                        .running
+                        .iter()
+                        .position(|r| r.job.id == job_id)
+                        .expect("completion event for a job not running");
+                    let r = self.running.swap_remove(pos);
+                    freed += r.job.procs;
+                    self.completed.push(CompletedJob {
+                        job: r.job,
+                        start: r.start,
+                    });
+                }
+            }
         }
+        self.free += freed;
+        debug_assert!(
+            self.free <= self.cluster_procs,
+            "released more than claimed"
+        );
     }
 
     /// Starts policy-selected head jobs while they fit.
+    ///
+    /// The queue is sorted at most once per call: removals preserve order,
+    /// so (unlike the seed engine's sort-per-start) nothing changes between
+    /// iterations at a fixed instant. The realized order is identical.
     fn start_ready_jobs(&mut self) {
-        while !self.queue.is_empty() {
+        if self.queue.is_empty() {
+            return;
+        }
+        if self.needs_sort {
             self.policy.sort_queue(&mut self.queue, self.now);
-            if self.queue[0].procs <= self.free {
-                let job = self.queue.remove(0);
-                self.start_job(job);
-                self.opportunity_armed = true;
-            } else {
-                break;
-            }
+            self.needs_sort = false;
+        }
+        while !self.queue.is_empty() && self.queue[0].procs <= self.free {
+            let job = self.queue.remove(0);
+            self.start_job(job);
+            self.opportunity_armed = true;
         }
     }
 
     fn start_job(&mut self, job: Job) {
         debug_assert!(job.procs <= self.free, "start_job overcommits the cluster");
         self.free -= job.procs;
+        self.events.schedule(
+            SimTime::new(self.now + job.runtime).max(self.events.now()),
+            ClusterEvent::Completion(job.id),
+        );
         self.running.push(RunningJob {
             job,
             start: self.now,
@@ -289,52 +448,6 @@ impl Simulation {
 
     fn has_backfill_candidate(&self) -> bool {
         self.queue.iter().skip(1).any(|j| j.procs <= self.free)
-    }
-
-    /// Moves time to the next arrival or completion; returns `false` when
-    /// the simulation is finished.
-    fn advance_time(&mut self) -> bool {
-        let next_arrival = self.arrivals.get(self.next_arrival).map(|j| j.submit);
-        let next_completion = self
-            .running
-            .iter()
-            .map(RunningJob::end)
-            .min_by(f64::total_cmp);
-        let target = match (next_arrival, next_completion) {
-            (Some(a), Some(c)) => a.min(c),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (None, None) => return false,
-        };
-        debug_assert!(
-            target >= self.now - EPS,
-            "time must not go backwards: {} -> {target}",
-            self.now
-        );
-        self.now = target.max(self.now);
-        self.process_completions();
-        self.opportunity_armed = true;
-        true
-    }
-
-    fn process_completions(&mut self) {
-        let now = self.now;
-        let mut freed = 0u32;
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].end() <= now + EPS {
-                let r = self.running.swap_remove(i);
-                freed += r.job.procs;
-                self.completed.push(CompletedJob {
-                    job: r.job,
-                    start: r.start,
-                });
-            } else {
-                i += 1;
-            }
-        }
-        self.free += freed;
-        debug_assert!(self.free <= self.cluster_procs, "released more than claimed");
     }
 }
 
@@ -534,5 +647,23 @@ mod tests {
         for c in sim.completed() {
             assert!(c.start + EPS >= c.job.submit);
         }
+    }
+
+    #[test]
+    fn matches_reference_engine_without_backfilling() {
+        // Spot-check against the preserved seed engine (the full sweep
+        // lives in tests/event_equivalence.rs).
+        let t = swf::TracePreset::SdscSp2.generate(400, 17);
+        let kernel = run_no_backfill(Simulation::new(&t, Policy::Fcfs));
+        let seed = crate::reference::run_reference_no_backfill(&t, Policy::Fcfs);
+        let mut a: Vec<(usize, f64)> = kernel
+            .completed()
+            .iter()
+            .map(|c| (c.job.id, c.start))
+            .collect();
+        let mut b: Vec<(usize, f64)> = seed.iter().map(|c| (c.job.id, c.start)).collect();
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
+        assert_eq!(a, b);
     }
 }

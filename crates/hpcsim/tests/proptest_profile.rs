@@ -11,7 +11,8 @@ enum Event {
 }
 
 fn arb_events() -> impl Strategy<Value = Vec<Event>> {
-    let release = (0.0f64..10_000.0, 1u32..16).prop_map(|(time, procs)| Event::Release { time, procs });
+    let release =
+        (0.0f64..10_000.0, 1u32..16).prop_map(|(time, procs)| Event::Release { time, procs });
     let usage = (0.0f64..10_000.0, 1.0f64..5_000.0, 1u32..16)
         .prop_map(|(start, len, procs)| Event::Usage { start, len, procs });
     proptest::collection::vec(prop_oneof![release, usage], 0..20)

@@ -135,11 +135,7 @@ pub fn ppo_update<O, AC: ActorCritic<O>>(
 ) -> UpdateStats {
     assert!(!batch.is_empty(), "cannot update on an empty batch");
     let n = batch.len() as f64;
-    let logp_old: Vec<f64> = batch
-        .steps
-        .iter()
-        .map(|s| s.log_prob)
-        .collect();
+    let logp_old: Vec<f64> = batch.steps.iter().map(|s| s.log_prob).collect();
 
     let mut kl = 0.0;
     let mut pi_iters_run = 0;
@@ -157,8 +153,12 @@ pub fn ppo_update<O, AC: ActorCritic<O>>(
         pi_iters_run += 1;
         let mut clipped = 0usize;
         for (i, step) in batch.steps.iter().enumerate() {
-            let coef =
-                policy_grad_coef(logp_new[i], logp_old[i], batch.advantages[i], cfg.clip_ratio);
+            let coef = policy_grad_coef(
+                logp_new[i],
+                logp_old[i],
+                batch.advantages[i],
+                cfg.clip_ratio,
+            );
             if is_clipped(logp_new[i], logp_old[i], cfg.clip_ratio) {
                 clipped += 1;
             }
@@ -330,7 +330,11 @@ mod tests {
         }
         let p1 = bandit.log_softmax()[1].exp();
         assert!(p1 > 0.9, "policy did not learn the good arm: p1 = {p1}");
-        assert!((bandit.value - 1.0).abs() < 0.5, "value off: {}", bandit.value);
+        assert!(
+            (bandit.value - 1.0).abs() < 0.5,
+            "value off: {}",
+            bandit.value
+        );
     }
 
     #[test]

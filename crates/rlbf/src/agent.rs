@@ -103,7 +103,11 @@ impl EvalReport {
     pub fn from_samples(per_window: Vec<f64>) -> Self {
         let n = per_window.len().max(1) as f64;
         let mean = per_window.iter().sum::<f64>() / n;
-        let var = per_window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var = per_window
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         Self {
             mean,
             std: var.sqrt(),

@@ -15,11 +15,16 @@
 //! * the **terminal reward** `(sjf − bsld)/sjf`, the percentage improvement
 //!   over scheduling the same sequence with FCFS as the base policy and
 //!   SJF-ordered EASY backfilling.
+//!
+//! Both the episode simulation and the baseline run ride the `desim`
+//! event kernel (see `ARCHITECTURE.md`): [`BackfillEnv::new`] constructs
+//! the kernel-backed [`hpcsim::Simulation`], and `advance_to_decision`
+//! pauses it at each heap-driven decision point. PPO rollout throughput
+//! scales with that kernel — every trajectory is one of these episodes
+//! plus one baseline schedule.
 
 use crate::obs::{encode_with_skip, ObsConfig, Observation};
-use hpcsim::{
-    run_scheduler, Backfill, Metrics, Policy, RuntimeEstimator, SimEvent, Simulation,
-};
+use hpcsim::{run_scheduler, Backfill, Metrics, Policy, RuntimeEstimator, SimEvent, Simulation};
 use serde::{Deserialize, Serialize};
 use swf::Trace;
 
@@ -133,22 +138,18 @@ impl BackfillEnv {
     /// the reward baseline, and advances to the first decision point.
     pub fn new(trace: &Trace, base_policy: Policy, cfg: EnvConfig) -> Self {
         let baseline_bsld = match cfg.reward {
-            RewardKind::SjfRelative => cfg.objective.of(
-                &run_scheduler(
-                    trace,
-                    Policy::Fcfs,
-                    Backfill::EasyOrdered(RuntimeEstimator::RequestTime, Policy::Sjf),
-                )
-                .metrics,
-            ),
-            RewardKind::EasyRelative => cfg.objective.of(
-                &run_scheduler(
-                    trace,
-                    base_policy,
-                    Backfill::Easy(RuntimeEstimator::RequestTime),
-                )
-                .metrics,
-            ),
+            RewardKind::SjfRelative => cfg.objective.of(&run_scheduler(
+                trace,
+                Policy::Fcfs,
+                Backfill::EasyOrdered(RuntimeEstimator::RequestTime, Policy::Sjf),
+            )
+            .metrics),
+            RewardKind::EasyRelative => cfg.objective.of(&run_scheduler(
+                trace,
+                base_policy,
+                Backfill::Easy(RuntimeEstimator::RequestTime),
+            )
+            .metrics),
             RewardKind::NegBsld => 0.0,
         };
         let mut env = Self {
@@ -277,8 +278,7 @@ impl BackfillEnv {
                     return;
                 }
                 SimEvent::BackfillOpportunity => {
-                    let obs =
-                        encode_with_skip(&self.sim, &self.cfg.obs, self.cfg.allow_skip);
+                    let obs = encode_with_skip(&self.sim, &self.cfg.obs, self.cfg.allow_skip);
                     if obs.has_valid_action() {
                         self.current_obs = Some(obs);
                         return;

@@ -73,8 +73,18 @@ impl BackfillActorCritic {
         value_dims.extend(&cfg.value_hidden);
         value_dims.push(1);
         Self {
-            policy: Mlp::new(&policy_dims, Activation::Relu, Activation::Identity, &mut rng),
-            value: Mlp::new(&value_dims, Activation::Relu, Activation::Identity, &mut rng),
+            policy: Mlp::new(
+                &policy_dims,
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            ),
+            value: Mlp::new(
+                &value_dims,
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            ),
             policy_opt: Adam::new(AdamConfig::with_lr(cfg.pi_lr)),
             value_opt: Adam::new(AdamConfig::with_lr(cfg.v_lr)),
             cfg,
@@ -274,7 +284,10 @@ mod tests {
             );
         }
         // With skip disallowed, greedy must land on a valid job slot.
-        let obs = fake_obs_with_skip(&[false, true, false, false, false, false, false, false], false);
+        let obs = fake_obs_with_skip(
+            &[false, true, false, false, false, false, false, false],
+            false,
+        );
         let a = ac.act_greedy(&obs);
         assert_eq!(a, 1);
     }
@@ -326,7 +339,10 @@ mod tests {
             ac.value_opt_step();
         }
         let v = ac.value_of(&obs);
-        assert!((v - target).abs() < 0.05, "value {v} did not reach {target}");
+        assert!(
+            (v - target).abs() < 0.05,
+            "value {v} did not reach {target}"
+        );
     }
 
     #[test]

@@ -338,7 +338,9 @@ mod tests {
         assert_eq!(obs.slots(), 4);
         // All job slots are filled, with the earliest-submitted waiting
         // jobs; the final slot is the skip row.
-        assert!(obs.queue_index[..obs.skip_action()].iter().all(Option::is_some));
+        assert!(obs.queue_index[..obs.skip_action()]
+            .iter()
+            .all(Option::is_some));
         assert!(obs.queue_index[obs.skip_action()].is_none());
         let kept: Vec<usize> = obs.queue_index.iter().flatten().copied().collect();
         let max_kept_submit = kept

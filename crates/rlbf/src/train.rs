@@ -180,8 +180,7 @@ fn collect_trajectory(
 /// demonstration policy for the imitation warm-start.
 pub fn easy_like_chooser(obs: &Observation) -> usize {
     for slot in 0..obs.skip_action() {
-        if obs.mask[slot]
-            && (obs.features.get(slot, 8) == 1.0 || obs.features.get(slot, 9) == 1.0)
+        if obs.mask[slot] && (obs.features.get(slot, 8) == 1.0 || obs.features.get(slot, 9) == 1.0)
         {
             return slot;
         }
@@ -361,7 +360,13 @@ pub fn train(trace: &Trace, cfg: TrainConfig) -> TrainResult {
     );
     let mut ac = BackfillActorCritic::new(cfg.net.clone(), cfg.seed);
     if cfg.pretrain_episodes > 0 {
-        pretrain_imitation(&mut ac, trace, &cfg, cfg.pretrain_episodes, cfg.pretrain_passes);
+        pretrain_imitation(
+            &mut ac,
+            trace,
+            &cfg,
+            cfg.pretrain_episodes,
+            cfg.pretrain_passes,
+        );
     }
     let mut history = Vec::with_capacity(cfg.epochs);
 

@@ -215,7 +215,14 @@ mod tests {
     fn display_renders_all_rows() {
         let p = TraceProfile::of(&TracePreset::Hpc2n.generate(500, 9));
         let s = p.to_string();
-        for key in ["runtime", "request", "procs", "interarrival", "overestimate", "serial"] {
+        for key in [
+            "runtime",
+            "request",
+            "procs",
+            "interarrival",
+            "overestimate",
+            "serial",
+        ] {
             assert!(s.contains(key), "missing {key} in display");
         }
     }

@@ -53,7 +53,10 @@ impl Job {
     /// interactive threshold `bound` (10 s in the paper, after Feitelson &
     /// Rudolph) preventing very short jobs from dominating the average.
     pub fn bounded_slowdown(&self, start_time: f64, bound: f64) -> f64 {
-        debug_assert!(start_time + 1e-9 >= self.submit, "job started before submission");
+        debug_assert!(
+            start_time + 1e-9 >= self.submit,
+            "job started before submission"
+        );
         let wait = (start_time - self.submit).max(0.0);
         ((wait + self.runtime) / self.runtime.max(bound)).max(1.0)
     }

@@ -162,9 +162,8 @@ impl LublinModel {
         // Discount the capability-job contribution before solving the
         // log2-uniform bound: E[2^U] over the top octave is ~0.7213·cluster.
         let giant_mean = 0.7213 * cluster_procs as f64;
-        let base_target = ((mean_procs - m.giant_prob * giant_mean)
-            / (1.0 - m.giant_prob))
-            .max(1.0);
+        let base_target =
+            ((mean_procs - m.giant_prob * giant_mean) / (1.0 - m.giant_prob)).max(1.0);
         m.log2_size_max = m.solve_log2_size_max(base_target);
 
         // Pilot-sample arrival calibration. The analytic daily-cycle
@@ -211,9 +210,8 @@ impl LublinModel {
     }
 
     fn solve_log2_size_max(&self, target_mean: f64) -> f64 {
-        let blended = |h: f64| {
-            self.serial_prob + (1.0 - self.serial_prob) * Self::expected_parallel_size(h)
-        };
+        let blended =
+            |h: f64| self.serial_prob + (1.0 - self.serial_prob) * Self::expected_parallel_size(h);
         let hi_cap = (self.cluster_procs as f64).log2();
         let (mut lo, mut hi) = (1e-6, hi_cap);
         if blended(hi) < target_mean {

@@ -181,7 +181,10 @@ mod tests {
         let m = OverestimateModel::with_mean_factor(3.0);
         let out = m.apply(&trace, 9);
         for (a, b) in trace.jobs().iter().zip(out.jobs()) {
-            assert_eq!((a.id, a.submit, a.procs, a.runtime), (b.id, b.submit, b.procs, b.runtime));
+            assert_eq!(
+                (a.id, a.submit, a.procs, a.runtime),
+                (b.id, b.submit, b.procs, b.runtime)
+            );
         }
     }
 }

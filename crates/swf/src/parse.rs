@@ -144,7 +144,11 @@ fn parse_field(tok: &str, line: usize, what: &str) -> Result<f64, SwfError> {
 }
 
 fn header_value(line: &str, key: &str) -> Option<u32> {
-    let rest = line.trim().strip_prefix(key)?.trim_start_matches(':').trim();
+    let rest = line
+        .trim()
+        .strip_prefix(key)?
+        .trim_start_matches(':')
+        .trim();
     rest.split_whitespace().next()?.parse().ok()
 }
 

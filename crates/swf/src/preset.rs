@@ -121,12 +121,7 @@ impl TracePreset {
         let t = self.targets();
         let mut template = LublinModel::with_shapes(t.cluster_procs);
         template.arrival_shape = t.arrival_shape;
-        LublinModel::calibrated_from(
-            template,
-            t.mean_interarrival,
-            t.mean_runtime,
-            t.mean_procs,
-        )
+        LublinModel::calibrated_from(template, t.mean_interarrival, t.mean_runtime, t.mean_procs)
     }
 
     /// Generates `n` jobs deterministically from `seed`.

@@ -23,7 +23,10 @@ impl Trace {
     /// larger than the cluster (real archive traces contain a handful of
     /// such unrunnable records; keeping them would deadlock any simulator).
     pub fn new(name: impl Into<String>, cluster_procs: u32, mut jobs: Vec<Job>) -> Self {
-        assert!(cluster_procs > 0, "cluster must have at least one processor");
+        assert!(
+            cluster_procs > 0,
+            "cluster must have at least one processor"
+        );
         jobs.retain(|j| j.procs <= cluster_procs);
         jobs.sort_by(|a, b| {
             a.submit

@@ -7,19 +7,17 @@ use swf::overestimate::OverestimateModel;
 use swf::{Job, Trace};
 
 fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
-    proptest::collection::vec(
-        (0.0f64..1e7, 1u32..=256, 1.0f64..1e5, 1.0f64..4.0),
-        1..200,
+    proptest::collection::vec((0.0f64..1e7, 1u32..=256, 1.0f64..1e5, 1.0f64..4.0), 1..200).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (submit, procs, runtime, over))| {
+                    Job::new(i, submit, procs, runtime * over, runtime)
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (submit, procs, runtime, over))| {
-                Job::new(i, submit, procs, runtime * over, runtime)
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -127,7 +127,11 @@ mod tests {
         let mut g = Matrix::row(vec![123.0]);
         let mut adam = Adam::new(AdamConfig::with_lr(0.01));
         adam.step(vec![(&mut p, &mut g)]);
-        assert!((p.data()[0] - (1.0 - 0.01)).abs() < 1e-6, "got {}", p.data()[0]);
+        assert!(
+            (p.data()[0] - (1.0 - 0.01)).abs() < 1e-6,
+            "got {}",
+            p.data()[0]
+        );
         assert_eq!(g.data()[0], 0.0, "gradient must be zeroed");
     }
 

@@ -73,7 +73,8 @@ impl Linear {
     /// Backward pass: given the layer input `x` and `dL/dy`, accumulates
     /// `dL/dW`, `dL/db` and returns `dL/dx`.
     pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
-        self.grad_w.add_scaled_assign(&x.transpose().matmul(grad_out), 1.0);
+        self.grad_w
+            .add_scaled_assign(&x.transpose().matmul(grad_out), 1.0);
         self.grad_b.add_scaled_assign(&grad_out.col_sums(), 1.0);
         grad_out.matmul(&self.w.transpose())
     }
@@ -114,7 +115,10 @@ impl Mlp {
         out_act: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -191,12 +195,7 @@ impl Mlp {
     pub fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
         self.layers
             .iter_mut()
-            .flat_map(|l| {
-                [
-                    (&mut l.w, &mut l.grad_w),
-                    (&mut l.b, &mut l.grad_b),
-                ]
-            })
+            .flat_map(|l| [(&mut l.w, &mut l.grad_w), (&mut l.b, &mut l.grad_b)])
             .collect()
     }
 
@@ -257,7 +256,12 @@ mod tests {
 
     #[test]
     fn mlp_shapes_are_consistent() {
-        let mlp = Mlp::new(&[8, 32, 16, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let mlp = Mlp::new(
+            &[8, 32, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         assert_eq!(mlp.input_dim(), 8);
         assert_eq!(mlp.output_dim(), 1);
         let y = mlp.forward(&Matrix::zeros(5, 8));
@@ -267,7 +271,12 @@ mod tests {
 
     #[test]
     fn zero_input_with_zero_bias_gives_zero_relu_output() {
-        let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Identity, &mut rng());
+        let mlp = Mlp::new(
+            &[4, 8, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         let y = mlp.forward(&Matrix::zeros(1, 4));
         // biases start at zero, so a zero input must map to zero
         assert!(y.data().iter().all(|&v| v == 0.0));
@@ -331,7 +340,12 @@ mod tests {
 
     #[test]
     fn input_gradient_matches_finite_differences() {
-        let mut mlp = Mlp::new(&[3, 4, 1], Activation::Tanh, Activation::Identity, &mut rng());
+        let mut mlp = Mlp::new(
+            &[3, 4, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        );
         let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
         let (y, cache) = mlp.forward_cached(&x);
         let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
@@ -354,7 +368,12 @@ mod tests {
 
     #[test]
     fn gradients_accumulate_until_zeroed() {
-        let mut mlp = Mlp::new(&[2, 2], Activation::Identity, Activation::Identity, &mut rng());
+        let mut mlp = Mlp::new(
+            &[2, 2],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng(),
+        );
         let x = Matrix::row(vec![1.0, 2.0]);
         let g = Matrix::row(vec![1.0, 1.0]);
         let (_, cache) = mlp.forward_cached(&x);
@@ -369,7 +388,12 @@ mod tests {
 
     #[test]
     fn serde_round_trip_preserves_outputs() {
-        let mlp = Mlp::new(&[4, 8, 3], Activation::Tanh, Activation::Identity, &mut rng());
+        let mlp = Mlp::new(
+            &[4, 8, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        );
         let json = serde_json::to_string(&mlp).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
         let x = Matrix::from_vec(2, 4, vec![0.5; 8]);

@@ -103,7 +103,8 @@ impl Matrix {
     /// layout for row-major data.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} × {:?}",
             self.shape(),
             rhs.shape()

@@ -103,18 +103,36 @@ fn gradcheck(dims: &[usize], hidden: Activation, out: Activation, batch: usize, 
 fn gradcheck_paper_policy_architecture() {
     // The kernel policy net: JOB_FEATURES(10) → 32 → 16 → 1 over a batch
     // of slot rows.
-    gradcheck(&[10, 32, 16, 1], Activation::Relu, Activation::Identity, 9, 1);
+    gradcheck(
+        &[10, 32, 16, 1],
+        Activation::Relu,
+        Activation::Identity,
+        9,
+        1,
+    );
 }
 
 #[test]
 fn gradcheck_paper_value_architecture() {
     // A shrunken value net shape: wide input, single output, batch 1.
-    gradcheck(&[80, 32, 16, 1], Activation::Relu, Activation::Identity, 1, 2);
+    gradcheck(
+        &[80, 32, 16, 1],
+        Activation::Relu,
+        Activation::Identity,
+        1,
+        2,
+    );
 }
 
 #[test]
 fn gradcheck_tanh_deep() {
-    gradcheck(&[6, 12, 12, 12, 3], Activation::Tanh, Activation::Identity, 5, 3);
+    gradcheck(
+        &[6, 12, 12, 12, 3],
+        Activation::Tanh,
+        Activation::Identity,
+        5,
+        3,
+    );
 }
 
 #[test]

@@ -63,6 +63,9 @@ fn main() {
             100.0 * (easy - rl) / easy
         );
     }
-    println!("\nThe agent never saw {} during training; beating (or matching)", eval_preset.name());
+    println!(
+        "\nThe agent never saw {} during training; beating (or matching)",
+        eval_preset.name()
+    );
     println!("EASY there is the paper's generality claim (§4.4).");
 }

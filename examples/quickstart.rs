@@ -23,8 +23,14 @@ fn main() {
     );
     for (label, backfill) in [
         ("FCFS (no backfilling)", Backfill::None),
-        ("FCFS+EASY (request time)", Backfill::Easy(RuntimeEstimator::RequestTime)),
-        ("FCFS+EASY-AR (actual)", Backfill::Easy(RuntimeEstimator::ActualRuntime)),
+        (
+            "FCFS+EASY (request time)",
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        ),
+        (
+            "FCFS+EASY-AR (actual)",
+            Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        ),
         (
             "FCFS+Conservative",
             Backfill::Conservative(RuntimeEstimator::RequestTime),
@@ -44,8 +50,16 @@ fn main() {
     // 3. The same comparison across all four base policies of Table 3.
     println!("{:<8} {:>12} {:>12}", "policy", "EASY", "EASY-AR");
     for policy in Policy::ALL {
-        let easy = run_scheduler(&trace, policy, Backfill::Easy(RuntimeEstimator::RequestTime));
-        let ar = run_scheduler(&trace, policy, Backfill::Easy(RuntimeEstimator::ActualRuntime));
+        let easy = run_scheduler(
+            &trace,
+            policy,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        );
+        let ar = run_scheduler(
+            &trace,
+            policy,
+            Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        );
         println!(
             "{:<8} {:>12.2} {:>12.2}",
             policy.name(),

@@ -26,7 +26,12 @@ fn main() {
         .unwrap_or(15);
 
     let trace = preset.generate(4000, 7);
-    println!("training on {} ({} jobs): {}", preset, trace.len(), trace.stats());
+    println!(
+        "training on {} ({} jobs): {}",
+        preset,
+        trace.len(),
+        trace.stats()
+    );
 
     let obs = ObsConfig { max_obsv_size: 64 };
     let cfg = TrainConfig {

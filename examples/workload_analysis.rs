@@ -50,8 +50,14 @@ fn main() {
     println!("utilization over the schedule (first 600 jobs):");
     for (label, backfill) in [
         ("no backfilling ", Backfill::None),
-        ("EASY (request) ", Backfill::Easy(RuntimeEstimator::RequestTime)),
-        ("EASY-AR        ", Backfill::Easy(RuntimeEstimator::ActualRuntime)),
+        (
+            "EASY (request) ",
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        ),
+        (
+            "EASY-AR        ",
+            Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        ),
     ] {
         let r = run_scheduler(&window, Policy::Fcfs, backfill);
         println!(
@@ -64,7 +70,11 @@ fn main() {
 
     // A small Gantt excerpt for the curious.
     let tiny = trace.window(0, 12);
-    let r = run_scheduler(&tiny, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::RequestTime));
+    let r = run_scheduler(
+        &tiny,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+    );
     println!("\nGantt of the first 12 jobs under FCFS+EASY:");
     print!("{}", gantt(&r.completed, 60, 12));
 }

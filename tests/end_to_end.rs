@@ -77,7 +77,11 @@ fn full_pipeline_is_deterministic() {
     let trace = TracePreset::Lublin1.generate(1500, 79);
     let a = train(&trace, tiny_train_config(Policy::Fcfs, 9));
     let b = train(&trace, tiny_train_config(Policy::Fcfs, 9));
-    assert_eq!(a.ac.to_json(), b.ac.to_json(), "training must be reproducible");
+    assert_eq!(
+        a.ac.to_json(),
+        b.ac.to_json(),
+        "training must be reproducible"
+    );
     let agent_a = RlbfAgent::from_training(&a, "x");
     let agent_b = RlbfAgent::from_training(&b, "x");
     assert_eq!(

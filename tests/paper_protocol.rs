@@ -15,8 +15,14 @@ fn table2_presets_match_their_targets() {
         let s = preset.generate(5000, 7).stats();
         let rel = |a: f64, b: f64| (a - b).abs() / b;
         assert_eq!(s.cluster_procs, t.cluster_procs, "{preset}");
-        assert!(rel(s.mean_interarrival, t.mean_interarrival) < 0.15, "{preset} it");
-        assert!(rel(s.mean_request_time, t.mean_request_time) < 0.15, "{preset} rt");
+        assert!(
+            rel(s.mean_interarrival, t.mean_interarrival) < 0.15,
+            "{preset} it"
+        );
+        assert!(
+            rel(s.mean_request_time, t.mean_request_time) < 0.15,
+            "{preset} rt"
+        );
         assert!(rel(s.mean_procs, t.mean_procs) < 0.30, "{preset} nt");
     }
 }
@@ -81,8 +87,16 @@ fn sjf_with_easy_is_strong_baseline_on_real_trace_standins() {
     // most from accurate estimates; across policies, SJF+EASY is the
     // strongest heuristic pair on SDSC-SP2-like workloads.
     let trace = TracePreset::SdscSp2.generate(3000, 19);
-    let sjf = run_scheduler(&trace, Policy::Sjf, Backfill::Easy(RuntimeEstimator::RequestTime));
-    let fcfs = run_scheduler(&trace, Policy::Fcfs, Backfill::Easy(RuntimeEstimator::RequestTime));
+    let sjf = run_scheduler(
+        &trace,
+        Policy::Sjf,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+    );
+    let fcfs = run_scheduler(
+        &trace,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+    );
     assert!(
         sjf.metrics.mean_bounded_slowdown < fcfs.metrics.mean_bounded_slowdown,
         "SJF+EASY {} should beat FCFS+EASY {}",

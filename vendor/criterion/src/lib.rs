@@ -1,0 +1,304 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified from the real criterion): each benchmark is
+//! warmed up for ~0.5 s, then sampled `sample_size` times, each sample
+//! running enough iterations to cover ~2 ms. The report prints min /
+//! median / mean / max per-iteration times in adaptive units. The
+//! `--bench` / `--test` CLI flags cargo passes are accepted; `--test`
+//! runs every benchmark once for smoke coverage. A benchmark-name filter
+//! argument is honored like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_id` plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id that is just the rendered parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup & calibration: find an iteration count covering ~2 ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(500);
+        let mut calibrated = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..calibrated {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || calibrated >= 1 << 20 {
+                let per_iter = elapsed.as_secs_f64() / calibrated as f64;
+                self.iters_per_sample =
+                    ((0.002 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 20);
+                if Instant::now() >= warmup_deadline {
+                    break;
+                }
+            } else {
+                calibrated *= 2;
+            }
+            if Instant::now() >= warmup_deadline {
+                if self.iters_per_sample == 0 {
+                    self.iters_per_sample = calibrated.max(1);
+                }
+                break;
+            }
+        }
+        self.iters_per_sample = self.iters_per_sample.max(1);
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The harness: owns CLI options and runs benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            filter,
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 0,
+            sample_count: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("bench {id}: ok (test mode)");
+            return;
+        }
+        samples.sort_by(f64::total_cmp);
+        if samples.is_empty() {
+            println!("bench {id}: no samples (b.iter never called)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "bench {id:<48} median {:>12}  mean {:>12}  (min {}, max {}, {} samples)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(samples[0]),
+            fmt_time(*samples.last().unwrap()),
+            samples.len(),
+        );
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream-compat no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench-binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 0,
+            sample_count: 3,
+            test_mode: false,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_sampling() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 0,
+            sample_count: 10,
+            test_mode: true,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("easy", "FCFS").to_string(), "easy/FCFS");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

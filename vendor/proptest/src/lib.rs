@@ -1,0 +1,290 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: range and
+//! tuple strategies, `prop_map` / `prop_flat_map`, `Just`, `any::<bool>()`,
+//! `prop_oneof!`, `proptest::collection::vec`, the `proptest!` macro with
+//! optional `#![proptest_config(..)]`, and the `prop_assert*` family.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index and values via panic message; cases are deterministic per
+//! test name, so failures reproduce exactly), and the default case count
+//! is 64 (override with the `PROPTEST_CASES` environment variable or a
+//! `ProptestConfig`), keeping the tier-1 suite fast on small containers.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count, honoring the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property check (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-(test, case) RNG: FNV-1a over the test name mixed
+/// with the case index.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    rand::SeedableRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Values generatable "out of thin air" via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random_range(0u8..=u8::MAX)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random::<u64>()
+    }
+}
+
+/// Strategy for an [`Arbitrary`] type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`
+    /// (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The prelude: everything tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+    /// Upstream-style alias: `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Builds a uniform choice among equally-weighted strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let cases = cfg.resolved_cases();
+                for case in 0..cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strat, &mut __rng,
+                        );
+                    )+
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {case}/{cases}: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10.0f64..20.0, n in 1u32..=5) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((1..=5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_and_maps(
+            xs in crate::collection::vec(0.0f64..1.0, 3..10),
+            flag in any::<bool>(),
+            label in prop_oneof![Just("a"), Just("b")],
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+            let _ = flag;
+            prop_assert!(label == "a" || label == "b");
+        }
+
+        #[test]
+        fn mapped_tuples(pair in (1u32..5, 10u32..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((11..25).contains(&pair));
+        }
+
+        #[test]
+        fn flat_mapped_sizes(
+            v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..9, n))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let a: Vec<f64> = (0..5)
+            .map(|c| s.clone().generate(&mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<f64> = (0..5)
+            .map(|c| s.clone().generate(&mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

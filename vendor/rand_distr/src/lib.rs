@@ -1,0 +1,211 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Gamma`], [`Exp`] and [`Normal`] distributions the workload models use.
+//!
+//! Gamma sampling uses the Marsaglia–Tsang (2000) squeeze method (the same
+//! algorithm as upstream), with the standard `U^(1/α)` boost for shape < 1,
+//! so the generated workloads have the intended hyper-gamma statistics.
+
+use rand::{Rng, RngCore};
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Types that can generate samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+/// One standard-normal draw (Marsaglia polar method).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with the given rate.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(ParamError("rate must be positive and finite"));
+        }
+        Ok(Self { rate })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        // ln(1-u) with u in [0,1) never hits ln(0).
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// The gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// A gamma distribution with the given shape and scale.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if shape <= 0.0 || !shape.is_finite() {
+            return Err(ParamError("shape must be positive and finite"));
+        }
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(ParamError("scale must be positive and finite"));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Marsaglia–Tsang for shape ≥ 1.
+    fn sample_shape_ge1<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = rng.random_range(0.0..1.0);
+            let x2 = x * x;
+            // Squeeze check, then the full acceptance test.
+            if u < 1.0 - 0.0331 * x2 * x2 {
+                return d * v;
+            }
+            if u > 0.0 && u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = if self.shape >= 1.0 {
+            Self::sample_shape_ge1(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) · U^(1/k) for k < 1.
+            let g = Self::sample_shape_ge1(self.shape + 1.0, rng);
+            let u: f64 = rng.random_range(0.0..1.0);
+            // u == 0 would zero the sample; the 2^-53 floor is harmless.
+            g * u.max(f64::MIN_POSITIVE).powf(1.0 / self.shape)
+        };
+        unit * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(d: &impl Distribution<f64>, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn exp_mean_and_var() {
+        let d = Exp::new(0.5).unwrap();
+        let (mean, var) = sample_stats(&d, 200_000, 1);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_and_var_shape_above_one() {
+        // Gamma(4.2, 200): mean = 840, var = 168000.
+        let d = Gamma::new(4.2, 200.0).unwrap();
+        let (mean, var) = sample_stats(&d, 200_000, 2);
+        assert!((mean - 840.0).abs() / 840.0 < 0.02, "mean {mean}");
+        assert!((var - 168_000.0).abs() / 168_000.0 < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_shape_below_one() {
+        // Gamma(0.45, 3): mean = 1.35, var = 4.05 (the bursty arrival shape).
+        let d = Gamma::new(0.45, 3.0).unwrap();
+        let (mean, var) = sample_stats(&d, 400_000, 3);
+        assert!((mean - 1.35).abs() / 1.35 < 0.03, "mean {mean}");
+        assert!((var - 4.05).abs() / 4.05 < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn normal_mean_and_std() {
+        let d = Normal::new(-3.0, 2.0).unwrap();
+        let (mean, var) = sample_stats(&d, 200_000, 4);
+        assert!((mean + 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let g = Gamma::new(0.3, 1.0).unwrap();
+        let e = Exp::new(2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

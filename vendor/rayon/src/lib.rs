@@ -1,0 +1,284 @@
+//! Offline stand-in for `rayon`, covering the combinators this workspace
+//! uses: `par_iter`, `into_par_iter`, `par_chunks`, then `map` /
+//! `flat_map` followed by `collect` / `sum`.
+//!
+//! Unlike a toy sequential shim, work *is* executed in parallel: inputs are
+//! split into one contiguous chunk per available core and processed on
+//! scoped OS threads, preserving input order in the output. That is exactly
+//! the access pattern of the PPO training loop (embarrassingly parallel
+//! trajectory collection and gradient accumulation), so the speedup profile
+//! matches the real rayon here without a work-stealing pool.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving order. The single-thread / tiny-input path avoids spawning.
+fn par_run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split back-to-front so each drain is O(chunk).
+    while items.len() > chunk_len {
+        let tail = items.split_off(items.len() - chunk_len);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse();
+
+    let f = &f;
+    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialized list of items awaiting a
+/// mapping stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item in parallel (runs at the terminal operation).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps every item to an iterator and concatenates, in input order.
+    pub fn flat_map<I, F>(self, f: F) -> ParFlatMap<T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        ParFlatMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items themselves.
+    pub fn collect<C: FromParallelVec<T>>(self) -> C {
+        C::from_vec(self.items)
+    }
+}
+
+/// A pending parallel `map`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the map on worker threads and collects the results.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_vec(par_run(self.items, self.f))
+    }
+
+    /// Executes the map and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_run(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// A pending parallel `flat_map`.
+pub struct ParFlatMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, I, F> ParFlatMap<T, F>
+where
+    T: Send,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(T) -> I + Sync,
+{
+    /// Executes on worker threads and concatenates results in input order.
+    pub fn collect<C: FromParallelVec<I::Item>>(self) -> C {
+        let nested = par_run(self.items, |t| (self.f)(t).into_iter().collect::<Vec<_>>());
+        C::from_vec(nested.into_iter().flatten().collect())
+    }
+}
+
+/// Conversion from an ordered result vector — the terminal `collect`.
+pub trait FromParallelVec<T>: Sized {
+    /// Builds the collection from items in input order.
+    fn from_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `rayon::prelude` — import to get the `par_iter` family.
+pub mod prelude {
+    use super::ParIter;
+
+    /// `.par_iter()` over anything viewable as a slice.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The per-item reference type.
+        type Item: Send + 'a;
+        /// An eager parallel iterator over `&self`'s items.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// `.into_par_iter()` over owned iterables (ranges, vectors).
+    pub trait IntoParallelIterator {
+        /// The owned item type.
+        type Item: Send;
+        /// An eager parallel iterator consuming `self`.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// `.par_chunks(n)` over slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// An eager parallel iterator over contiguous chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParIter {
+                items: self.chunks(chunk_size).collect(),
+            }
+        }
+    }
+
+    impl<T: Sync> ParallelSlice<T> for Vec<T> {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+            self.as_slice().par_chunks(chunk_size)
+        }
+    }
+
+    /// Re-exports so `use rayon::prelude::*` mirrors upstream.
+    pub use super::{FromParallelVec, ParFlatMap, ParMap};
+}
+
+// Re-export ParIter at the root so prelude trait impls can name it.
+pub use prelude::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0usize..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[999], 999 * 999);
+        let total: usize = (1usize..=100).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let out: Vec<usize> = (0usize..100)
+            .into_par_iter()
+            .flat_map(|x| vec![x; x % 3])
+            .collect();
+        let expected: Vec<usize> = (0usize..100).flat_map(|x| vec![x; x % 3]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_element_once() {
+        let xs: Vec<f64> = (0..997).map(|i| i as f64).collect();
+        let partials: Vec<f64> = xs.par_chunks(100).map(|c| c.iter().sum::<f64>()).collect();
+        assert_eq!(partials.len(), 10);
+        let total: f64 = partials.iter().sum();
+        assert_eq!(total, xs.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..256usize)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected multiple worker threads");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for `serde`, shaped for this workspace.
+//!
+//! The container has no network access, so the real `serde` cannot be
+//! fetched. This crate implements the exact subset the workspace uses: a
+//! JSON value model, `Serialize`/`Deserialize` traits over it, impls for
+//! the primitive/container types that appear in derived structs, and the
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! `serde_derive`, which generates impls of *these* traits).
+//!
+//! The representation matches real serde's externally-tagged JSON default:
+//! structs are objects, unit enum variants are strings, newtype variants
+//! are `{"Variant": value}`, tuple variants `{"Variant": [..]}` and struct
+//! variants `{"Variant": {..}}` — so checkpoints written by this crate
+//! would parse identically under the real serde_json.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{parse_value, write_value, Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// The value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a struct field. Used by derived impls.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+            .and_then(|(_, fv)| T::from_value(fv)),
+        other => Err(Error::msg(format!(
+            "expected object with field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $n:ident),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::$n(*self as _))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::I64(x)) => <$t>::try_from(*x)
+                        .map_err(|_| Error::msg(format!("{x} out of range for {}", stringify!($t)))),
+                    Value::Number(Number::U64(x)) => <$t>::try_from(*x)
+                        .map_err(|_| Error::msg(format!("{x} out of range for {}", stringify!($t)))),
+                    Value::Number(Number::F64(x)) if x.fract() == 0.0 => Ok(*x as $t),
+                    other => Err(Error::msg(format!(
+                        "expected {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_int!(
+    u8 => U64, u16 => U64, u32 => U64, u64 => U64, usize => U64,
+    i8 => I64, i16 => I64, i32 => I64, i64 => I64, isize => I64,
+);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    // serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::msg(format!("expected float, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = $idx; // positional consumption
+                                $t::from_value(
+                                    it.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                                )?
+                            },
+                        )+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0.0f64, -1.5, 1e300, 123.456] {
+            let rt = f64::from_value(&v.to_value()).unwrap();
+            assert_eq!(v, rt);
+        }
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hé\"llo\n".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![Some(1u32), None, Some(3)];
+        assert_eq!(Vec::<Option<u32>>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u32, 2.5f64, "x".to_string());
+        assert_eq!(<(u32, f64, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(field::<bool>(&obj, "a").unwrap());
+        assert!(field::<bool>(&obj, "b").is_err());
+    }
+}

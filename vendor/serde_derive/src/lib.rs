@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a JSON value-tree model) for the shapes this workspace actually
+//! contains: braced structs (optionally with plain type parameters, e.g.
+//! `Step<O>`) and enums with unit, tuple and struct variants. There is no
+//! `syn`/`quote` in the container, so the derive input is parsed directly
+//! from the `proc_macro` token stream and code is generated as text.
+//!
+//! Unsupported shapes (tuple structs, lifetimes, const generics, `#[serde]`
+//! attributes) panic at expansion time with a clear message rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// A braced struct with named fields.
+    Struct { fields: Vec<String> },
+    /// An enum; per variant: name + contents.
+    Enum {
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Skips `#[...]` attribute groups (doc comments arrive as these).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    // Optional `<T, U>` — plain type parameters only.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        i += 1;
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Ident(id)) => {
+                        generics.push(id.to_string());
+                        i += 1;
+                    }
+                    other => panic!(
+                        "derive({name}): only plain type parameters are supported, got {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(_) => {
+            panic!("derive({name}): unsupported item shape (where-clauses / tuple structs are not)")
+        }
+        None => panic!("derive({name}): missing body"),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct {
+            fields: parse_named_fields(body.stream(), &name),
+        },
+        "enum" => Shape::Enum {
+            variants: parse_variants(body.stream(), &name),
+        },
+        other => panic!("derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream, ty: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({ty}): expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("derive({ty}): expected `:` after field `{fname}`, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, ty: &str) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({ty}): expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream(), ty))
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                panic!("derive({ty}): unsupported token after variant `{vname}`: {other}")
+            }
+        }
+        variants.push((vname, shape));
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => serde::Value::String(\"{v}\".to_string()),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::Value::Object(vec![(\"{v}\".to_string(), serde::Serialize::to_value(f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Serialize::to_value(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Object(vec![(\"{v}\".to_string(), serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(\"{v}\".to_string(), serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let code = format!(
+        "{header}{{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        header = impl_header("Serialize", &input)
+    );
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(val)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({k}).ok_or_else(|| serde::Error::msg(\"variant {v}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match val {{ serde::Value::Array(items) => ::std::result::Result::Ok({name}::{v}({})), _ => ::std::result::Result::Err(serde::Error::msg(\"variant {v}: expected array\")) }},",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::field(val, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                r#"match v {{
+                    serde::Value::String(s) => match s.as_str() {{
+                        {unit_arms}
+                        other => ::std::result::Result::Err(serde::Error::msg(format!("unknown variant `{{other}}` of {name}"))),
+                    }},
+                    serde::Value::Object(entries) if entries.len() == 1 => {{
+                        let (tag, val) = &entries[0];
+                        match tag.as_str() {{
+                            {tagged_arms}
+                            other => ::std::result::Result::Err(serde::Error::msg(format!("unknown variant `{{other}}` of {name}"))),
+                        }}
+                    }}
+                    other => ::std::result::Result::Err(serde::Error::msg(format!("cannot deserialize {name} from {{other:?}}"))),
+                }}"#
+            )
+        }
+    };
+    let code = format!(
+        "{header}{{ fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{ {body} }} }}",
+        header = impl_header("Deserialize", &input)
+    );
+    code.parse().expect("derived Deserialize impl parses")
+}

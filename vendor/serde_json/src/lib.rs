@@ -1,0 +1,95 @@
+//! Offline stand-in for `serde_json`: string (de)serialization over the
+//! vendored `serde` value tree. Supports exactly the workspace's usage:
+//! [`to_string`], [`to_string_pretty`], [`from_str`] and [`Error`].
+
+pub use serde::Value;
+
+/// Serialization/deserialization error (shared with the `serde` crate).
+pub type Error = serde::Error;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string (2 spaces, like the real
+/// serde_json pretty printer).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::parse_value(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        xs: Vec<f64>,
+        tag: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        New(f64),
+        Pair(u32, bool),
+        Named { a: f64, b: usize },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: usize,
+        inner: Inner,
+        kinds: Vec<Kind>,
+    }
+
+    #[test]
+    fn derived_round_trip() {
+        let v = Outer {
+            id: 7,
+            inner: Inner {
+                xs: vec![1.5, -2.25, 0.1 + 0.2],
+                tag: None,
+            },
+            kinds: vec![
+                Kind::Unit,
+                Kind::New(4.0),
+                Kind::Pair(3, true),
+                Kind::Named { a: -1.0, b: 9 },
+            ],
+        };
+        let compact = super::to_string(&v).unwrap();
+        let pretty = super::to_string_pretty(&v).unwrap();
+        assert_eq!(super::from_str::<Outer>(&compact).unwrap(), v);
+        assert_eq!(super::from_str::<Outer>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn externally_tagged_layout() {
+        assert_eq!(super::to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(super::to_string(&Kind::New(1.0)).unwrap(), "{\"New\":1.0}");
+        assert_eq!(
+            super::to_string(&Kind::Pair(1, false)).unwrap(),
+            "{\"Pair\":[1,false]}"
+        );
+        assert_eq!(
+            super::to_string(&Kind::Named { a: 2.0, b: 3 }).unwrap(),
+            "{\"Named\":{\"a\":2.0,\"b\":3}}"
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(super::from_str::<Outer>("{}").is_err());
+        assert!(super::from_str::<Outer>("not json").is_err());
+    }
+}
