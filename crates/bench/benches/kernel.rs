@@ -81,6 +81,49 @@ fn bench_conservative_kernel_vs_seed(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_partition(c: &mut Criterion) {
+    // The cluster subsystem's overhead/benefit at 2 and 4 partitions:
+    // per-partition queues shrink the sort and pass costs, the router adds
+    // a per-arrival decision. Kernel-only (the seed engine is flat).
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("multi_partition_lublin1");
+    for parts in [2usize, 4] {
+        let w = swf::partitioned_preset(TracePreset::Lublin1, parts, 10_000, TRACE_SEED);
+        let spec = ClusterSpec::from_layout(&w.layout);
+        group.bench_with_input(
+            BenchmarkId::new("easy_least_loaded", parts),
+            &(&w, &spec),
+            |b, (w, spec)| {
+                b.iter(|| {
+                    run_scheduler_on(
+                        black_box(&w.trace),
+                        Policy::Fcfs,
+                        Backfill::Easy(RuntimeEstimator::RequestTime),
+                        spec,
+                        Arc::new(LeastLoaded),
+                    )
+                })
+            },
+        );
+    }
+    // Conservative at 1k jobs (the pass dominates; matches the flat case
+    // benched above for an apples-to-apples partition-count comparison).
+    let w = swf::partitioned_preset(TracePreset::Lublin1, 2, 1_000, TRACE_SEED);
+    let spec = ClusterSpec::from_layout(&w.layout);
+    group.bench_function("conservative_earliest_start/2", |b| {
+        b.iter(|| {
+            run_scheduler_on(
+                black_box(&w.trace),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+                &spec,
+                Arc::new(EarliestStart::default()),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_replicated_experiments(c: &mut Criterion) {
     // The workload the kernel unlocks: N independent replications of a
     // whole experiment fanned out by desim's Replicator.
@@ -136,6 +179,7 @@ criterion_group!(
     bench_easy_kernel_vs_seed,
     bench_easy_kernel_100k,
     bench_conservative_kernel_vs_seed,
+    bench_multi_partition,
     bench_replicated_experiments,
     bench_full_sizes,
 );

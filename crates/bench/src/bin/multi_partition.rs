@@ -1,0 +1,118 @@
+//! Multi-partition cluster scenarios: EASY and conservative backfilling on
+//! heterogeneous 2- and 4-partition machines under each meta-scheduling
+//! router, end-to-end on a 10k-job trace by default.
+//!
+//! This is the scenario family the cluster subsystem unlocks: the same
+//! Table 2 workloads, re-run on partitioned variants of the machine
+//! (`swf::partitioned_preset`) and on a Lublin workload generated for a
+//! heterogeneous layout (`swf::lublin_multi_partition`). Results go to
+//! `results/multi_partition.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin multi_partition             # 10k jobs
+//! cargo run --release -p bench --bin multi_partition -- --jobs 800   # smoke
+//! ```
+
+use bench::{fmt_bsld, print_table, write_json, TRACE_SEED};
+use hpcsim::prelude::*;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    partitions: Vec<String>,
+    jobs: usize,
+    router: String,
+    backfill: String,
+    bsld: f64,
+    mean_wait: f64,
+    utilization: f64,
+    wall_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    // 2- and 4-partition splits of Lublin-1, plus a Lublin workload
+    // generated directly for a heterogeneous 4-partition layout.
+    let mut scenarios: Vec<(String, swf::PartitionedWorkload)> = Vec::new();
+    for parts in [2usize, 4] {
+        let w = swf::partitioned_preset(TracePreset::Lublin1, parts, jobs, TRACE_SEED);
+        scenarios.push((w.trace.name().to_string(), w));
+    }
+    let layout = swf::split_cluster(256, 4);
+    let trace = swf::lublin_multi_partition(&layout, 0.8, jobs, TRACE_SEED);
+    scenarios.push((
+        "lublin-multi/4p".into(),
+        swf::PartitionedWorkload { trace, layout },
+    ));
+
+    let routers: Vec<(&str, Arc<dyn Router>)> = vec![
+        ("affinity", Arc::new(StaticAffinity)),
+        ("least-loaded", Arc::new(LeastLoaded)),
+        ("earliest-start", Arc::new(EarliestStart::default())),
+    ];
+    let backfills = [
+        ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        (
+            "CONS",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    let mut table = Vec::new();
+    for (name, w) in &scenarios {
+        let spec = ClusterSpec::from_layout(&w.layout);
+        for (router_name, router) in &routers {
+            for (bf_name, bf) in backfills {
+                let t0 = Instant::now();
+                let r = run_scheduler_on(&w.trace, Policy::Fcfs, bf, &spec, Arc::clone(router));
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(r.completed.len(), w.trace.len(), "jobs lost in {name}");
+                table.push(vec![
+                    name.clone(),
+                    router_name.to_string(),
+                    bf_name.to_string(),
+                    fmt_bsld(r.metrics.mean_bounded_slowdown),
+                    format!("{:.0}", r.metrics.mean_wait),
+                    format!("{:.1}%", 100.0 * r.metrics.utilization),
+                    format!("{wall_ms:.0}"),
+                ]);
+                records.push(Row {
+                    scenario: name.clone(),
+                    partitions: w
+                        .layout
+                        .iter()
+                        .map(|p| format!("{}:{}@{:.2}x", p.name, p.procs, p.speed))
+                        .collect(),
+                    jobs: w.trace.len(),
+                    router: router_name.to_string(),
+                    backfill: bf_name.to_string(),
+                    bsld: r.metrics.mean_bounded_slowdown,
+                    mean_wait: r.metrics.mean_wait,
+                    utilization: r.metrics.utilization,
+                    wall_ms,
+                });
+            }
+        }
+    }
+
+    print_table(
+        &format!("Multi-partition scenarios ({jobs} jobs, FCFS base)"),
+        &[
+            "scenario", "router", "backfill", "bsld", "wait s", "util", "ms",
+        ],
+        &table,
+    );
+    write_json("multi_partition", &records);
+}

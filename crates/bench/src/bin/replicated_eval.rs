@@ -1,0 +1,141 @@
+//! Replicator-parallel §4.3 evaluation: the paper's 10 × 1024-job window
+//! protocol repeated under N independent master seeds, fanned out with
+//! `desim::Replicator` — the multi-seed evaluation sweep that used to run
+//! sequentially (only per-window trajectory collection was parallel).
+//!
+//! Each replication is one *complete* protocol run (sample windows under
+//! its own seed, schedule every window, aggregate), so the unit of
+//! parallelism is the whole experiment, not a window. The binary times the
+//! sweep sequentially (1 thread) and parallel (all cores) and records the
+//! wall-clock win in `results/eval_replication.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin replicated_eval [-- --seeds N --jobs N]
+//! ```
+
+use bench::{print_table, write_json, TRACE_SEED};
+use desim::Replicator;
+use hpcsim::prelude::*;
+use rlbf::sample_windows;
+use serde::Serialize;
+use std::time::Instant;
+use swf::TracePreset;
+
+#[derive(Serialize)]
+struct Row {
+    trace: String,
+    backfill: String,
+    seeds: usize,
+    windows: usize,
+    window_len: usize,
+    /// Worker threads the parallel run had available — the speedup ceiling.
+    /// On a 1-core host seq and par are the same code path and the speedup
+    /// is ≈ 1.0 by construction; replications share nothing, so on an
+    /// N-core host the sweep scales with min(N, seeds).
+    host_threads: usize,
+    mean_bsld: f64,
+    std_across_seeds: f64,
+    seq_ms: f64,
+    par_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seeds = arg("--seeds", 16);
+    let jobs = arg("--jobs", 10_000);
+    let windows = 10; // paper §4.3
+    let window_len = 1024;
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cases = [
+        (
+            TracePreset::Lublin1,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            "EASY",
+        ),
+        (
+            TracePreset::Lublin1,
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+            "CONS",
+        ),
+        (
+            TracePreset::SdscSp2,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            "EASY",
+        ),
+    ];
+
+    let mut records = Vec::new();
+    let mut table = Vec::new();
+    for (preset, backfill, label) in cases {
+        let trace = preset.generate(jobs, TRACE_SEED);
+        // One replication = the full §4.3 protocol under one master seed,
+        // windows scheduled sequentially *within* the replication — the
+        // parallel axis is the seed sweep, fanned out by the Replicator.
+        let protocol = |_idx: usize, seed: u64| {
+            let ws = sample_windows(&trace, windows, window_len, seed);
+            ws.iter()
+                .map(|w| {
+                    run_scheduler(w, Policy::Fcfs, backfill)
+                        .metrics
+                        .mean_bounded_slowdown
+                })
+                .sum::<f64>()
+                / windows as f64
+        };
+
+        let t0 = Instant::now();
+        let seq = Replicator::new(TRACE_SEED).threads(1).run(seeds, protocol);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let par = Replicator::new(TRACE_SEED).run(seeds, protocol);
+        let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(seq, par, "replication must be execution-order independent");
+
+        let mean = par.iter().sum::<f64>() / seeds as f64;
+        let var = par.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / seeds as f64;
+        table.push(vec![
+            preset.name().to_string(),
+            label.to_string(),
+            format!("{mean:.2} ± {:.2}", var.sqrt()),
+            format!("{seq_ms:.0}"),
+            format!("{par_ms:.0}"),
+            format!("{:.2}x", seq_ms / par_ms),
+        ]);
+        records.push(Row {
+            trace: preset.name().into(),
+            backfill: label.into(),
+            seeds,
+            windows,
+            window_len,
+            host_threads,
+            mean_bsld: mean,
+            std_across_seeds: var.sqrt(),
+            seq_ms,
+            par_ms,
+            speedup: seq_ms / par_ms,
+        });
+    }
+
+    print_table(
+        &format!("§4.3 protocol × {seeds} seeds, Replicator fan-out ({host_threads} host threads)"),
+        &[
+            "trace",
+            "backfill",
+            "bsld (±σ)",
+            "seq ms",
+            "par ms",
+            "speedup",
+        ],
+        &table,
+    );
+    write_json("eval_replication", &records);
+}

@@ -10,12 +10,18 @@
 //! ```text
 //! cargo run --release -p bench --bin speed_probe            # quick sizes
 //! cargo run --release -p bench --bin speed_probe -- --full  # adds 100k
+//! cargo run --release -p bench --bin speed_probe -- --partitions 2,4
 //! ```
+//!
+//! `--partitions N[,M…]` adds kernel-only rows for N-partition splits of
+//! the probe cluster (least-loaded routing; the seed engine has no
+//! partitioned mode, so there is no baseline column for those rows).
 
 use bench::write_json;
 use hpcsim::prelude::*;
 use hpcsim::reference::run_seed_scheduler;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -40,7 +46,18 @@ fn time(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let partitions: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--partitions")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|v| v.parse().expect("--partitions N[,M…]"))
+                .collect()
+        })
+        .unwrap_or_default();
     let preset = swf::TracePreset::Lublin1;
     let mut rows = Vec::new();
 
@@ -88,6 +105,45 @@ fn main() {
                 seed_ms: s.map(|s| s * 1e3),
                 seed_jobs_per_sec: s.map(|s| n as f64 / s),
                 speedup: s.map(|s| s / k),
+            });
+        }
+    }
+
+    for &parts in &partitions {
+        let n = 10_000;
+        let w = swf::partitioned_preset(preset, parts, n, bench::TRACE_SEED);
+        let spec = ClusterSpec::from_layout(&w.layout);
+        let jobs = w.trace.len();
+        for (label, bf) in [
+            ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
+            (
+                "CONS",
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            ),
+        ] {
+            let k = time(2, || {
+                std::hint::black_box(run_scheduler_on(
+                    &w.trace,
+                    Policy::Fcfs,
+                    bf,
+                    &spec,
+                    Arc::new(LeastLoaded),
+                ));
+            });
+            println!(
+                "{jobs:>7} jobs {label}  kernel {:>9.1} ms ({:>8.0} jobs/s)   {parts}-partition (no seed baseline)",
+                k * 1e3,
+                jobs as f64 / k,
+            );
+            rows.push(Row {
+                trace: w.trace.name().to_string(),
+                jobs,
+                backfill: label.to_string(),
+                kernel_ms: k * 1e3,
+                kernel_jobs_per_sec: jobs as f64 / k,
+                seed_ms: None,
+                seed_jobs_per_sec: None,
+                speedup: None,
             });
         }
     }

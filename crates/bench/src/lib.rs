@@ -46,14 +46,17 @@ pub fn write_json(name: &str, value: &impl Serialize) {
 /// given base policy. Checkpoints are keyed by preset, policy and scale so
 /// Table 4, Table 5 and the ablations share models instead of retraining.
 pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> RlbfAgent {
+    // The feature count is part of the key: a checkpoint trained on a
+    // different observation layout cannot be deployed (matrix dims differ).
     let key = format!(
-        "rlbf-{}-{}-e{}t{}j{}o{}",
+        "rlbf-{}-{}-e{}t{}j{}o{}f{}",
         preset.name().to_ascii_lowercase(),
         base.name().to_ascii_lowercase(),
         scale.epochs,
         scale.traj_per_epoch,
         scale.jobs_per_traj,
-        scale.max_obsv_size
+        scale.max_obsv_size,
+        rlbf::JOB_FEATURES
     );
     let path = results_dir().join("agents").join(format!("{key}.json"));
     if path.exists() {

@@ -47,46 +47,58 @@ impl Replicator {
     /// Runs `count` replications of `body`, handing each `(index, seed)`,
     /// and returns the results in replication order.
     ///
-    /// `body` runs concurrently on multiple threads; determinism comes
-    /// from the per-index seeds, not from execution order.
+    /// Worker fan-out is capped at the configured thread count (by default
+    /// [`std::thread::available_parallelism`]) no matter how large `count`
+    /// is: replication indices are split into contiguous **chunks** that
+    /// workers claim dynamically from a shared counter, so skewed
+    /// replication costs balance across threads instead of following a
+    /// static partition. `body` runs concurrently; determinism comes from
+    /// the per-index seeds and the index-ordered reassembly, not from
+    /// execution order.
     pub fn run<T, F>(&self, count: usize, body: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, u64) -> T + Sync,
     {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
         let threads = self.threads.min(count).max(1);
+        let master = self.master_seed;
         if threads == 1 {
             return (0..count)
-                .map(|i| body(i, replication_seed(self.master_seed, i as u64)))
+                .map(|i| body(i, replication_seed(master, i as u64)))
                 .collect();
         }
-        // Static contiguous partition: replication i goes to thread
-        // i / chunk, results are concatenated back in order.
-        let chunk = count.div_ceil(threads);
+        // Several chunks per worker: small enough to rebalance skew, large
+        // enough that the claim counter and results lock stay cold.
+        let chunk = count.div_ceil(threads * 4).max(1);
+        let n_chunks = count.div_ceil(chunk);
+        let next_chunk = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Vec<T>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
         let body = &body;
-        let master = self.master_seed;
-        let mut partials: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(count);
-                        (lo..hi)
-                            .map(|i| body(i, replication_seed(master, i as u64)))
-                            .collect::<Vec<T>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replication worker panicked"))
-                .collect()
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(count);
+                    let out: Vec<T> = (lo..hi)
+                        .map(|i| body(i, replication_seed(master, i as u64)))
+                        .collect();
+                    slots.lock().expect("no worker panicked holding the lock")[c] = Some(out);
+                });
+            }
         });
-        let mut out = Vec::with_capacity(count);
-        for p in &mut partials {
-            out.append(p);
-        }
-        out
+        slots
+            .into_inner()
+            .expect("no worker panicked holding the lock")
+            .into_iter()
+            .flat_map(|chunk| chunk.expect("every chunk was claimed and filled"))
+            .collect()
     }
 }
 
@@ -136,5 +148,37 @@ mod tests {
     fn zero_replications_is_fine() {
         let out: Vec<u64> = Replicator::new(1).run(0, |_, s| s);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_fanout_stays_capped_under_huge_counts() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // 10_000 replications on 3 workers must use at most 3 OS threads,
+        // and still land every result at its index.
+        let ids = Mutex::new(HashSet::new());
+        let out = Replicator::new(5).threads(3).run(10_000, |i, seed| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            (i, seed)
+        });
+        assert!(ids.lock().unwrap().len() <= 3, "fan-out exceeded the cap");
+        for (i, &(idx, seed)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(seed, replication_seed(5, i as u64));
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_keep_order() {
+        // Early indices are much slower: dynamic chunk claiming reorders
+        // execution, the output must stay index-ordered regardless.
+        let out = Replicator::new(11).threads(4).run(64, |i, seed| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            (i, seed)
+        });
+        let seq = Replicator::new(11).threads(1).run(64, |i, seed| (i, seed));
+        assert_eq!(out, seq);
     }
 }

@@ -1,0 +1,31 @@
+//! Heterogeneous multi-partition cluster models.
+//!
+//! The paper evaluates backfilling on a single homogeneous cluster, but its
+//! decision-point protocol is cluster-shape-agnostic. This subsystem adds
+//! the missing cluster *model*:
+//!
+//! * [`ClusterSpec`] / [`PartitionSpec`] — the machine's shape: named
+//!   partitions with processor counts and relative speed factors;
+//! * [`Partition`] — one partition's live scheduling state (free
+//!   processors, priority queue, running set), the unit the multi-partition
+//!   [`crate::Simulation`] schedules independently;
+//! * [`Router`] — the meta-scheduler: maps each arriving job to a partition
+//!   **before** it enters that partition's queue ([`StaticAffinity`],
+//!   [`LeastLoaded`], [`EarliestStart`]).
+//!
+//! Free-processor accounting, backfill candidates, EASY shadow times and
+//! conservative reservations are all **per-partition**: a backfilling
+//! opportunity names an *active* partition and the decision-point API
+//! (`queue()`, `free_procs()`, `backfill(idx)`) operates on it, so the
+//! EASY/conservative passes and the RL agent drive partitioned machines
+//! unchanged. The one-partition [`ClusterSpec::homogeneous`] spec is the
+//! degenerate case and realizes bitwise-identical schedules to the flat
+//! engine (pinned by `tests/event_equivalence.rs`).
+
+pub mod partition;
+pub mod router;
+pub mod spec;
+
+pub use partition::Partition;
+pub use router::{ClusterView, EarliestStart, LeastLoaded, Router, StaticAffinity};
+pub use spec::{ClusterSpec, PartitionSpec};

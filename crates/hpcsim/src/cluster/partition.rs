@@ -1,0 +1,208 @@
+//! Per-partition runtime state: free processors, the priority queue, and
+//! the running set — the unit the multi-partition [`crate::Simulation`]
+//! schedules independently.
+
+use super::spec::PartitionSpec;
+use crate::policy::Policy;
+use crate::state::RunningJob;
+use swf::Job;
+
+/// The mutable scheduling state of one partition.
+///
+/// Invariants (checked by `debug_assert`s in the simulation and pinned by
+/// `tests/proptest_cluster.rs`):
+///
+/// * `free <= spec.procs` at all times;
+/// * `free + Σ running.procs == spec.procs`;
+/// * every queued or running job fits the partition (`procs <= spec.procs`).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub(crate) spec: PartitionSpec,
+    pub(crate) free: u32,
+    pub(crate) queue: Vec<Job>,
+    pub(crate) running: Vec<RunningJob>,
+    /// Whether the queue's policy order may be stale. Only time-dependent
+    /// policies (WFP3) dirty it wholesale; time-independent arrivals are
+    /// merged in order (see [`Partition::enqueue`]).
+    pub(crate) needs_sort: bool,
+    /// Re-arm flag: a backfill opportunity in this partition is only
+    /// reported after its state changed (time advanced or a job started
+    /// here), so a driver that declines is never re-asked about the
+    /// identical state.
+    pub(crate) opportunity_armed: bool,
+}
+
+impl Partition {
+    pub(crate) fn new(spec: PartitionSpec) -> Self {
+        let free = spec.procs;
+        Self {
+            spec,
+            free,
+            queue: Vec::new(),
+            running: Vec::new(),
+            needs_sort: false,
+            opportunity_armed: true,
+        }
+    }
+
+    /// The partition's static description.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// Partition name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Total processors in this partition.
+    pub fn procs(&self) -> u32 {
+        self.spec.procs
+    }
+
+    /// Relative speed factor.
+    pub fn speed(&self) -> f64 {
+        self.spec.speed
+    }
+
+    /// Free processors right now.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// The partition's waiting queue, priority-sorted as of the last
+    /// scheduling pass.
+    pub fn queue(&self) -> &[Job] {
+        &self.queue
+    }
+
+    /// Jobs currently executing on this partition.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Processors currently in use.
+    pub fn used(&self) -> u32 {
+        self.spec.procs - self.free
+    }
+
+    /// Queue backlog in processor units (the least-loaded router's load
+    /// signal alongside `used`).
+    pub fn queued_procs(&self) -> u32 {
+        self.queue.iter().map(|j| j.procs).sum()
+    }
+
+    /// Rescales a routed job's durations to this partition's wall-clock:
+    /// `runtime / speed`, `request_time / speed`. At speed 1.0 the job is
+    /// returned untouched (bitwise — the degenerate path must not even
+    /// round-trip through a division).
+    pub(crate) fn scale_job(&self, job: Job) -> Job {
+        if self.spec.speed == 1.0 {
+            return job;
+        }
+        Job {
+            runtime: job.runtime / self.spec.speed,
+            request_time: job.request_time / self.spec.speed,
+            ..job
+        }
+    }
+
+    /// Merges an arriving job into the queue, preserving the policy order
+    /// without a full re-sort when the policy is time-independent (see
+    /// `Policy::time_dependent`): the queue is already sorted by the total
+    /// order `(score, submit, id)` and scores cannot drift with time, so a
+    /// binary-search insert lands the job exactly where a full re-sort
+    /// would. Time-dependent policies (WFP3) fall back to the deferred
+    /// full re-sort, as scores must be recomputed at the next pass anyway.
+    pub(crate) fn enqueue(&mut self, job: Job, policy: Policy, now: f64) {
+        if policy.time_dependent() || self.needs_sort {
+            self.queue.push(job);
+            self.needs_sort = true;
+            return;
+        }
+        let pos = self.queue.partition_point(|q| {
+            policy
+                .score(q, now)
+                .total_cmp(&policy.score(&job, now))
+                .then(q.submit.total_cmp(&job.submit))
+                .then(q.id.cmp(&job.id))
+                .is_lt()
+        });
+        self.queue.insert(pos, job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(procs: u32, speed: f64) -> Partition {
+        Partition::new(PartitionSpec::new("p", procs, speed))
+    }
+
+    fn job(id: usize, submit: f64, procs: u32, rt: f64) -> Job {
+        Job::new(id, submit, procs, rt, rt)
+    }
+
+    #[test]
+    fn scale_job_divides_durations_by_speed() {
+        let p = part(8, 2.0);
+        let j = p.scale_job(job(0, 5.0, 4, 100.0));
+        assert_eq!(j.runtime, 50.0);
+        assert_eq!(j.request_time, 50.0);
+        assert_eq!(j.submit, 5.0);
+    }
+
+    #[test]
+    fn scale_job_at_reference_speed_is_identity() {
+        let p = part(8, 1.0);
+        let j = job(0, 5.0, 4, 100.0);
+        assert_eq!(p.scale_job(j), j);
+    }
+
+    #[test]
+    fn enqueue_matches_full_sort_for_time_independent_policies() {
+        for policy in [Policy::Fcfs, Policy::Sjf, Policy::F1] {
+            let jobs = [
+                job(3, 40.0, 2, 500.0),
+                job(1, 10.0, 1, 50.0),
+                job(2, 10.0, 4, 50.0),
+                job(0, 0.0, 8, 5000.0),
+            ];
+            let mut p = part(8, 1.0);
+            for j in jobs {
+                p.enqueue(j, policy, 100.0);
+                assert!(!p.needs_sort, "{policy}: insert must keep order");
+            }
+            let mut sorted = jobs.to_vec();
+            policy.sort_queue(&mut sorted, 100.0);
+            assert_eq!(p.queue(), sorted.as_slice(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn enqueue_defers_sort_for_wfp3() {
+        let mut p = part(8, 1.0);
+        p.enqueue(job(0, 0.0, 1, 10.0), Policy::Wfp3, 50.0);
+        assert!(p.needs_sort, "WFP3 must take the full re-sort path");
+    }
+
+    #[test]
+    fn enqueue_falls_back_when_queue_is_dirty() {
+        let mut p = part(8, 1.0);
+        p.needs_sort = true;
+        p.enqueue(job(1, 0.0, 1, 10.0), Policy::Sjf, 0.0);
+        assert!(p.needs_sort);
+        assert_eq!(p.queue().len(), 1);
+    }
+
+    #[test]
+    fn load_accessors() {
+        let mut p = part(8, 1.0);
+        p.free = 3;
+        p.queue.push(job(0, 0.0, 2, 10.0));
+        p.queue.push(job(1, 0.0, 3, 10.0));
+        assert_eq!(p.used(), 5);
+        assert_eq!(p.queued_procs(), 5);
+    }
+}

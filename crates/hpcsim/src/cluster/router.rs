@@ -1,0 +1,278 @@
+//! Meta-scheduler routing: which partition an arriving job joins.
+//!
+//! The [`Router`] decides **once, at submission**, before the job enters a
+//! partition's queue — jobs never migrate afterwards, matching how real
+//! multi-partition systems bind a job to the queue it was submitted to.
+//! Routers see a read-only [`ClusterView`] of every partition's current
+//! state and must return the index of a partition the job fits
+//! (`job.procs <= partition.procs()`).
+//!
+//! Three built-in strategies cover the classic design space:
+//!
+//! * [`StaticAffinity`] — state-independent size classes: the narrowest
+//!   partition that fits the job (ties to the earlier partition). Mirrors
+//!   per-queue width limits on production machines.
+//! * [`LeastLoaded`] — joins the fitting partition with the lowest
+//!   committed load (used + queued processors, normalized by size).
+//! * [`EarliestStart`] — full meta-scheduling: per fitting partition,
+//!   plans a conservative-style reservation chain under a runtime
+//!   estimator and picks the partition with the earliest estimated start.
+
+use super::partition::Partition;
+use crate::estimator::RuntimeEstimator;
+use crate::profile::AvailabilityProfile;
+use swf::Job;
+
+/// Read-only snapshot of the cluster a router decides against.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// Current simulation time, seconds.
+    pub now: f64,
+    /// Every partition's live state.
+    pub parts: &'a [Partition],
+}
+
+impl ClusterView<'_> {
+    /// Indices of partitions the job fits by width.
+    pub fn fitting(&self, job: &Job) -> impl Iterator<Item = usize> + '_ {
+        let procs = job.procs;
+        self.parts
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| procs <= p.procs())
+            .map(|(i, _)| i)
+    }
+}
+
+/// A meta-scheduling strategy mapping each arriving job to a partition.
+///
+/// Implementations must be deterministic (same job + same view → same
+/// partition) — the simulator's reproducibility depends on it — and must
+/// only return indices from [`ClusterView::fitting`].
+pub trait Router: std::fmt::Debug + Send + Sync {
+    /// Short label used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The partition `job` joins. Panics allowed if no partition fits
+    /// (the simulation filters unroutable jobs up front).
+    fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize;
+}
+
+/// Routes by size class: the narrowest fitting partition, ties to the
+/// earlier one. State-independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticAffinity;
+
+impl Router for StaticAffinity {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize {
+        view.fitting(job)
+            .min_by_key(|&i| view.parts[i].procs())
+            .expect("job fits no partition")
+    }
+}
+
+/// Routes to the fitting partition with the lowest committed load:
+/// `(used + queued) / procs`, ties to the earlier partition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize {
+        view.fitting(job)
+            .min_by(|&a, &b| {
+                let load = |i: usize| {
+                    let p = &view.parts[i];
+                    (p.used() + p.queued_procs()) as f64 / p.procs() as f64
+                };
+                load(a).total_cmp(&load(b)).then(a.cmp(&b))
+            })
+            .expect("job fits no partition")
+    }
+}
+
+/// Full meta-scheduling: estimates, per fitting partition, when the job
+/// could start if appended behind the partition's current queue (running
+/// jobs release at their estimated ends; every queued job is granted a
+/// conservative-style reservation first), and joins the partition with the
+/// earliest estimated start. Ties break to faster, then earlier partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct EarliestStart {
+    /// The runtime estimator the plan is built under (the scheduler-side
+    /// knowledge; [`RuntimeEstimator::RequestTime`] matches what EASY sees).
+    pub estimator: RuntimeEstimator,
+}
+
+impl Default for EarliestStart {
+    fn default() -> Self {
+        Self {
+            estimator: RuntimeEstimator::RequestTime,
+        }
+    }
+}
+
+impl EarliestStart {
+    /// The estimated earliest start of `job` on partition `i` of `view`,
+    /// in wall-clock seconds (partition speed already applied).
+    pub fn estimated_start(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
+        let p = &view.parts[i];
+        let mut prof = AvailabilityProfile::new(view.now, p.free());
+        for r in p.running() {
+            let est_end = (r.start + self.estimator.estimate(&r.job)).max(view.now);
+            prof.add_release(est_end, r.job.procs);
+        }
+        for q in p.queue() {
+            let est = self.estimator.estimate(q);
+            let t = prof.earliest_fit(q.procs, est, view.now);
+            prof.add_usage(t, t + est, q.procs);
+        }
+        // The candidate job's durations scale with the partition's speed.
+        let scaled = p.scale_job(*job);
+        let est = self.estimator.estimate(&scaled);
+        prof.earliest_fit(scaled.procs, est, view.now)
+    }
+}
+
+impl Router for EarliestStart {
+    fn name(&self) -> &'static str {
+        "earliest-start"
+    }
+
+    fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize {
+        // One estimate per partition, not per comparison — the profile
+        // construction is the expensive part of this hot path.
+        let starts: Vec<(usize, f64)> = view
+            .fitting(job)
+            .map(|i| (i, self.estimated_start(job, view, i)))
+            .collect();
+        starts
+            .into_iter()
+            .min_by(|&(a, sa), &(b, sb)| {
+                sa.total_cmp(&sb)
+                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed()))
+                    .then(a.cmp(&b))
+            })
+            .map(|(i, _)| i)
+            .expect("job fits no partition")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::spec::PartitionSpec;
+    use crate::state::RunningJob;
+
+    fn parts(specs: &[(u32, f64)]) -> Vec<Partition> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(procs, speed))| {
+                Partition::new(PartitionSpec::new(format!("p{i}"), procs, speed))
+            })
+            .collect()
+    }
+
+    fn job(id: usize, procs: u32, rt: f64) -> Job {
+        Job::new(id, 0.0, procs, rt, rt)
+    }
+
+    #[test]
+    fn affinity_picks_narrowest_fitting_partition() {
+        let parts = parts(&[(96, 1.0), (32, 1.35), (16, 0.8)]);
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        assert_eq!(StaticAffinity.route(&job(0, 8, 100.0), &view), 2);
+        assert_eq!(StaticAffinity.route(&job(1, 20, 100.0), &view), 1);
+        assert_eq!(StaticAffinity.route(&job(2, 64, 100.0), &view), 0);
+    }
+
+    #[test]
+    fn least_loaded_follows_the_load_signal() {
+        let mut parts = parts(&[(32, 1.0), (32, 1.0)]);
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        // Equal load: ties to the earlier partition.
+        assert_eq!(LeastLoaded.route(&job(0, 4, 10.0), &view), 0);
+        // Load partition 0 (16 of 32 used) — partition 1 wins.
+        parts[0].free = 16;
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        assert_eq!(LeastLoaded.route(&job(1, 4, 10.0), &view), 1);
+        // Queue backlog counts too.
+        parts[0].free = 32;
+        parts[1].queue.push(job(9, 20, 100.0));
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        assert_eq!(LeastLoaded.route(&job(2, 4, 10.0), &view), 0);
+    }
+
+    #[test]
+    fn earliest_start_avoids_the_busy_partition() {
+        let mut parts = parts(&[(8, 1.0), (8, 1.0)]);
+        // Partition 0 fully busy until t=1000.
+        parts[0].free = 0;
+        parts[0].running.push(RunningJob {
+            job: job(7, 8, 1000.0),
+            start: 0.0,
+        });
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        let r = EarliestStart::default();
+        assert_eq!(r.estimated_start(&job(0, 4, 10.0), &view, 0), 1000.0);
+        assert_eq!(r.estimated_start(&job(0, 4, 10.0), &view, 1), 0.0);
+        assert_eq!(r.route(&job(0, 4, 10.0), &view), 1);
+    }
+
+    #[test]
+    fn earliest_start_accounts_for_queued_reservations() {
+        let mut parts = parts(&[(8, 1.0), (8, 1.0)]);
+        // Both idle, but partition 0 has a queued full-machine job.
+        parts[0].queue.push(job(5, 8, 500.0));
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        assert_eq!(EarliestStart::default().route(&job(0, 8, 10.0), &view), 1);
+    }
+
+    #[test]
+    fn earliest_start_ties_break_to_faster_partition() {
+        let parts = parts(&[(8, 1.0), (8, 2.0)]);
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        assert_eq!(EarliestStart::default().route(&job(0, 4, 100.0), &view), 1);
+    }
+
+    #[test]
+    fn routers_only_pick_fitting_partitions() {
+        let parts = parts(&[(16, 1.0), (64, 1.0)]);
+        let view = ClusterView {
+            now: 0.0,
+            parts: &parts,
+        };
+        let wide = job(0, 32, 100.0);
+        assert_eq!(StaticAffinity.route(&wide, &view), 1);
+        assert_eq!(LeastLoaded.route(&wide, &view), 1);
+        assert_eq!(EarliestStart::default().route(&wide, &view), 1);
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! This crate is the substrate the paper trains and evaluates in (its role
 //! is played by the RLScheduler simulator in the original work). It models a
-//! homogeneous cluster executing a [`swf::Trace`] under a pluggable
-//! combination of:
+//! cluster — homogeneous by default, or a heterogeneous multi-partition
+//! machine via the [`cluster`] subsystem ([`cluster::ClusterSpec`] +
+//! [`cluster::Router`] meta-scheduling) — executing a [`swf::Trace`] under
+//! a pluggable combination of:
 //!
 //! * a **base scheduling policy** ([`policy::Policy`]): FCFS, SJF, WFP3 or
 //!   F1 — the priority functions of Table 3;
@@ -32,6 +34,7 @@
 //! assert!(result.metrics.mean_bounded_slowdown >= 1.0);
 //! ```
 
+pub mod cluster;
 pub mod conservative;
 pub mod easy;
 pub mod estimator;
@@ -43,17 +46,21 @@ pub mod runner;
 pub mod state;
 pub mod timeline;
 
+pub use cluster::{ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, Router, StaticAffinity};
 pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
 pub use policy::Policy;
-pub use runner::{run_scheduler, Backfill, ScheduleResult};
+pub use runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
 pub use state::{BackfillSim, SimEvent, Simulation};
 
 /// Convenient glob import for simulator users.
 pub mod prelude {
+    pub use crate::cluster::{
+        ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, Router, StaticAffinity,
+    };
     pub use crate::estimator::RuntimeEstimator;
     pub use crate::metrics::Metrics;
     pub use crate::policy::Policy;
-    pub use crate::runner::{run_scheduler, Backfill, ScheduleResult};
+    pub use crate::runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
     pub use crate::state::{SimEvent, Simulation};
 }

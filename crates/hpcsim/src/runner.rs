@@ -1,5 +1,6 @@
 //! High-level one-call scheduling runs: trace × policy × backfilling.
 
+use crate::cluster::{ClusterSpec, Router};
 use crate::conservative::conservative_pass;
 use crate::easy::easy_pass;
 use crate::estimator::RuntimeEstimator;
@@ -7,6 +8,7 @@ use crate::metrics::Metrics;
 use crate::policy::Policy;
 use crate::state::{CompletedJob, SimEvent, Simulation};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use swf::Trace;
 
 /// A backfilling strategy selection for [`run_scheduler`].
@@ -55,6 +57,27 @@ pub fn run_scheduler(trace: &Trace, policy: Policy, backfill: Backfill) -> Sched
     drive_to_completion(
         Simulation::new(trace, policy),
         trace.cluster_procs(),
+        backfill,
+    )
+}
+
+/// [`run_scheduler`] on an explicit cluster shape: `router` assigns each
+/// arriving job to a partition of `spec`, and the backfilling heuristic
+/// acts per-partition at every decision point. With
+/// [`ClusterSpec::homogeneous`]`(trace.cluster_procs())` this realizes the
+/// identical schedule as [`run_scheduler`] (pinned by the equivalence
+/// suite), regardless of the router.
+pub fn run_scheduler_on(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    spec: &ClusterSpec,
+    router: Arc<dyn Router>,
+) -> ScheduleResult {
+    let total = spec.total_procs();
+    drive_to_completion(
+        Simulation::with_cluster(trace, policy, spec.clone(), router),
+        total,
         backfill,
     )
 }

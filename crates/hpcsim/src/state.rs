@@ -30,9 +30,11 @@
 //! `tests/event_equivalence.rs`; throughput is compared by the `kernel`
 //! criterion bench.
 
+use crate::cluster::{ClusterSpec, ClusterView, Partition, Router, StaticAffinity};
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
 use desim::{EventQueue, SimTime};
+use std::sync::Arc;
 use swf::{Job, Trace};
 
 /// Time-comparison slack for completion processing.
@@ -185,41 +187,70 @@ impl_backfill_sim!(crate::reference::ReferenceSimulation);
 /// A kernel event: what happens at a scheduled instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ClusterEvent {
-    /// The job at this index of the arrival list enters the waiting queue
-    /// (and schedules the next arrival, keeping one pending at a time).
+    /// The job at this index of the arrival list is routed to a partition
+    /// and enters its waiting queue (and schedules the next arrival,
+    /// keeping one pending at a time).
     Arrival(usize),
-    /// The running job with this id releases its processors.
-    Completion(usize),
+    /// The job with this id releases its processors on partition `part`.
+    Completion { part: usize, job: usize },
 }
 
 /// The simulation state machine. See the module docs for the protocol.
+///
+/// Since the cluster subsystem landed, the machine schedules a
+/// [`ClusterSpec`] — a list of partitions, each with its own free-processor
+/// count, priority queue and running set. A [`Router`] assigns every
+/// arriving job to a partition before it queues there; a backfilling
+/// opportunity names an **active partition**, and the decision-point
+/// accessors (`queue()`, `free_procs()`, `running()`, `backfill()`) operate
+/// on it, so EASY, conservative and the RL agent drive partitioned machines
+/// through the unchanged [`BackfillSim`] protocol. [`Simulation::new`]
+/// builds the degenerate one-partition spec, which realizes
+/// bitwise-identical schedules to the pre-cluster flat engine.
 #[derive(Debug, Clone)]
 pub struct Simulation {
     policy: Policy,
-    cluster_procs: u32,
-    free: u32,
+    spec: ClusterSpec,
+    router: Arc<dyn Router>,
+    parts: Vec<Partition>,
+    /// The partition the current backfilling opportunity is in (always 0
+    /// between opportunities on a one-partition cluster).
+    active: usize,
     now: f64,
     arrivals: Vec<Job>,
-    queue: Vec<Job>,
-    running: Vec<RunningJob>,
     completed: Vec<CompletedJob>,
     events: EventQueue<ClusterEvent>,
-    /// Re-arm flag: an opportunity is only reported after the state changed
-    /// (time advanced or a job started), so a driver that declines to
-    /// backfill is never asked twice about the identical state.
-    opportunity_armed: bool,
-    /// Whether the queue's policy order may be stale. Arrivals always
-    /// dirty it; time advancement dirties it only for time-dependent
-    /// policies (see [`Policy::time_dependent`]). Head/backfill removals
-    /// preserve order, so re-sorting after them is skipped — the order the
-    /// seed engine would recompute is identical, just not recomputed.
-    needs_sort: bool,
 }
 
 impl Simulation {
-    /// Starts a fresh simulation of `trace` under `policy`.
+    /// Starts a fresh simulation of `trace` under `policy` on the
+    /// degenerate homogeneous cluster (one partition, reference speed).
     pub fn new(trace: &Trace, policy: Policy) -> Self {
-        let arrivals = trace.jobs().to_vec();
+        Self::with_cluster(
+            trace,
+            policy,
+            ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(StaticAffinity),
+        )
+    }
+
+    /// Starts a simulation of `trace` on an explicit cluster shape, with
+    /// `router` assigning each arriving job to a partition. Jobs wider than
+    /// the widest partition are unroutable and dropped up front (the same
+    /// sanitation [`Trace::new`] applies against a homogeneous machine).
+    pub fn with_cluster(
+        trace: &Trace,
+        policy: Policy,
+        spec: ClusterSpec,
+        router: Arc<dyn Router>,
+    ) -> Self {
+        let widest = spec.max_partition_procs();
+        let arrivals: Vec<Job> = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.procs <= widest)
+            .copied()
+            .collect();
         let mut events = EventQueue::new();
         if !arrivals.is_empty() {
             events.schedule(
@@ -227,18 +258,21 @@ impl Simulation {
                 ClusterEvent::Arrival(0),
             );
         }
+        let parts = spec
+            .partitions()
+            .iter()
+            .map(|p| Partition::new(p.clone()))
+            .collect();
         Self {
             policy,
-            cluster_procs: trace.cluster_procs(),
-            free: trace.cluster_procs(),
+            spec,
+            router,
+            parts,
+            active: 0,
             now: 0.0,
             arrivals,
-            queue: Vec::new(),
-            running: Vec::new(),
             completed: Vec::new(),
             events,
-            opportunity_armed: true,
-            needs_sort: false,
         }
     }
 
@@ -247,14 +281,31 @@ impl Simulation {
         self.now
     }
 
-    /// Free processors right now.
+    /// Free processors of the **active partition** right now (the whole
+    /// machine on a one-partition cluster).
     pub fn free_procs(&self) -> u32 {
-        self.free
+        self.parts[self.active].free
     }
 
-    /// Total processors in the cluster.
+    /// Total processors across every partition.
     pub fn cluster_procs(&self) -> u32 {
-        self.cluster_procs
+        self.spec.total_procs()
+    }
+
+    /// The cluster's shape.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Every partition's live state, in spec order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// Index of the partition the current backfilling opportunity is in.
+    /// Meaningful while paused at a [`SimEvent::BackfillOpportunity`].
+    pub fn active_partition(&self) -> usize {
+        self.active
     }
 
     /// The base policy driving head-of-queue selection.
@@ -262,42 +313,49 @@ impl Simulation {
         self.policy
     }
 
-    /// The waiting queue, sorted by the policy as of the last scheduling
-    /// pass; index 0 is the reserved job during a backfill opportunity.
+    /// The active partition's waiting queue, sorted by the policy as of the
+    /// last scheduling pass; index 0 is the reserved job during a backfill
+    /// opportunity.
     pub fn queue(&self) -> &[Job] {
-        &self.queue
+        &self.parts[self.active].queue
     }
 
-    /// Jobs currently executing.
+    /// Jobs currently executing on the active partition.
     pub fn running(&self) -> &[RunningJob] {
-        &self.running
+        &self.parts[self.active].running
     }
 
-    /// Jobs that finished, in completion order.
+    /// Jobs that finished (across all partitions), in completion order.
     pub fn completed(&self) -> &[CompletedJob] {
         &self.completed
     }
 
-    /// The reserved job (head of the sorted queue), if any.
+    /// The reserved job (head of the active partition's queue), if any.
     pub fn reserved_job(&self) -> Option<&Job> {
-        self.queue.first()
+        self.parts[self.active].queue.first()
     }
 
-    /// Advances the simulation until the next backfilling opportunity or
-    /// completion of the whole trace.
+    /// Advances the simulation until the next backfilling opportunity (in
+    /// any partition — the lowest-indexed armed one wins, and becomes the
+    /// active partition) or completion of the whole trace.
     pub fn advance(&mut self) -> SimEvent {
         loop {
             self.apply_due_events();
             self.start_ready_jobs();
-            if self.opportunity_armed && !self.queue.is_empty() && self.has_backfill_candidate() {
-                self.opportunity_armed = false;
+            if let Some(p) = self.next_opportunity() {
+                self.parts[p].opportunity_armed = false;
+                self.active = p;
                 return SimEvent::BackfillOpportunity;
             }
             // Advance the clock to the next event; the loop head then
             // applies everything due within the epsilon window at once
             // (simultaneous completions and arrivals).
             let Some(next) = self.events.peek_time() else {
-                debug_assert!(self.queue.is_empty() && self.running.is_empty());
+                debug_assert!(self
+                    .parts
+                    .iter()
+                    .all(|p| p.queue.is_empty() && p.running.is_empty()));
+                self.active = 0;
                 return SimEvent::Done;
             };
             debug_assert!(
@@ -307,52 +365,60 @@ impl Simulation {
             );
             let advanced = next.as_secs() > self.now;
             self.now = next.as_secs().max(self.now);
-            if advanced && self.policy.time_dependent() {
-                self.needs_sort = true;
+            for part in &mut self.parts {
+                if advanced && self.policy.time_dependent() {
+                    part.needs_sort = true;
+                }
+                part.opportunity_armed = true;
             }
-            self.opportunity_armed = true;
         }
     }
 
-    /// Queue indices (excluding the reserved head) of jobs that fit the
-    /// currently free processors — the raw action space at an opportunity.
+    /// Queue indices (excluding the reserved head) of active-partition jobs
+    /// that fit its free processors — the raw action space at an
+    /// opportunity.
     pub fn backfill_candidates(&self) -> Vec<usize> {
-        self.queue
+        let part = &self.parts[self.active];
+        part.queue
             .iter()
             .enumerate()
             .skip(1)
-            .filter(|(_, j)| j.procs <= self.free)
+            .filter(|(_, j)| j.procs <= part.free)
             .map(|(i, _)| i)
             .collect()
     }
 
-    /// Starts the queued job at `queue_idx` immediately (a backfill).
+    /// Starts the active partition's queued job at `queue_idx` immediately
+    /// (a backfill).
     ///
     /// Reports whether the action delayed the reserved job's ground-truth
     /// earliest start (computed from *actual* runtimes — the simulator
     /// knows the truth even though schedulers only see estimates).
     pub fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
-        if queue_idx >= self.queue.len() {
+        let part = &self.parts[self.active];
+        if queue_idx >= part.queue.len() {
             return Err(BackfillError::BadIndex);
         }
         if queue_idx == 0 {
             return Err(BackfillError::ReservedJob);
         }
-        let job = self.queue[queue_idx];
-        if job.procs > self.free {
+        let job = part.queue[queue_idx];
+        if job.procs > part.free {
             return Err(BackfillError::DoesNotFit);
         }
         let delays_reserved = self.would_delay_reserved(&job);
-        self.queue.remove(queue_idx);
-        self.start_job(job);
-        self.opportunity_armed = true;
+        self.parts[self.active].queue.remove(queue_idx);
+        self.start_job(self.active, job);
+        self.parts[self.active].opportunity_armed = true;
         Ok(BackfillOutcome { delays_reserved })
     }
 
-    /// Ground-truth availability profile (actual runtimes of running jobs).
+    /// Ground-truth availability profile of the active partition (actual
+    /// runtimes of its running jobs).
     fn actual_profile(&self) -> AvailabilityProfile {
-        let mut prof = AvailabilityProfile::new(self.now, self.free);
-        for r in &self.running {
+        let part = &self.parts[self.active];
+        let mut prof = AvailabilityProfile::new(self.now, part.free);
+        for r in &part.running {
             prof.add_release(r.end().max(self.now), r.job.procs);
         }
         prof
@@ -373,17 +439,40 @@ impl Simulation {
     }
 
     /// Pops and applies every event due at the current instant (within the
-    /// epsilon window) — completions free processors, arrivals join the
-    /// queue. Start decisions are *not* events; they follow in
-    /// [`Self::start_ready_jobs`] once the instant's state is settled.
+    /// epsilon window) — completions free processors on their partition,
+    /// arrivals are routed and join a partition queue. Start decisions are
+    /// *not* events; they follow in [`Self::start_ready_jobs`] once the
+    /// instant's state is settled.
+    ///
+    /// Completions apply their freed processors **immediately**, so a
+    /// router deciding later in the same batch sees a consistent partition
+    /// view (a completed job is gone from `running` *and* its processors
+    /// are back in `free` — `EarliestStart` profiles both). Nothing else
+    /// reads `free` mid-batch, so the end-of-batch state (and the
+    /// degenerate-path equivalence with the flat engine) is unchanged.
     fn apply_due_events(&mut self) {
         let deadline = SimTime::new(self.now + EPS);
-        let mut freed = 0u32;
         while let Some((_, event)) = self.events.pop_until(deadline) {
             match event {
                 ClusterEvent::Arrival(idx) => {
-                    self.queue.push(self.arrivals[idx]);
-                    self.needs_sort = true;
+                    let job = self.arrivals[idx];
+                    let router = Arc::clone(&self.router);
+                    let p = router.route(
+                        &job,
+                        &ClusterView {
+                            now: self.now,
+                            parts: &self.parts,
+                        },
+                    );
+                    debug_assert!(
+                        job.procs <= self.parts[p].procs(),
+                        "router sent a {}-proc job to partition {} ({} procs)",
+                        job.procs,
+                        p,
+                        self.parts[p].procs()
+                    );
+                    let scaled = self.parts[p].scale_job(job);
+                    self.parts[p].enqueue(scaled, self.policy, self.now);
                     if let Some(next) = self.arrivals.get(idx + 1) {
                         self.events.schedule(
                             SimTime::new(next.submit).max(self.events.now()),
@@ -391,14 +480,16 @@ impl Simulation {
                         );
                     }
                 }
-                ClusterEvent::Completion(job_id) => {
-                    let pos = self
+                ClusterEvent::Completion { part, job } => {
+                    let part = &mut self.parts[part];
+                    let pos = part
                         .running
                         .iter()
-                        .position(|r| r.job.id == job_id)
+                        .position(|r| r.job.id == job)
                         .expect("completion event for a job not running");
-                    let r = self.running.swap_remove(pos);
-                    freed += r.job.procs;
+                    let r = part.running.swap_remove(pos);
+                    part.free += r.job.procs;
+                    debug_assert!(part.free <= part.procs(), "released more than claimed");
                     self.completed.push(CompletedJob {
                         job: r.job,
                         start: r.start,
@@ -406,48 +497,63 @@ impl Simulation {
                 }
             }
         }
-        self.free += freed;
-        debug_assert!(
-            self.free <= self.cluster_procs,
-            "released more than claimed"
-        );
     }
 
-    /// Starts policy-selected head jobs while they fit.
+    /// Starts policy-selected head jobs in every partition while they fit.
     ///
-    /// The queue is sorted at most once per call: removals preserve order,
-    /// so (unlike the seed engine's sort-per-start) nothing changes between
-    /// iterations at a fixed instant. The realized order is identical.
+    /// Each partition's queue is sorted at most once per call: removals
+    /// preserve order, so (unlike the seed engine's sort-per-start) nothing
+    /// changes between iterations at a fixed instant. The realized order is
+    /// identical.
     fn start_ready_jobs(&mut self) {
-        if self.queue.is_empty() {
-            return;
-        }
-        if self.needs_sort {
-            self.policy.sort_queue(&mut self.queue, self.now);
-            self.needs_sort = false;
-        }
-        while !self.queue.is_empty() && self.queue[0].procs <= self.free {
-            let job = self.queue.remove(0);
-            self.start_job(job);
-            self.opportunity_armed = true;
+        for p in 0..self.parts.len() {
+            let part = &mut self.parts[p];
+            if part.queue.is_empty() {
+                continue;
+            }
+            if part.needs_sort {
+                self.policy.sort_queue(&mut part.queue, self.now);
+                part.needs_sort = false;
+            }
+            while !self.parts[p].queue.is_empty()
+                && self.parts[p].queue[0].procs <= self.parts[p].free
+            {
+                let job = self.parts[p].queue.remove(0);
+                self.start_job(p, job);
+                self.parts[p].opportunity_armed = true;
+            }
         }
     }
 
-    fn start_job(&mut self, job: Job) {
-        debug_assert!(job.procs <= self.free, "start_job overcommits the cluster");
-        self.free -= job.procs;
-        self.events.schedule(
-            SimTime::new(self.now + job.runtime).max(self.events.now()),
-            ClusterEvent::Completion(job.id),
+    fn start_job(&mut self, p: usize, job: Job) {
+        let part = &mut self.parts[p];
+        debug_assert!(
+            job.procs <= part.free,
+            "start_job overcommits the partition"
         );
-        self.running.push(RunningJob {
+        part.free -= job.procs;
+        part.running.push(RunningJob {
             job,
             start: self.now,
         });
+        self.events.schedule(
+            SimTime::new(self.now + job.runtime).max(self.events.now()),
+            ClusterEvent::Completion {
+                part: p,
+                job: job.id,
+            },
+        );
     }
 
-    fn has_backfill_candidate(&self) -> bool {
-        self.queue.iter().skip(1).any(|j| j.procs <= self.free)
+    /// The lowest-indexed partition with an armed backfilling opportunity:
+    /// a non-empty queue whose head is blocked while some other queued job
+    /// fits the partition's free processors.
+    fn next_opportunity(&self) -> Option<usize> {
+        self.parts.iter().position(|part| {
+            part.opportunity_armed
+                && !part.queue.is_empty()
+                && part.queue.iter().skip(1).any(|j| j.procs <= part.free)
+        })
     }
 }
 
@@ -647,6 +753,93 @@ mod tests {
         for c in sim.completed() {
             assert!(c.start + EPS >= c.job.submit);
         }
+    }
+
+    #[test]
+    fn multi_partition_schedules_independently() {
+        use crate::cluster::{ClusterSpec, LeastLoaded, PartitionSpec};
+        // Two 4-proc partitions. Two 4-proc jobs at t=0: least-loaded must
+        // spread them so both start immediately (a single 4-proc machine
+        // would serialize them).
+        let t = trace(
+            8,
+            vec![
+                Job::new(0, 0.0, 4, 100.0, 100.0),
+                Job::new(1, 0.0, 4, 100.0, 100.0),
+            ],
+        );
+        let spec = ClusterSpec::new(vec![
+            PartitionSpec::new("a", 4, 1.0),
+            PartitionSpec::new("b", 4, 1.0),
+        ]);
+        let mut sim =
+            Simulation::with_cluster(&t, Policy::Fcfs, spec, std::sync::Arc::new(LeastLoaded));
+        while sim.advance() != SimEvent::Done {}
+        assert_eq!(sim.completed().len(), 2);
+        assert!(sim.completed().iter().all(|c| c.start == 0.0));
+    }
+
+    #[test]
+    fn faster_partition_shrinks_runtimes() {
+        use crate::cluster::{ClusterSpec, PartitionSpec, StaticAffinity};
+        // One partition at double speed: the job's wall-clock runtime (and
+        // request) halves.
+        let t = trace(4, vec![Job::new(0, 0.0, 4, 100.0, 100.0)]);
+        let spec = ClusterSpec::new(vec![PartitionSpec::new("turbo", 4, 2.0)]);
+        let mut sim =
+            Simulation::with_cluster(&t, Policy::Fcfs, spec, std::sync::Arc::new(StaticAffinity));
+        while sim.advance() != SimEvent::Done {}
+        assert_eq!(sim.completed()[0].end(), 50.0);
+    }
+
+    #[test]
+    fn unroutable_jobs_are_dropped_up_front() {
+        use crate::cluster::{ClusterSpec, PartitionSpec, StaticAffinity};
+        let t = trace(
+            8,
+            vec![
+                Job::new(0, 0.0, 8, 10.0, 10.0), // wider than any partition
+                Job::new(1, 0.0, 4, 10.0, 10.0),
+            ],
+        );
+        let spec = ClusterSpec::new(vec![
+            PartitionSpec::new("a", 4, 1.0),
+            PartitionSpec::new("b", 4, 1.0),
+        ]);
+        let mut sim =
+            Simulation::with_cluster(&t, Policy::Fcfs, spec, std::sync::Arc::new(StaticAffinity));
+        while sim.advance() != SimEvent::Done {}
+        assert_eq!(sim.completed().len(), 1);
+        assert_eq!(sim.completed()[0].job.id, 1);
+    }
+
+    #[test]
+    fn opportunity_names_the_active_partition() {
+        use crate::cluster::{ClusterSpec, PartitionSpec, StaticAffinity};
+        // Partition "small" (4p): blocker 3p, head 4p blocked, 1p fits —
+        // an opportunity in partition index 1. Partition "big" (8p) idles.
+        let t = trace(
+            12,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 10.0, 10.0),
+            ],
+        );
+        let spec = ClusterSpec::new(vec![
+            PartitionSpec::new("big", 8, 1.0),
+            PartitionSpec::new("small", 4, 1.0),
+        ]);
+        let mut sim =
+            Simulation::with_cluster(&t, Policy::Fcfs, spec, std::sync::Arc::new(StaticAffinity));
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        assert_eq!(sim.active_partition(), 1);
+        assert_eq!(sim.partitions()[1].name(), "small");
+        assert_eq!(sim.reserved_job().unwrap().id, 1);
+        assert_eq!(sim.backfill_candidates(), vec![1]);
+        assert!(sim.backfill(1).is_ok());
+        while sim.advance() != SimEvent::Done {}
+        assert_eq!(sim.completed().len(), 3);
     }
 
     #[test]

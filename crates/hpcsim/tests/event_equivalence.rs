@@ -171,6 +171,83 @@ fn kernel_matches_seed_on_simultaneous_event_pileups() {
 }
 
 #[test]
+fn one_partition_cluster_matches_homogeneous_engine_bitwise() {
+    // The degenerate ClusterSpec must reproduce the flat engine's schedule
+    // bitwise for every Policy × Backfill, under every router (a router on
+    // a one-partition machine has exactly one legal answer — routing
+    // strategy must be unobservable). The flat engine is itself pinned to
+    // the seed engine above, so transitively: cluster == seed.
+    use hpcsim::{ClusterSpec, EarliestStart, LeastLoaded, Router, StaticAffinity};
+    use std::sync::Arc;
+    let routers: Vec<Arc<dyn Router>> = vec![
+        Arc::new(StaticAffinity),
+        Arc::new(LeastLoaded),
+        Arc::new(EarliestStart::default()),
+    ];
+    for preset in [swf::TracePreset::Lublin2, swf::TracePreset::SdscSp2] {
+        let trace = preset.generate(500, 77);
+        let spec = ClusterSpec::homogeneous(trace.cluster_procs());
+        for policy in Policy::ALL {
+            for backfill in all_backfills() {
+                let flat = run_scheduler(&trace, policy, backfill);
+                for router in &routers {
+                    let clustered = hpcsim::run_scheduler_on(
+                        &trace,
+                        policy,
+                        backfill,
+                        &spec,
+                        Arc::clone(router),
+                    );
+                    assert_eq!(
+                        schedule_of(&clustered.completed),
+                        schedule_of(&flat.completed),
+                        "one-partition cluster diverged: {policy} {backfill:?} {router:?}"
+                    );
+                    assert_eq!(
+                        clustered.metrics.mean_bounded_slowdown,
+                        flat.metrics.mean_bounded_slowdown
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_partition_runs_complete_under_every_router() {
+    // Not an equivalence check (partitioned schedules legitimately differ)
+    // but the end-to-end guarantee: every routed job completes exactly
+    // once, under every policy × backfill × router, on a heterogeneous
+    // 3-partition split.
+    use hpcsim::{ClusterSpec, EarliestStart, LeastLoaded, Router, StaticAffinity};
+    use std::sync::Arc;
+    let w = swf::partitioned_preset(swf::TracePreset::Lublin1, 3, 400, 13);
+    let spec = ClusterSpec::from_layout(&w.layout);
+    let routers: Vec<Arc<dyn Router>> = vec![
+        Arc::new(StaticAffinity),
+        Arc::new(LeastLoaded),
+        Arc::new(EarliestStart::default()),
+    ];
+    for policy in Policy::ALL {
+        for backfill in all_backfills() {
+            for router in &routers {
+                let r =
+                    hpcsim::run_scheduler_on(&w.trace, policy, backfill, &spec, Arc::clone(router));
+                assert_eq!(
+                    r.completed.len(),
+                    w.trace.len(),
+                    "jobs lost: {policy} {backfill:?} {router:?}"
+                );
+                let mut ids: Vec<usize> = r.completed.iter().map(|c| c.job.id).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), w.trace.len(), "duplicate completions");
+            }
+        }
+    }
+}
+
+#[test]
 fn kernel_matches_seed_under_interactive_driving() {
     // Drive both engines through the raw decision-point API with the same
     // scripted driver (always backfill the last candidate), checking the

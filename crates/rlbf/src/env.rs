@@ -24,8 +24,12 @@
 //! plus one baseline schedule.
 
 use crate::obs::{encode_with_skip, ObsConfig, Observation};
-use hpcsim::{run_scheduler, Backfill, Metrics, Policy, RuntimeEstimator, SimEvent, Simulation};
+use hpcsim::{
+    run_scheduler_on, Backfill, ClusterSpec, Metrics, Policy, RuntimeEstimator, SimEvent,
+    Simulation,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use swf::Trace;
 
 /// The schedule-quality metric the agent optimizes.
@@ -137,26 +141,47 @@ impl BackfillEnv {
     /// Creates an episode over `trace` under `base_policy`, precomputing
     /// the reward baseline, and advances to the first decision point.
     pub fn new(trace: &Trace, base_policy: Policy, cfg: EnvConfig) -> Self {
+        Self::with_cluster(
+            trace,
+            base_policy,
+            cfg,
+            ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(hpcsim::StaticAffinity),
+        )
+    }
+
+    /// [`Self::new`] on an explicit cluster shape: the episode simulation
+    /// *and* the reward baseline run on the same partitioned machine under
+    /// the same router, so the terminal reward compares the agent against a
+    /// heuristic that saw identical routing decisions. With a homogeneous
+    /// spec this is exactly [`Self::new`].
+    pub fn with_cluster(
+        trace: &Trace,
+        base_policy: Policy,
+        cfg: EnvConfig,
+        spec: ClusterSpec,
+        router: Arc<dyn hpcsim::Router>,
+    ) -> Self {
+        let baseline = |policy: Policy, backfill: Backfill| {
+            cfg.objective
+                .of(&run_scheduler_on(trace, policy, backfill, &spec, Arc::clone(&router)).metrics)
+        };
         let baseline_bsld = match cfg.reward {
-            RewardKind::SjfRelative => cfg.objective.of(&run_scheduler(
-                trace,
+            RewardKind::SjfRelative => baseline(
                 Policy::Fcfs,
                 Backfill::EasyOrdered(RuntimeEstimator::RequestTime, Policy::Sjf),
-            )
-            .metrics),
-            RewardKind::EasyRelative => cfg.objective.of(&run_scheduler(
-                trace,
-                base_policy,
-                Backfill::Easy(RuntimeEstimator::RequestTime),
-            )
-            .metrics),
+            ),
+            RewardKind::EasyRelative => {
+                baseline(base_policy, Backfill::Easy(RuntimeEstimator::RequestTime))
+            }
             RewardKind::NegBsld => 0.0,
         };
+        let cluster_procs = spec.total_procs();
         let mut env = Self {
-            sim: Simulation::new(trace, base_policy),
+            sim: Simulation::with_cluster(trace, base_policy, spec, router),
             cfg,
             baseline_bsld,
-            cluster_procs: trace.cluster_procs(),
+            cluster_procs,
             current_obs: None,
             done: false,
             violations: 0,
@@ -331,6 +356,7 @@ pub fn sjf_chooser(obs: &Observation) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpcsim::run_scheduler;
     use swf::{Job, TracePreset};
 
     fn cfg(max_obsv: usize) -> EnvConfig {
@@ -452,6 +478,47 @@ mod tests {
             env.metrics().mean_bounded_slowdown,
             no_bf.metrics.mean_bounded_slowdown
         );
+    }
+
+    #[test]
+    fn clustered_env_runs_episodes_end_to_end() {
+        use hpcsim::{ClusterSpec, LeastLoaded};
+        let w = swf::partitioned_preset(TracePreset::Lublin2, 2, 300, 41);
+        let spec = ClusterSpec::from_layout(&w.layout);
+        let mut env =
+            BackfillEnv::with_cluster(&w.trace, Policy::Fcfs, cfg(32), spec, Arc::new(LeastLoaded));
+        assert!(env.baseline_bsld().is_finite() && env.baseline_bsld() >= 1.0);
+        let mut steps = 0;
+        while let Some(obs) = env.observation().cloned() {
+            let slot = obs.mask.iter().position(|&m| m).unwrap();
+            env.step(slot).unwrap();
+            steps += 1;
+            assert!(steps < 20_000, "clustered episode failed to terminate");
+        }
+        assert!(env.is_done());
+        assert_eq!(env.metrics().jobs, w.trace.len());
+        assert!(env.terminal_reward().is_finite());
+    }
+
+    #[test]
+    fn homogeneous_with_cluster_equals_new() {
+        use hpcsim::{ClusterSpec, StaticAffinity};
+        let trace = TracePreset::Lublin1.generate(200, 42);
+        let run = |mut env: BackfillEnv| {
+            while let Some(obs) = env.observation().cloned() {
+                env.step(sjf_chooser(&obs)).unwrap();
+            }
+            env.metrics().mean_bounded_slowdown
+        };
+        let flat = run(BackfillEnv::new(&trace, Policy::Fcfs, cfg(32)));
+        let clustered = run(BackfillEnv::with_cluster(
+            &trace,
+            Policy::Fcfs,
+            cfg(32),
+            ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(StaticAffinity),
+        ));
+        assert_eq!(flat, clustered);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod train;
 pub use agent::{evaluate_heuristic, sample_windows, RlbfAgent};
 pub use env::{BackfillEnv, EnvConfig, EnvError, Objective, RewardKind};
 pub use nets::{BackfillActorCritic, NetConfig};
-pub use obs::{ObsConfig, Observation, JOB_FEATURES};
+pub use obs::{ObsConfig, Observation, PartitionCtx, JOB_FEATURES};
 pub use train::{
     easy_like_chooser, parallel_ppo_update, pretrain_imitation, train, EpochStats, TrainConfig,
     TrainResult,

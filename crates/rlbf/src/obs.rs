@@ -15,7 +15,7 @@ use swf::Job;
 use tinynn::Matrix;
 
 /// Number of features per job vector. See [`job_features`] for the layout.
-pub const JOB_FEATURES: usize = 10;
+pub const JOB_FEATURES: usize = 12;
 
 /// Default observation window (paper §3.3.2: "by default it is 128 …
 /// many HPC job management systems like Slurm also limit pending jobs by
@@ -104,6 +104,36 @@ pub struct ShadowInfo {
     pub extra_procs: u32,
 }
 
+/// The active partition's context at a decision point, folded into every
+/// job vector so the agent observes per-partition load on multi-partition
+/// clusters (on the degenerate one-partition cluster these collapse to the
+/// whole-machine availability and 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionCtx {
+    /// Free processors of the active partition / the partition's size.
+    pub free_frac: f64,
+    /// The partition's speed factor relative to the fastest partition of
+    /// the cluster (1.0 when homogeneous).
+    pub rel_speed: f64,
+}
+
+impl PartitionCtx {
+    /// The context of the simulation's active partition.
+    pub fn of(sim: &Simulation) -> Self {
+        let part = &sim.partitions()[sim.active_partition()];
+        let max_speed = sim
+            .spec()
+            .partitions()
+            .iter()
+            .map(|p| p.speed)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            free_frac: part.free() as f64 / part.procs() as f64,
+            rel_speed: part.speed() / max_speed,
+        }
+    }
+}
+
 /// Encodes the feature vector of one job (normalized to roughly `[0, 1]`):
 ///
 /// | idx | feature |
@@ -118,11 +148,15 @@ pub struct ShadowInfo {
 /// | 7 | time until the reserved job's estimated reservation, saturating |
 /// | 8 | estimated to finish before the reservation (0/1) |
 /// | 9 | fits the extra processors at the reservation (0/1) |
+/// | 10 | active partition's free processors / partition size |
+/// | 11 | active partition's speed relative to the cluster's fastest |
 ///
 /// Features 7–9 give the kernel network exactly what EASY's admission rule
 /// reads, so EASY-like restraint is inside the hypothesis class and the
 /// agent learns *when to deviate* from it rather than having to rediscover
-/// reservations from scratch.
+/// reservations from scratch. Features 10–11 are the per-partition context
+/// (see [`PartitionCtx`]): on a one-partition cluster they reduce to the
+/// whole-machine availability (duplicating feature 4) and a constant 1.0.
 pub fn job_features(
     job: &Job,
     now: f64,
@@ -130,6 +164,7 @@ pub fn job_features(
     cluster: u32,
     reserved: bool,
     shadow: ShadowInfo,
+    part: PartitionCtx,
 ) -> [f64; JOB_FEATURES] {
     let wait = (now - job.submit).max(0.0);
     let rt_cap: f64 = 48.0 * 3600.0;
@@ -152,6 +187,8 @@ pub fn job_features(
         } else {
             0.0
         },
+        part.free_frac,
+        part.rel_speed,
     ]
 }
 
@@ -173,6 +210,7 @@ pub fn encode_with_skip(sim: &Simulation, cfg: &ObsConfig, skip_allowed: bool) -
     let now = sim.now();
     let free = sim.free_procs();
     let cluster = sim.cluster_procs();
+    let part = PartitionCtx::of(sim);
     let shadow = hpcsim::easy::shadow_and_extra(sim, hpcsim::RuntimeEstimator::RequestTime)
         .map(|(shadow_time, extra)| ShadowInfo {
             time_to_shadow: (shadow_time - now).max(0.0),
@@ -194,7 +232,7 @@ pub fn encode_with_skip(sim: &Simulation, cfg: &ObsConfig, skip_allowed: bool) -
     for (slot, &qidx) in order.iter().take(n_slots).enumerate() {
         let job = &sim.queue()[qidx];
         let reserved = Some(job.id) == reserved_id;
-        let f = job_features(job, now, free, cluster, reserved, shadow);
+        let f = job_features(job, now, free, cluster, reserved, shadow, part);
         for (c, &v) in f.iter().enumerate() {
             features.set(slot, c, v);
         }
@@ -203,14 +241,16 @@ pub fn encode_with_skip(sim: &Simulation, cfg: &ObsConfig, skip_allowed: bool) -
     }
 
     // The skip pseudo-job: no size, no runtime, no wait — only the shared
-    // context (availability and reservation outlook) the kernel can use to
-    // decide that declining beats every candidate.
+    // context (availability, reservation outlook, partition state) the
+    // kernel can use to decide that declining beats every candidate.
     features.set(n_slots, 4, free as f64 / cluster as f64);
     features.set(
         n_slots,
         7,
         shadow.time_to_shadow / (shadow.time_to_shadow + 3600.0),
     );
+    features.set(n_slots, 10, part.free_frac);
+    features.set(n_slots, 11, part.rel_speed);
     mask[n_slots] = skip_allowed;
 
     Observation {
@@ -354,6 +394,13 @@ mod tests {
         assert!(max_kept_submit <= min_dropped_submit);
     }
 
+    fn whole_machine() -> PartitionCtx {
+        PartitionCtx {
+            free_frac: 0.5,
+            rel_speed: 1.0,
+        }
+    }
+
     #[test]
     fn features_are_bounded() {
         let shadow = ShadowInfo {
@@ -361,7 +408,7 @@ mod tests {
             extra_procs: 3,
         };
         let j = Job::new(0, 0.0, 128, 1e9, 1e9);
-        let f = job_features(&j, 1e9, 64, 128, false, shadow);
+        let f = job_features(&j, 1e9, 64, 128, false, shadow, whole_machine());
         for (i, v) in f.iter().enumerate() {
             assert!((0.0..=1.5).contains(v), "feature {i} out of range: {v}");
         }
@@ -375,15 +422,61 @@ mod tests {
         };
         // Finishes before the reservation.
         let short = Job::new(0, 0.0, 4, 400.0, 400.0);
-        let f = job_features(&short, 0.0, 8, 16, false, shadow);
+        let f = job_features(&short, 0.0, 8, 16, false, shadow, whole_machine());
         assert_eq!((f[8], f[9]), (1.0, 0.0));
         // Too long, but narrow enough for the extra processors.
         let narrow = Job::new(1, 0.0, 2, 4000.0, 4000.0);
-        let f = job_features(&narrow, 0.0, 8, 16, false, shadow);
+        let f = job_features(&narrow, 0.0, 8, 16, false, shadow, whole_machine());
         assert_eq!((f[8], f[9]), (0.0, 1.0));
         // Inadmissible either way.
         let bad = Job::new(2, 0.0, 4, 4000.0, 4000.0);
-        let f = job_features(&bad, 0.0, 8, 16, false, shadow);
+        let f = job_features(&bad, 0.0, 8, 16, false, shadow, whole_machine());
         assert_eq!((f[8], f[9]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn partition_features_collapse_on_homogeneous_clusters() {
+        // One-partition cluster: the partition availability equals the
+        // whole-machine availability and the relative speed is 1.0.
+        let sim = opportunity_sim();
+        let obs = encode(&sim, &ObsConfig { max_obsv_size: 8 });
+        for slot in 0..4 {
+            assert_eq!(obs.features.get(slot, 10), obs.features.get(slot, 4));
+            assert_eq!(obs.features.get(slot, 11), 1.0);
+        }
+        let skip = obs.skip_action();
+        assert_eq!(obs.features.get(skip, 11), 1.0);
+    }
+
+    #[test]
+    fn partition_features_report_the_active_partition() {
+        use hpcsim::{ClusterSpec, PartitionSpec, StaticAffinity};
+        use std::sync::Arc;
+        // Partition "small" (4p, speed 0.5 of the fastest): blocker 3p,
+        // 4p head blocked, 1p candidate — the opportunity is in "small".
+        let t = Trace::new(
+            "t",
+            12,
+            vec![
+                Job::new(0, 0.0, 3, 100.0, 100.0),
+                Job::new(1, 10.0, 4, 100.0, 100.0),
+                Job::new(2, 20.0, 1, 10.0, 10.0),
+            ],
+        );
+        let spec = ClusterSpec::new(vec![
+            PartitionSpec::new("big", 8, 2.0),
+            PartitionSpec::new("small", 4, 1.0),
+        ]);
+        let mut sim =
+            Simulation::with_cluster(&t, hpcsim::Policy::Fcfs, spec, Arc::new(StaticAffinity));
+        assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+        assert_eq!(sim.active_partition(), 1);
+        let obs = encode(&sim, &ObsConfig { max_obsv_size: 8 });
+        // 1 of the partition's 4 procs is free; speed 1.0 vs fastest 2.0.
+        assert_eq!(obs.features.get(0, 10), 0.25);
+        assert_eq!(obs.features.get(0, 11), 0.5);
+        // Feature 4 normalizes the same free count by the whole machine,
+        // so 10 carries partition-local signal feature 4 cannot.
+        assert_eq!(obs.features.get(0, 4), 1.0 / 12.0);
     }
 }

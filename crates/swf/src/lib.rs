@@ -15,6 +15,8 @@
 //!   in for the archive traces (which are not redistributable here).
 //! * [`preset`] — the four calibrated trace presets of Table 2
 //!   (SDSC-SP2, HPC2N, Lublin-1, Lublin-2).
+//! * [`partition`] — heterogeneous partition layouts: partitioned variants
+//!   of the Table 2 presets and a Lublin-based multi-partition generator.
 //! * [`stats`] — trace statistics matching the columns of Table 2.
 //!
 //! # Quick example
@@ -33,11 +35,16 @@ pub mod job;
 pub mod lublin;
 pub mod overestimate;
 pub mod parse;
+pub mod partition;
 pub mod preset;
 pub mod stats;
 pub mod trace;
 
 pub use job::Job;
+pub use partition::{
+    lublin_multi_partition, partitioned_preset, split_cluster, table2_partitions, PartitionLayout,
+    PartitionedWorkload,
+};
 pub use preset::TracePreset;
 pub use stats::TraceStats;
 pub use trace::Trace;

@@ -1,0 +1,274 @@
+//! Partition layouts: workload-side descriptions of heterogeneous,
+//! multi-partition clusters.
+//!
+//! Real SWF systems are rarely one flat pool: KTH-SP2 ran separate batch
+//! and interactive partitions, SDSC-SP2 derivatives carve out express
+//! queues, and newer machines mix node generations with different clock
+//! speeds. A [`PartitionLayout`] describes one such partition — a name, a
+//! processor count, and a *relative speed factor* (1.0 = the trace's
+//! reference hardware; 2.0 runs every job twice as fast).
+//!
+//! The simulator-side `ClusterSpec` lives in `hpcsim::cluster` (which
+//! depends on this crate); `swf` only provides the layout data and the
+//! workload generators that target it:
+//!
+//! * [`table2_partitions`] — partitioned variants of the Table 2 presets
+//!   (the paper's homogeneous clusters split into 2–4 partitions, sizes
+//!   summing to the original machine);
+//! * [`lublin_multi_partition`] — a Lublin-model workload generator sized
+//!   for an arbitrary layout (job widths bounded by the widest partition,
+//!   arrival rate solved from a target utilization of the whole machine).
+
+use crate::lublin::LublinModel;
+use crate::preset::TracePreset;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One partition of a heterogeneous cluster, as seen by the workload side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionLayout {
+    /// Human-readable partition name (e.g. `"batch"`, `"express"`).
+    pub name: String,
+    /// Number of processors in this partition.
+    pub procs: u32,
+    /// Relative speed factor: a job with reference runtime `r` executes in
+    /// `r / speed` wall-clock seconds on this partition.
+    pub speed: f64,
+}
+
+impl PartitionLayout {
+    /// A named partition with the given size and speed.
+    pub fn new(name: impl Into<String>, procs: u32, speed: f64) -> Self {
+        assert!(procs > 0, "partition must have at least one processor");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "speed factor must be positive and finite"
+        );
+        Self {
+            name: name.into(),
+            procs,
+            speed,
+        }
+    }
+}
+
+/// Total processor count of a layout.
+pub fn layout_procs(layout: &[PartitionLayout]) -> u32 {
+    layout.iter().map(|p| p.procs).sum()
+}
+
+/// The widest partition of a layout (the maximum routable job width).
+pub fn widest_partition(layout: &[PartitionLayout]) -> u32 {
+    layout.iter().map(|p| p.procs).max().unwrap_or(0)
+}
+
+/// Splits a Table 2 preset's homogeneous cluster into `parts` partitions
+/// (2–4) whose sizes sum to the original machine.
+///
+/// The split is intentionally uneven, mirroring how real machines are
+/// partitioned: a large `base` partition keeps capability jobs routable
+/// (half the machine or more), and the remainder becomes smaller
+/// express/throughput partitions with heterogeneous speed factors:
+///
+/// | parts | sizes (fraction of machine) | speeds |
+/// |-------|------------------------------|--------|
+/// | 2 | 3/4, 1/4 | 1.0, 1.35 |
+/// | 3 | 1/2, 1/4, 1/4 | 1.0, 1.35, 0.8 |
+/// | 4 | 1/2, 1/4, 1/8, 1/8 | 1.0, 1.35, 0.8, 1.6 |
+pub fn table2_partitions(preset: TracePreset, parts: usize) -> Vec<PartitionLayout> {
+    let total = preset.targets().cluster_procs;
+    split_cluster(total, parts)
+}
+
+/// [`table2_partitions`] for an arbitrary machine size.
+pub fn split_cluster(total: u32, parts: usize) -> Vec<PartitionLayout> {
+    assert!(
+        (2..=4).contains(&parts),
+        "supported splits are 2..=4 partitions, got {parts}"
+    );
+    const NAMES: [&str; 4] = ["base", "express", "throughput", "burst"];
+    const SPEEDS: [f64; 4] = [1.0, 1.35, 0.8, 1.6];
+    let fractions: &[f64] = match parts {
+        2 => &[0.75, 0.25],
+        3 => &[0.5, 0.25, 0.25],
+        _ => &[0.5, 0.25, 0.125, 0.125],
+    };
+    assert!(
+        total as usize >= parts,
+        "cannot split {total} processors into {parts} non-empty partitions"
+    );
+    let mut sizes: Vec<u32> = fractions
+        .iter()
+        .map(|f| ((total as f64 * f).floor() as u32).max(1))
+        .collect();
+    // Rounding drift is settled against the base partition so sizes sum
+    // exactly: on tiny machines the `.max(1)` floors can overshoot `total`
+    // (by at most `parts - 1`, always less than the base's share).
+    let assigned: u32 = sizes.iter().sum();
+    if assigned > total {
+        sizes[0] -= assigned - total;
+    } else {
+        sizes[0] += total - assigned;
+    }
+    sizes
+        .into_iter()
+        .enumerate()
+        .map(|(i, procs)| PartitionLayout::new(NAMES[i], procs, SPEEDS[i]))
+        .collect()
+}
+
+/// A trace paired with the partition layout it targets.
+#[derive(Debug, Clone)]
+pub struct PartitionedWorkload {
+    /// The job stream (cluster size = the layout's total).
+    pub trace: Trace,
+    /// The partitions of the machine.
+    pub layout: Vec<PartitionLayout>,
+}
+
+/// A partitioned variant of a Table 2 preset: the preset's job stream with
+/// widths clamped to the widest partition (unroutable capability jobs are
+/// dropped exactly as [`Trace::new`] drops jobs wider than a homogeneous
+/// machine), paired with the [`table2_partitions`] split.
+pub fn partitioned_preset(
+    preset: TracePreset,
+    parts: usize,
+    n: usize,
+    seed: u64,
+) -> PartitionedWorkload {
+    let layout = table2_partitions(preset, parts);
+    let widest = widest_partition(&layout);
+    let base = preset.generate(n, seed);
+    let jobs = base
+        .jobs()
+        .iter()
+        .filter(|j| j.procs <= widest)
+        .copied()
+        .collect();
+    let trace = Trace::new(
+        format!("{}/{}p", preset.name(), parts),
+        layout_procs(&layout),
+        jobs,
+    );
+    PartitionedWorkload { trace, layout }
+}
+
+/// Generates a Lublin-model workload sized for an arbitrary partition
+/// layout: job widths are bounded by the widest partition, the mean width
+/// targets an eighth of the machine, and the arrival rate is solved so the
+/// whole machine (speed-weighted) runs at roughly `load` utilization.
+///
+/// Deterministic in `(layout, load, n, seed)`.
+pub fn lublin_multi_partition(layout: &[PartitionLayout], load: f64, n: usize, seed: u64) -> Trace {
+    assert!(
+        !layout.is_empty(),
+        "layout must have at least one partition"
+    );
+    assert!(
+        load > 0.0 && load < 1.5,
+        "target load must be sane, got {load}"
+    );
+    let total = layout_procs(layout) as f64;
+    let widest = widest_partition(layout);
+    // Speed-weighted capacity: a speed-1.35 partition retires 35% more
+    // reference-seconds per wall-clock second.
+    let capacity: f64 = layout.iter().map(|p| p.procs as f64 * p.speed).sum();
+    let mean_procs = (total / 8.0).clamp(1.0, widest as f64);
+    let mean_runtime = 3000.0;
+    // Offered load = mean_procs * mean_runtime / (capacity * interarrival).
+    let mean_interarrival = mean_procs * mean_runtime / (capacity * load);
+    let template = LublinModel::with_shapes(widest);
+    let model = LublinModel::calibrated_from(template, mean_interarrival, mean_runtime, mean_procs);
+    let base = model.generate(n, seed);
+    Trace::new("lublin-multi", total as u32, base.jobs().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_splits_sum_to_the_machine() {
+        for preset in TracePreset::ALL {
+            for parts in 2..=4 {
+                let layout = table2_partitions(preset, parts);
+                assert_eq!(layout.len(), parts);
+                assert_eq!(layout_procs(&layout), preset.targets().cluster_procs);
+                assert!(layout.iter().all(|p| p.procs > 0 && p.speed > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn base_partition_dominates() {
+        // The base partition must stay the widest so most capability jobs
+        // remain routable after the split.
+        let layout = table2_partitions(TracePreset::SdscSp2, 4);
+        assert_eq!(widest_partition(&layout), layout[0].procs);
+        assert!(layout[0].procs >= layout_procs(&layout) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported splits")]
+    fn five_way_split_is_rejected() {
+        let _ = split_cluster(128, 5);
+    }
+
+    #[test]
+    fn tiny_machines_still_sum_exactly() {
+        // The `.max(1)` floors overshoot on small machines; the base
+        // partition absorbs the drift in both directions.
+        for total in 4u32..=32 {
+            for parts in 2..=4 {
+                let layout = split_cluster(total, parts);
+                assert_eq!(layout_procs(&layout), total, "{total}/{parts}");
+                assert!(layout.iter().all(|p| p.procs >= 1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty partitions")]
+    fn machine_smaller_than_partition_count_is_rejected() {
+        let _ = split_cluster(3, 4);
+    }
+
+    #[test]
+    fn partitioned_preset_fits_the_widest_partition() {
+        let w = partitioned_preset(TracePreset::Lublin1, 2, 800, 5);
+        let widest = widest_partition(&w.layout);
+        assert!(w.trace.jobs().iter().all(|j| j.procs <= widest));
+        assert_eq!(w.trace.cluster_procs(), 256);
+        assert_eq!(w.trace.name(), "Lublin-1/2p");
+    }
+
+    #[test]
+    fn partitioned_preset_is_deterministic() {
+        let a = partitioned_preset(TracePreset::Hpc2n, 4, 400, 9);
+        let b = partitioned_preset(TracePreset::Hpc2n, 4, 400, 9);
+        assert_eq!(a.trace.jobs(), b.trace.jobs());
+        assert_eq!(a.layout, b.layout);
+    }
+
+    #[test]
+    fn lublin_multi_partition_respects_widths_and_determinism() {
+        let layout = split_cluster(256, 3);
+        let t = lublin_multi_partition(&layout, 0.7, 1000, 11);
+        assert_eq!(t.len(), 1000);
+        let widest = widest_partition(&layout);
+        assert!(t.jobs().iter().all(|j| j.procs <= widest));
+        let t2 = lublin_multi_partition(&layout, 0.7, 1000, 11);
+        assert_eq!(t.jobs(), t2.jobs());
+    }
+
+    #[test]
+    fn lublin_multi_partition_load_scales_arrivals() {
+        let layout = split_cluster(128, 2);
+        let light = lublin_multi_partition(&layout, 0.3, 2000, 3);
+        let heavy = lublin_multi_partition(&layout, 0.9, 2000, 3);
+        assert!(
+            light.stats().mean_interarrival > heavy.stats().mean_interarrival,
+            "higher load must mean denser arrivals"
+        );
+    }
+}
