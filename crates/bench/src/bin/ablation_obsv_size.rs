@@ -5,19 +5,26 @@
 //! few slots hide backfill candidates (the environment then skips
 //! decisions entirely), too many mostly pad with zeros and slow training.
 //!
+//! Each row is one scenario spec whose agent slot embeds the full
+//! `EnvConfig`/`TrainConfig` at that observation size — the RL
+//! hyper-parameters live in the spec, not in this binary.
+//!
 //! ```text
 //! cargo run -p bench --release --bin ablation_obsv_size [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
-use hpcsim::Policy;
-use rlbf::prelude::*;
+use bench::{eval_builder, fmt_bsld, print_table, write_json, Scale};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, train_from_spec, RlbfAgent};
 use serde::Serialize;
 use swf::TracePreset;
 
 #[derive(Serialize)]
 struct Row {
     max_obsv_size: usize,
+    /// The spec that regenerates this row (train via
+    /// `rlbf::train_from_spec`, then evaluate the trained agent on it).
+    spec: ScenarioSpec,
     train_seconds: f64,
     eval_bsld: f64,
 }
@@ -25,7 +32,6 @@ struct Row {
 fn main() {
     let scale = Scale::from_env();
     let preset = TracePreset::Lublin2;
-    let trace = load_trace(preset, &scale);
     let sizes = [8, 16, 32, 64, 128];
 
     let mut rows = Vec::new();
@@ -33,28 +39,32 @@ fn main() {
     for &size in &sizes {
         let mut s = scale;
         s.max_obsv_size = size;
+        let cfg = s.train_config(Policy::Fcfs);
+        let spec = eval_builder(preset, &scale, 0xab1a)
+            .name(format!("obsv-{size} · Lublin-2 · FCFS+RLBF"))
+            .policy(Policy::Fcfs)
+            .agent(agent_slot(&cfg.env, Some(&cfg), None))
+            .build();
+
         let t0 = std::time::Instant::now();
-        let result = train(&trace, s.train_config(Policy::Fcfs));
+        let result = train_from_spec(&spec).expect("agent spec trains");
         let train_seconds = t0.elapsed().as_secs_f64();
         let agent = RlbfAgent::from_training(&result, preset.name());
-        let eval_bsld = agent.evaluate(
-            &trace,
-            Policy::Fcfs,
-            scale.eval_samples,
-            scale.eval_window,
-            0xab1a,
-        );
+        let report = rlbf::run_spec_with_agent(&spec, &agent).expect("agent spec runs");
+        let eval_bsld = report.metrics.mean_bounded_slowdown;
+
         rows.push(vec![
             size.to_string(),
             format!("{train_seconds:.1}"),
             fmt_bsld(eval_bsld),
         ]);
+        eprintln!("obsv {size}: bsld {eval_bsld:.2} ({train_seconds:.1}s)");
         records.push(Row {
             max_obsv_size: size,
+            spec,
             train_seconds,
             eval_bsld,
         });
-        eprintln!("obsv {size}: bsld {eval_bsld:.2} ({train_seconds:.1}s)");
     }
 
     print_table(

@@ -5,19 +5,25 @@
 //! enormous one collapses the policy towards never backfilling anything
 //! risky. The sweep shows where the useful band lies.
 //!
+//! Each row is one scenario spec whose agent slot embeds the full
+//! `EnvConfig`/`TrainConfig` at that penalty — the RL hyper-parameters
+//! live in the spec, not in this binary.
+//!
 //! ```text
 //! cargo run -p bench --release --bin ablation_penalty [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
-use hpcsim::Policy;
-use rlbf::prelude::*;
+use bench::{eval_builder, fmt_bsld, print_table, write_json, Scale};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, train_from_spec, RlbfAgent};
 use serde::Serialize;
 use swf::TracePreset;
 
 #[derive(Serialize)]
 struct Row {
     penalty: f64,
+    /// The spec that regenerates this row.
+    spec: ScenarioSpec,
     eval_bsld: f64,
     final_epoch_violations: usize,
 }
@@ -25,7 +31,6 @@ struct Row {
 fn main() {
     let scale = Scale::from_env();
     let preset = TracePreset::SdscSp2;
-    let trace = load_trace(preset, &scale);
     let penalties = [0.0, 0.5, 2.0, 5.0, 20.0];
 
     let mut rows = Vec::new();
@@ -33,27 +38,30 @@ fn main() {
     for &penalty in &penalties {
         let mut cfg = scale.train_config(Policy::Fcfs);
         cfg.env.violation_penalty = penalty;
-        let result = train(&trace, cfg);
+        let spec = eval_builder(preset, &scale, 0xab1b)
+            .name(format!("penalty-{penalty} · SDSC-SP2 · FCFS+RLBF"))
+            .policy(Policy::Fcfs)
+            .agent(agent_slot(&cfg.env, Some(&cfg), None))
+            .build();
+
+        let result = train_from_spec(&spec).expect("agent spec trains");
         let final_epoch_violations = result.history.last().map(|e| e.violations).unwrap_or(0);
         let agent = RlbfAgent::from_training(&result, preset.name());
-        let eval_bsld = agent.evaluate(
-            &trace,
-            Policy::Fcfs,
-            scale.eval_samples,
-            scale.eval_window,
-            0xab1b,
-        );
+        let report = rlbf::run_spec_with_agent(&spec, &agent).expect("agent spec runs");
+        let eval_bsld = report.metrics.mean_bounded_slowdown;
+
         rows.push(vec![
             format!("{penalty}"),
             fmt_bsld(eval_bsld),
             final_epoch_violations.to_string(),
         ]);
+        eprintln!("penalty {penalty}: bsld {eval_bsld:.2}, final-epoch violations {final_epoch_violations}");
         records.push(Row {
             penalty,
+            spec,
             eval_bsld,
             final_epoch_violations,
         });
-        eprintln!("penalty {penalty}: bsld {eval_bsld:.2}, final-epoch violations {final_epoch_violations}");
     }
 
     print_table(

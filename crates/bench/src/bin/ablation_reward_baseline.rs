@@ -6,26 +6,31 @@
 //! (no baseline — the high-variance option the normalization exists to
 //! avoid).
 //!
+//! Each row is one scenario spec whose agent slot embeds the full
+//! `EnvConfig`/`TrainConfig` with that reward definition — the RL
+//! hyper-parameters live in the spec, not in this binary.
+//!
 //! ```text
 //! cargo run -p bench --release --bin ablation_reward_baseline [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
-use hpcsim::Policy;
-use rlbf::prelude::*;
+use bench::{eval_builder, fmt_bsld, print_table, write_json, Scale};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, train_from_spec, RewardKind, RlbfAgent};
 use serde::Serialize;
 use swf::TracePreset;
 
 #[derive(Serialize)]
 struct Row {
     reward: String,
+    /// The spec that regenerates this row.
+    spec: ScenarioSpec,
     eval_bsld: f64,
 }
 
 fn main() {
     let scale = Scale::from_env();
     let preset = TracePreset::Lublin1;
-    let trace = load_trace(preset, &scale);
     let kinds = [
         ("SjfRelative (paper)", RewardKind::SjfRelative),
         ("EasyRelative", RewardKind::EasyRelative),
@@ -37,21 +42,24 @@ fn main() {
     for (label, kind) in kinds {
         let mut cfg = scale.train_config(Policy::Fcfs);
         cfg.env.reward = kind;
-        let result = train(&trace, cfg);
+        let spec = eval_builder(preset, &scale, 0xab1c)
+            .name(format!("{label} · Lublin-1 · FCFS+RLBF"))
+            .policy(Policy::Fcfs)
+            .agent(agent_slot(&cfg.env, Some(&cfg), None))
+            .build();
+
+        let result = train_from_spec(&spec).expect("agent spec trains");
         let agent = RlbfAgent::from_training(&result, preset.name());
-        let eval_bsld = agent.evaluate(
-            &trace,
-            Policy::Fcfs,
-            scale.eval_samples,
-            scale.eval_window,
-            0xab1c,
-        );
+        let report = rlbf::run_spec_with_agent(&spec, &agent).expect("agent spec runs");
+        let eval_bsld = report.metrics.mean_bounded_slowdown;
+
         rows.push(vec![label.to_string(), fmt_bsld(eval_bsld)]);
+        eprintln!("{label}: bsld {eval_bsld:.2}");
         records.push(Row {
             reward: label.into(),
+            spec,
             eval_bsld,
         });
-        eprintln!("{label}: bsld {eval_bsld:.2}");
     }
 
     print_table(

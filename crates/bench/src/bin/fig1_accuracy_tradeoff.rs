@@ -7,27 +7,21 @@
 //! beats the oracle, because looser estimates widen the backfilling window
 //! (Figure 2's trade-off).
 //!
+//! The grid is (policy × estimator) scenario specs over the SDSC-SP2
+//! trace; the written JSON is the uniform `RunReport` list, each report
+//! embedding the spec that regenerates it.
+//!
 //! ```text
 //! cargo run -p bench --release --bin fig1_accuracy_tradeoff [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, print_table, write_json, Scale};
+use bench::{fmt_bsld, preset_source, print_table, write_reports, Scale};
 use hpcsim::prelude::*;
-use serde::Serialize;
 use swf::TracePreset;
-
-#[derive(Serialize)]
-struct Fig1Row {
-    policy: String,
-    estimator: String,
-    bsld: f64,
-}
 
 fn main() {
     let scale = Scale::from_env();
-    let trace = load_trace(TracePreset::SdscSp2, &scale);
-    println!("Figure 1 — prediction accuracy vs bsld on {}", trace.name());
-    println!("trace: {}", trace.stats());
+    println!("Figure 1 — prediction accuracy vs bsld on SDSC-SP2");
 
     let noise_levels = [0.0, 0.05, 0.10, 0.20, 0.40, 1.00];
     let estimators: Vec<(String, RuntimeEstimator)> =
@@ -50,20 +44,20 @@ fn main() {
             }))
             .collect();
 
+    // Build the full (policy × estimator) spec grid, then run it.
+    let mut reports: Vec<RunReport> = Vec::new();
     let mut rows = Vec::new();
-    let mut records = Vec::new();
     for policy in Policy::ALL {
         let mut row = vec![policy.name().to_string()];
-        for (label, est) in &estimators {
-            let bsld = run_scheduler(&trace, policy, Backfill::Easy(*est))
-                .metrics
-                .mean_bounded_slowdown;
-            row.push(fmt_bsld(bsld));
-            records.push(Fig1Row {
-                policy: policy.name().into(),
-                estimator: label.clone(),
-                bsld,
-            });
+        for (est_label, est) in &estimators {
+            let spec = ScenarioSpec::builder(preset_source(TracePreset::SdscSp2, &scale))
+                .name(format!("{} · {}", policy.name(), est_label))
+                .policy(policy)
+                .backfill(Backfill::Easy(*est))
+                .build();
+            let report = hpcsim::scenario::run(&spec).expect("heuristic spec runs");
+            row.push(fmt_bsld(report.metrics.mean_bounded_slowdown));
+            reports.push(report);
         }
         rows.push(row);
     }
@@ -79,23 +73,23 @@ fn main() {
 
     // The paper's headline: at least one policy × noise level beats the
     // same policy with the oracle prediction.
+    let bsld_of = |label: &str| {
+        reports
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.metrics.mean_bounded_slowdown)
+            .unwrap_or(f64::NAN)
+    };
     let beats_oracle = Policy::ALL.iter().any(|p| {
-        let get = |est_label: &str| {
-            records
-                .iter()
-                .find(|r| r.policy == p.name() && r.estimator == est_label)
-                .map(|r| r.bsld)
-                .unwrap_or(f64::NAN)
-        };
-        let ar = get("AR");
+        let ar = bsld_of(&format!("{} · AR", p.name()));
         ["+5%", "+10%", "+20%", "+40%", "+100%"]
             .iter()
-            .any(|l| get(l) < ar)
+            .any(|l| bsld_of(&format!("{} · {}", p.name(), l)) < ar)
     });
     println!(
         "\nnoisy-beats-oracle observed: {} (paper: yes — accuracy is not monotone)",
         if beats_oracle { "YES" } else { "no" }
     );
 
-    write_json("fig1_accuracy_tradeoff", &records);
+    write_reports("fig1_accuracy_tradeoff", &reports);
 }

@@ -4,6 +4,11 @@
 //! The paper observes: all traces converge; the synthetic Lublin traces
 //! converge faster (regular arrival patterns), HPC2N is the least stable.
 //!
+//! Each curve is trained *from a scenario spec*: the trace source and the
+//! full `TrainConfig` live in the spec's agent slot
+//! (`rlbf::train_from_spec`), so a committed spec file reproduces a curve
+//! exactly.
+//!
 //! ```text
 //! cargo run -p bench --release --bin fig4_training_curves [--full] [--from-scratch]
 //! ```
@@ -18,15 +23,17 @@
 //! same key Table 4/5 use, so subsequent experiments skip retraining;
 //! from-scratch runs do not touch the shared cache.
 
-use bench::{load_trace, print_table, results_dir, write_json, Scale};
-use hpcsim::Policy;
-use rlbf::prelude::*;
+use bench::{preset_source, print_table, results_dir, write_json, Scale};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, train_from_spec, RlbfAgent};
 use serde::Serialize;
 use swf::TracePreset;
 
 #[derive(Serialize)]
 struct Curve {
     trace: String,
+    /// The spec that regenerates this curve (`rlbf::train_from_spec`).
+    spec: ScenarioSpec,
     epochs: Vec<usize>,
     bsld: Vec<f64>,
     episode_return: Vec<f64>,
@@ -39,7 +46,15 @@ fn main() {
     let mut curves: Vec<Curve> = Vec::new();
 
     for preset in TracePreset::ALL {
-        let trace = load_trace(preset, &scale);
+        let mut cfg = scale.train_config(Policy::Fcfs);
+        if from_scratch {
+            cfg.pretrain_episodes = 0;
+        }
+        let spec = ScenarioSpec::builder(preset_source(preset, &scale))
+            .policy(Policy::Fcfs)
+            .agent(agent_slot(&cfg.env, Some(&cfg), None))
+            .build();
+
         eprintln!(
             "training on {} ({} epochs{}) …",
             preset.name(),
@@ -47,11 +62,7 @@ fn main() {
             if from_scratch { ", from scratch" } else { "" }
         );
         let t0 = std::time::Instant::now();
-        let mut cfg = scale.train_config(Policy::Fcfs);
-        if from_scratch {
-            cfg.pretrain_episodes = 0;
-        }
-        let result = train(&trace, cfg);
+        let result = train_from_spec(&spec).expect("agent spec trains");
         eprintln!("  {:.1}s", t0.elapsed().as_secs_f64());
 
         if !from_scratch {
@@ -72,6 +83,7 @@ fn main() {
 
         curves.push(Curve {
             trace: preset.name().into(),
+            spec,
             epochs: result.history.iter().map(|e| e.epoch).collect(),
             bsld: result.history.iter().map(|e| e.mean_bsld).collect(),
             episode_return: result.history.iter().map(|e| e.mean_return).collect(),

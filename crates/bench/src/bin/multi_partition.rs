@@ -2,11 +2,11 @@
 //! heterogeneous 2- and 4-partition machines under each meta-scheduling
 //! router, end-to-end on a 10k-job trace by default.
 //!
-//! This is the scenario family the cluster subsystem unlocks: the same
-//! Table 2 workloads, re-run on partitioned variants of the machine
-//! (`swf::partitioned_preset`) and on a Lublin workload generated for a
-//! heterogeneous layout (`swf::lublin_multi_partition`). Results go to
-//! `results/multi_partition.json`.
+//! The grid is (trace source × router × backfill) scenario specs — the
+//! partitioned sources (`PartitionedPreset`, `PartitionedLublin`) carry
+//! their own layout, so each spec's platform is derived from its source
+//! and the whole Table 5-style cluster-shape study is a loop over specs.
+//! Results go to `results/multi_partition.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin multi_partition             # 10k jobs
@@ -16,12 +16,12 @@
 use bench::{fmt_bsld, print_table, write_json, TRACE_SEED};
 use hpcsim::prelude::*;
 use serde::Serialize;
-use std::sync::Arc;
 use std::time::Instant;
-use swf::TracePreset;
+use swf::{TracePreset, TraceSource};
 
 #[derive(Serialize)]
 struct Row {
+    label: String,
     scenario: String,
     partitions: Vec<String>,
     jobs: usize,
@@ -31,6 +31,8 @@ struct Row {
     mean_wait: f64,
     utilization: f64,
     wall_ms: f64,
+    /// The spec that regenerates this row (timing aside).
+    spec: ScenarioSpec,
 }
 
 fn main() {
@@ -44,23 +46,23 @@ fn main() {
 
     // 2- and 4-partition splits of Lublin-1, plus a Lublin workload
     // generated directly for a heterogeneous 4-partition layout.
-    let mut scenarios: Vec<(String, swf::PartitionedWorkload)> = Vec::new();
+    let mut sources: Vec<TraceSource> = Vec::new();
     for parts in [2usize, 4] {
-        let w = swf::partitioned_preset(TracePreset::Lublin1, parts, jobs, TRACE_SEED);
-        scenarios.push((w.trace.name().to_string(), w));
+        sources.push(TraceSource::PartitionedPreset {
+            preset: TracePreset::Lublin1,
+            parts,
+            jobs,
+            seed: TRACE_SEED,
+        });
     }
-    let layout = swf::split_cluster(256, 4);
-    let trace = swf::lublin_multi_partition(&layout, 0.8, jobs, TRACE_SEED);
-    scenarios.push((
-        "lublin-multi/4p".into(),
-        swf::PartitionedWorkload { trace, layout },
-    ));
+    sources.push(TraceSource::PartitionedLublin {
+        layout: swf::split_cluster(256, 4),
+        load: 0.8,
+        jobs,
+        seed: TRACE_SEED,
+    });
 
-    let routers: Vec<(&str, Arc<dyn Router>)> = vec![
-        ("affinity", Arc::new(StaticAffinity)),
-        ("least-loaded", Arc::new(LeastLoaded)),
-        ("earliest-start", Arc::new(EarliestStart::default())),
-    ];
+    let routers = RouterSpec::ALL;
     let backfills = [
         ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
         (
@@ -71,37 +73,62 @@ fn main() {
 
     let mut records = Vec::new();
     let mut table = Vec::new();
-    for (name, w) in &scenarios {
-        let spec = ClusterSpec::from_layout(&w.layout);
-        for (router_name, router) in &routers {
+    for source in &sources {
+        let layout = source.layout().expect("partitioned sources carry layouts");
+        // Materialize once per source; the router × backfill cells run
+        // over the shared trace (`scenario::execute` + `make_report`)
+        // instead of regenerating it per cell.
+        let trace = source
+            .materialize()
+            .expect("partitioned sources materialize");
+        let routable_jobs = trace.len();
+        for router in routers {
             for (bf_name, bf) in backfills {
+                let spec = ScenarioSpec::builder(source.clone())
+                    .platform(Platform::from_layout(&layout, router))
+                    .policy(Policy::Fcfs)
+                    .backfill(bf)
+                    .metrics(vec![
+                        MetricKind::BoundedSlowdown,
+                        MetricKind::Wait,
+                        MetricKind::Utilization,
+                    ])
+                    .build();
                 let t0 = Instant::now();
-                let r = run_scheduler_on(&w.trace, Policy::Fcfs, bf, &spec, Arc::clone(router));
+                let result = hpcsim::scenario::execute(&trace, &spec).expect("heuristic spec runs");
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(r.completed.len(), w.trace.len(), "jobs lost in {name}");
+                let report = hpcsim::scenario::make_report(&spec, None, result.metrics, None);
+                assert_eq!(
+                    report.jobs,
+                    routable_jobs,
+                    "jobs lost in {} under {}",
+                    source.label(),
+                    router.label()
+                );
                 table.push(vec![
-                    name.clone(),
-                    router_name.to_string(),
+                    source.label(),
+                    router.label().to_string(),
                     bf_name.to_string(),
-                    fmt_bsld(r.metrics.mean_bounded_slowdown),
-                    format!("{:.0}", r.metrics.mean_wait),
-                    format!("{:.1}%", 100.0 * r.metrics.utilization),
+                    fmt_bsld(report.metrics.mean_bounded_slowdown),
+                    format!("{:.0}", report.metrics.mean_wait),
+                    format!("{:.1}%", 100.0 * report.metrics.utilization),
                     format!("{wall_ms:.0}"),
                 ]);
                 records.push(Row {
-                    scenario: name.clone(),
-                    partitions: w
-                        .layout
+                    label: report.label.clone(),
+                    scenario: source.label(),
+                    partitions: layout
                         .iter()
                         .map(|p| format!("{}:{}@{:.2}x", p.name, p.procs, p.speed))
                         .collect(),
-                    jobs: w.trace.len(),
-                    router: router_name.to_string(),
+                    jobs: report.jobs,
+                    router: router.label().to_string(),
                     backfill: bf_name.to_string(),
-                    bsld: r.metrics.mean_bounded_slowdown,
-                    mean_wait: r.metrics.mean_wait,
-                    utilization: r.metrics.utilization,
+                    bsld: report.metrics.mean_bounded_slowdown,
+                    mean_wait: report.metrics.mean_wait,
+                    utilization: report.metrics.utilization,
                     wall_ms,
+                    spec,
                 });
             }
         }

@@ -1,28 +1,28 @@
 //! Replicator-parallel §4.3 evaluation: the paper's 10 × 1024-job window
-//! protocol repeated under N independent master seeds, fanned out with
-//! `desim::Replicator` — the multi-seed evaluation sweep that used to run
-//! sequentially (only per-window trajectory collection was parallel).
+//! protocol repeated under N independent master seeds, expressed as **one
+//! scenario spec with a seed list** and fanned out with
+//! `hpcsim::scenario::run_replicated` (which rides `desim::Replicator`).
 //!
-//! Each replication is one *complete* protocol run (sample windows under
-//! its own seed, schedule every window, aggregate), so the unit of
-//! parallelism is the whole experiment, not a window. The binary times the
-//! sweep sequentially (1 thread) and parallel (all cores) and records the
-//! wall-clock win in `results/eval_replication.json`.
+//! Each replication re-seeds the spec's window sampler (see
+//! `scenario::materialize`), so one replication = one complete protocol
+//! run. The binary times the sweep sequentially (1 thread) and parallel
+//! (all cores) and records the wall-clock win in
+//! `results/eval_replication.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin replicated_eval [-- --seeds N --jobs N]
 //! ```
 
 use bench::{print_table, write_json, TRACE_SEED};
-use desim::Replicator;
 use hpcsim::prelude::*;
-use rlbf::sample_windows;
+use hpcsim::scenario::replication_seeds;
 use serde::Serialize;
 use std::time::Instant;
-use swf::TracePreset;
+use swf::{TracePreset, TraceSource};
 
 #[derive(Serialize)]
 struct Row {
+    label: String,
     trace: String,
     backfill: String,
     seeds: usize,
@@ -38,6 +38,8 @@ struct Row {
     seq_ms: f64,
     par_ms: f64,
     speedup: f64,
+    /// The spec that regenerates this sweep (timing aside).
+    spec: ScenarioSpec,
 }
 
 fn main() {
@@ -76,32 +78,33 @@ fn main() {
     let mut records = Vec::new();
     let mut table = Vec::new();
     for (preset, backfill, label) in cases {
-        let trace = preset.generate(jobs, TRACE_SEED);
-        // One replication = the full §4.3 protocol under one master seed,
-        // windows scheduled sequentially *within* the replication — the
-        // parallel axis is the seed sweep, fanned out by the Replicator.
-        let protocol = |_idx: usize, seed: u64| {
-            let ws = sample_windows(&trace, windows, window_len, seed);
-            ws.iter()
-                .map(|w| {
-                    run_scheduler(w, Policy::Fcfs, backfill)
-                        .metrics
-                        .mean_bounded_slowdown
-                })
-                .sum::<f64>()
-                / windows as f64
-        };
+        // One spec = the full sweep: the seed list fans out across
+        // threads, each replication re-seeding the window sampler.
+        let spec = ScenarioSpec::builder(TraceSource::Preset {
+            preset,
+            jobs,
+            seed: TRACE_SEED,
+        })
+        .policy(Policy::Fcfs)
+        .backfill(backfill)
+        .windows(windows, window_len, TRACE_SEED)
+        .seeds(replication_seeds(TRACE_SEED, seeds))
+        .build();
 
         let t0 = Instant::now();
-        let seq = Replicator::new(TRACE_SEED).threads(1).run(seeds, protocol);
+        let seq = hpcsim::scenario::run_replicated_threads(&spec, 1).expect("sweep runs");
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let par = Replicator::new(TRACE_SEED).run(seeds, protocol);
+        let par = hpcsim::scenario::run_replicated(&spec).expect("sweep runs");
         let par_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(seq, par, "replication must be execution-order independent");
 
-        let mean = par.iter().sum::<f64>() / seeds as f64;
-        let var = par.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / seeds as f64;
+        let bslds: Vec<f64> = par
+            .iter()
+            .map(|r| r.metrics.mean_bounded_slowdown)
+            .collect();
+        let mean = bslds.iter().sum::<f64>() / seeds as f64;
+        let var = bslds.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / seeds as f64;
         table.push(vec![
             preset.name().to_string(),
             label.to_string(),
@@ -111,6 +114,7 @@ fn main() {
             format!("{:.2}x", seq_ms / par_ms),
         ]);
         records.push(Row {
+            label: spec.label(),
             trace: preset.name().into(),
             backfill: label.into(),
             seeds,
@@ -122,6 +126,7 @@ fn main() {
             seq_ms,
             par_ms,
             speedup: seq_ms / par_ms,
+            spec,
         });
     }
 

@@ -1,0 +1,224 @@
+//! `scenario` — run any committed experiment spec from the command line.
+//!
+//! Any cell of the paper's experiment grid is reproducible from a JSON
+//! spec file: heuristic specs execute directly, agent specs load their
+//! checkpoint through the RL bridge (or, when the slot has no checkpoint
+//! but embeds a `TrainConfig`, train first and then deploy — one file is
+//! the whole experiment), and specs with a seed list fan out via
+//! `desim::Replicator`.
+//!
+//! ```text
+//! cargo run -p bench --bin scenario -- run examples/scenarios/table3_fcfs.json
+//! cargo run -p bench --bin scenario -- run spec.json --out my_report
+//! cargo run -p bench --bin scenario -- run spec.json --stdout
+//! cargo run -p bench --bin scenario -- examples [dir]   # (re)emit example specs
+//! ```
+//!
+//! `run` writes the uniform `RunReport` (or report list, for seeded
+//! specs) as pretty JSON under `results/` named after the spec file; the
+//! output is fully deterministic, so committed reports can be compared
+//! byte-for-byte (see `tests/scenario_reproduce.rs`).
+
+use bench::{report_table, write_reports, TRACE_SEED};
+use hpcsim::prelude::*;
+use swf::{TracePreset, TraceSource};
+
+/// The canonical example specs committed under `examples/scenarios/`.
+///
+/// `table3_fcfs` must stay identical to the FCFS row of the
+/// `table3_policies` binary — the reproduce test pins its report
+/// byte-for-byte against `results/table3_fcfs.json`.
+fn example_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    let table3_fcfs = ScenarioSpec::builder(TraceSource::Preset {
+        preset: TracePreset::Lublin1,
+        jobs: 1000,
+        seed: TRACE_SEED,
+    })
+    .policy(Policy::Fcfs)
+    .backfill(Backfill::Easy(RuntimeEstimator::RequestTime))
+    .metrics(vec![
+        MetricKind::BoundedSlowdown,
+        MetricKind::Wait,
+        MetricKind::Utilization,
+    ])
+    .build();
+
+    let multi_partition_2p = ScenarioSpec::builder(TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts: 2,
+        jobs: 800,
+        seed: TRACE_SEED,
+    })
+    .platform(Platform::from_layout(
+        &swf::table2_partitions(TracePreset::Lublin1, 2),
+        RouterSpec::LeastLoaded,
+    ))
+    .policy(Policy::Fcfs)
+    .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+    .metrics(vec![MetricKind::BoundedSlowdown, MetricKind::Utilization])
+    .build();
+
+    let replicated_windows = ScenarioSpec::builder(TraceSource::Preset {
+        preset: TracePreset::SdscSp2,
+        jobs: 2000,
+        seed: TRACE_SEED,
+    })
+    .policy(Policy::Sjf)
+    .backfill(Backfill::Easy(RuntimeEstimator::RequestTime))
+    .windows(5, 256, TRACE_SEED)
+    .seeds(hpcsim::scenario::replication_seeds(TRACE_SEED, 4))
+    .build();
+
+    // An RL experiment in the same file format: env + train configs live
+    // in the agent slot (train with `rlbf::train_from_spec`, then deploy).
+    let rl_cfg = rlbf::TrainConfig::smoke();
+    let rl_smoke = ScenarioSpec::builder(TraceSource::Preset {
+        preset: TracePreset::Lublin2,
+        jobs: 600,
+        seed: TRACE_SEED,
+    })
+    .policy(Policy::Fcfs)
+    .agent(rlbf::agent_slot(&rl_cfg.env, Some(&rl_cfg), None))
+    .windows(3, 128, TRACE_SEED)
+    .build();
+
+    vec![
+        ("table3_fcfs", table3_fcfs),
+        ("multi_partition_2p", multi_partition_2p),
+        ("replicated_windows", replicated_windows),
+        ("rl_smoke", rl_smoke),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario run <spec.json> [--out NAME] [--stdout]\n       scenario examples [dir]"
+    );
+    std::process::exit(2);
+}
+
+/// An agent spec with a seed list: one `rlbf::train` per seed
+/// (Replicator-parallel), then every seed's agent deployed under the
+/// spec's protocol — one report per seed, stamped with it.
+fn run_agent_sweep(spec: &ScenarioSpec) -> Result<Vec<RunReport>, String> {
+    eprintln!(
+        "agent spec with {} training seeds — running a train sweep …",
+        spec.seeds.len()
+    );
+    let sweep = rlbf::train_sweep_spec(spec, None)?;
+    eprintln!(
+        "train-set bsld across seeds: {:.2} ± {:.2} (best seed {:#x})",
+        sweep.report.final_mean, sweep.report.final_std, sweep.report.best_seed
+    );
+    sweep
+        .results
+        .iter()
+        .zip(&sweep.report.seeds)
+        .map(|(result, &seed)| {
+            let agent = rlbf::RlbfAgent::from_training(result, spec.trace.label());
+            rlbf::run_spec_with_agent(spec, &agent).map(|mut report| {
+                report.seed = Some(seed);
+                report
+            })
+        })
+        .collect()
+}
+
+/// Executes one spec, training the agent slot first when it has no
+/// checkpoint to deploy.
+fn run_one(spec: &ScenarioSpec) -> Result<RunReport, String> {
+    let needs_training = matches!(
+        &spec.scheduler,
+        SchedulerSpec::Agent(slot) if slot.checkpoint.is_none()
+    );
+    if needs_training {
+        eprintln!("agent slot has no checkpoint — training from the spec first …");
+        let result = rlbf::train_from_spec(spec)?;
+        let agent = rlbf::RlbfAgent::from_training(&result, spec.trace.label());
+        rlbf::run_spec_with_agent(spec, &agent)
+    } else {
+        rlbf::run_spec(spec)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let spec = match ScenarioSpec::load(path) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let reports: Vec<RunReport> = if spec.seeds.is_empty() {
+                match run_one(&spec) {
+                    Ok(r) => vec![r],
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else if matches!(spec.scheduler, SchedulerSpec::Agent(_)) {
+                // An agent spec's seeds are *training* seeds — run the
+                // full train sweep and deploy every seed's agent. (Decided
+                // before attempting replication: run_replicated's trace
+                // re-seeding checks would otherwise mask this path for
+                // seedless sources such as SWF files.)
+                match run_agent_sweep(&spec) {
+                    Ok(rs) => rs,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                // Seeded heuristic sweeps fan out via the Replicator.
+                match hpcsim::scenario::run_replicated(&spec) {
+                    Ok(rs) => rs,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            report_table(&format!("scenario run {path}"), &reports);
+            if args.iter().any(|a| a == "--stdout") {
+                let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+                println!("{json}");
+            } else {
+                let default_name = std::path::Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "scenario".into());
+                let out = args
+                    .iter()
+                    .position(|a| a == "--out")
+                    .and_then(|i| args.get(i + 1).cloned())
+                    .unwrap_or(default_name);
+                if reports.len() == 1 {
+                    // Single-shot runs commit as one report object.
+                    bench::write_json(&out, &reports[0]);
+                } else {
+                    write_reports(&out, &reports);
+                }
+            }
+        }
+        Some("examples") => {
+            let dir = std::path::PathBuf::from(
+                args.get(1)
+                    .map(String::as_str)
+                    .unwrap_or("examples/scenarios"),
+            );
+            std::fs::create_dir_all(&dir).expect("can create the examples dir");
+            for (name, spec) in example_specs() {
+                let path = dir.join(format!("{name}.json"));
+                spec.save(&path).expect("can write example spec");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -3,8 +3,10 @@
 //! by ARCHITECTURE.md and the PR notes.
 //!
 //! "seed" is the full seed cost model preserved in `hpcsim::reference`:
-//! linear-scan engine + naive availability profile + seed pass logic.
-//! Both sides realize identical schedules (pinned by the
+//! linear-scan engine + naive availability profile + seed pass logic —
+//! selected here as `Engine::SeedNaive` in an otherwise identical
+//! scenario spec, so each probe row is the *same* spec run on two
+//! engines. Both sides realize identical schedules (pinned by the
 //! `event_equivalence` suite), so this measures engines, not algorithms.
 //!
 //! ```text
@@ -17,12 +19,11 @@
 //! the probe cluster (least-loaded routing; the seed engine has no
 //! partitioned mode, so there is no baseline column for those rows).
 
-use bench::write_json;
+use bench::{write_json, TRACE_SEED};
 use hpcsim::prelude::*;
-use hpcsim::reference::run_seed_scheduler;
 use serde::Serialize;
-use std::sync::Arc;
 use std::time::Instant;
+use swf::{TracePreset, TraceSource};
 
 #[derive(Serialize)]
 struct Row {
@@ -58,7 +59,7 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
-    let preset = swf::TracePreset::Lublin1;
+    let preset = TracePreset::Lublin1;
     let mut rows = Vec::new();
 
     let cases: Vec<(usize, bool)> = if full {
@@ -67,22 +68,46 @@ fn main() {
         vec![(1_000, true), (10_000, true)]
     };
 
+    let backfills = [
+        ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        (
+            "CONS",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ];
+
     for &(n, seed_feasible) in &cases {
-        let trace = preset.generate(n, bench::TRACE_SEED);
+        let source = TraceSource::Preset {
+            preset,
+            jobs: n,
+            seed: TRACE_SEED,
+        };
+        // Materialize once, outside the timed region: the probe measures
+        // engines, not trace generation (`scenario::execute` is the
+        // engine step over an already-materialized trace).
+        let trace = source.materialize().expect("preset sources materialize");
         let reps = (20_000 / n).clamp(1, 20);
-        for (label, bf) in [
-            ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
-            (
-                "CONS",
-                Backfill::Conservative(RuntimeEstimator::RequestTime),
-            ),
-        ] {
+        for (label, bf) in backfills {
+            // The same spec, two engines: only `engine` differs between
+            // the kernel row and the seed-baseline row.
+            let spec = |engine: Engine| {
+                ScenarioSpec::builder(source.clone())
+                    .backfill(bf)
+                    .engine(engine)
+                    .build()
+            };
+            let kernel_spec = spec(Engine::Kernel);
+            let seed_spec = spec(Engine::SeedNaive);
             let k = time(reps, || {
-                std::hint::black_box(run_scheduler(&trace, Policy::Fcfs, bf));
+                std::hint::black_box(
+                    hpcsim::scenario::execute(&trace, &kernel_spec).expect("spec runs"),
+                );
             });
             let s = seed_feasible.then(|| {
                 time(reps.min(3), || {
-                    std::hint::black_box(run_seed_scheduler(&trace, Policy::Fcfs, bf));
+                    std::hint::black_box(
+                        hpcsim::scenario::execute(&trace, &seed_spec).expect("spec runs"),
+                    );
                 })
             });
             println!(
@@ -111,24 +136,24 @@ fn main() {
 
     for &parts in &partitions {
         let n = 10_000;
-        let w = swf::partitioned_preset(preset, parts, n, bench::TRACE_SEED);
-        let spec = ClusterSpec::from_layout(&w.layout);
-        let jobs = w.trace.len();
-        for (label, bf) in [
-            ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
-            (
-                "CONS",
-                Backfill::Conservative(RuntimeEstimator::RequestTime),
-            ),
-        ] {
+        let source = TraceSource::PartitionedPreset {
+            preset,
+            parts,
+            jobs: n,
+            seed: TRACE_SEED,
+        };
+        let layout = source.layout().expect("partitioned source has a layout");
+        let trace = source
+            .materialize()
+            .expect("partitioned source materializes");
+        let jobs = trace.len();
+        for (label, bf) in backfills {
+            let spec = ScenarioSpec::builder(source.clone())
+                .platform(Platform::from_layout(&layout, RouterSpec::LeastLoaded))
+                .backfill(bf)
+                .build();
             let k = time(2, || {
-                std::hint::black_box(run_scheduler_on(
-                    &w.trace,
-                    Policy::Fcfs,
-                    bf,
-                    &spec,
-                    Arc::new(LeastLoaded),
-                ));
+                std::hint::black_box(hpcsim::scenario::execute(&trace, &spec).expect("spec runs"));
             });
             println!(
                 "{jobs:>7} jobs {label}  kernel {:>9.1} ms ({:>8.0} jobs/s)   {parts}-partition (no seed baseline)",
@@ -136,7 +161,7 @@ fn main() {
                 jobs as f64 / k,
             );
             rows.push(Row {
-                trace: w.trace.name().to_string(),
+                trace: source.label(),
                 jobs,
                 backfill: label.to_string(),
                 kernel_ms: k * 1e3,

@@ -2,17 +2,24 @@
 //! (`size`, `it`, `rt`, `nt`), comparing the generated stand-ins against
 //! the paper's targets.
 //!
+//! Each trace is materialized from the declarative [`TraceSource`] the
+//! scenario specs of every other binary name — so the statistics printed
+//! here describe exactly the workloads those specs run.
+//!
 //! ```text
 //! cargo run -p bench --release --bin table2_trace_stats [--full]
 //! ```
 
-use bench::{load_trace, print_table, write_json, Scale};
+use bench::{preset_source, print_table, write_json, Scale};
 use serde::Serialize;
-use swf::TracePreset;
+use swf::{TracePreset, TraceSource};
 
 #[derive(Serialize)]
 struct Table2Row {
     name: String,
+    /// The declarative recipe the stats describe (the `trace` slot every
+    /// scenario spec uses for this preset at this scale).
+    source: TraceSource,
     size: u32,
     it_target: f64,
     it_measured: f64,
@@ -30,7 +37,8 @@ fn main() {
     let mut records = Vec::new();
     for preset in TracePreset::ALL {
         let targets = preset.targets();
-        let trace = load_trace(preset, &scale);
+        let source = preset_source(preset, &scale);
+        let trace = source.materialize().expect("preset sources materialize");
         let s = trace.stats();
         let runtime_kind = if targets.has_user_estimates {
             "both"
@@ -54,6 +62,7 @@ fn main() {
         ]);
         records.push(Table2Row {
             name: preset.name().into(),
+            source,
             size: s.cluster_procs,
             it_target: targets.mean_interarrival,
             it_measured: s.mean_interarrival,

@@ -1,13 +1,44 @@
-//! **Table 3**: the base schedulers' priority functions, demonstrated on a
-//! probe queue so the ranking behaviour of each policy is visible.
+//! **Table 3**: the base schedulers' priority functions — their ranking
+//! behaviour on a probe queue, plus the policies scheduling the same
+//! Lublin-1 workload under EASY backfilling, expressed as one scenario
+//! spec per row.
+//!
+//! The FCFS row's spec is committed at
+//! `examples/scenarios/table3_fcfs.json` (emitted by `scenario examples`)
+//! and its report at `results/table3_fcfs.json`; the root test
+//! `tests/scenario_reproduce.rs` pins the committed spec to reproduce the
+//! committed report **byte-identically**.
 //!
 //! ```text
 //! cargo run -p bench --release --bin table3_policies
 //! ```
 
-use bench::print_table;
-use hpcsim::Policy;
-use swf::Job;
+use bench::{print_table, report_table, write_reports, TRACE_SEED};
+use hpcsim::prelude::*;
+use swf::{Job, TracePreset, TraceSource};
+
+/// Row count of the scenario section — small enough for the CI smoke
+/// step to run in debug mode.
+pub const TABLE3_JOBS: usize = 1000;
+
+/// The spec behind one Table 3 row (shared with `scenario examples` via
+/// duplication-by-construction: the committed example file must equal
+/// this for the FCFS policy — pinned by `tests/scenario_reproduce.rs`).
+fn row_spec(policy: Policy) -> ScenarioSpec {
+    ScenarioSpec::builder(TraceSource::Preset {
+        preset: TracePreset::Lublin1,
+        jobs: TABLE3_JOBS,
+        seed: TRACE_SEED,
+    })
+    .policy(policy)
+    .backfill(Backfill::Easy(RuntimeEstimator::RequestTime))
+    .metrics(vec![
+        MetricKind::BoundedSlowdown,
+        MetricKind::Wait,
+        MetricKind::Utilization,
+    ])
+    .build()
+}
 
 fn main() {
     println!("Table 3 — scheduler priority functions (lower score runs first)");
@@ -61,4 +92,16 @@ fn main() {
             .collect();
         println!("{:<5} runs: {}", p.name(), order.join("  ->  "));
     }
+
+    // The policies as schedulers: one scenario spec per row, EASY
+    // backfilling on the Lublin-1 workload.
+    let reports: Vec<RunReport> = Policy::ALL
+        .iter()
+        .map(|&p| hpcsim::scenario::run(&row_spec(p)).expect("heuristic spec runs"))
+        .collect();
+    report_table(
+        &format!("Table 3 — policies scheduling Lublin-1 ({TABLE3_JOBS} jobs, EASY)"),
+        &reports,
+    );
+    write_reports("table3_policies", &reports);
 }

@@ -2,6 +2,11 @@
 //! policies and traces, evaluated on sampled job windows the training
 //! never saw (the paper's 10 × 1024-job protocol).
 //!
+//! Every cell is one scenario spec — the heuristic columns run through
+//! `hpcsim::scenario::run`, the RLBF columns deploy the cached agent
+//! through `rlbf::run_spec_with_agent` — all under the **same** `Windows`
+//! protocol, so competing schedulers see identical job sequences.
+//!
 //! Columns follow the paper exactly: FCFS+EASY, FCFS+EASY-AR, FCFS+RLBF,
 //! SJF+EASY, SJF+EASY-AR, SJF+RLBF, WFP3+EASY, F1+EASY. Synthetic traces
 //! have no user estimates, so their EASY-AR columns are `-` (EASY ≡
@@ -11,46 +16,46 @@
 //! cargo run -p bench --release --bin table4_performance [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, na, print_table, train_or_load_agent, write_json, Scale};
-use hpcsim::{Backfill, Policy, RuntimeEstimator};
-use rlbf::evaluate_heuristic;
-use serde::Serialize;
+use bench::{
+    agent_checkpoint_path, eval_builder, fmt_bsld, na, print_table, train_or_load_agent,
+    write_reports, Scale,
+};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, run_spec_with_agent};
 use swf::TracePreset;
 
 const EVAL_SEED: u64 = 0xe7a1;
 
-#[derive(Serialize)]
-struct Table4Row {
-    trace: String,
-    fcfs_easy: f64,
-    fcfs_easy_ar: Option<f64>,
-    fcfs_rlbf: f64,
-    sjf_easy: f64,
-    sjf_easy_ar: Option<f64>,
-    sjf_rlbf: f64,
-    wfp3_easy: f64,
-    f1_easy: f64,
-}
-
 fn main() {
     let scale = Scale::from_env();
     let mut rows = Vec::new();
-    let mut records = Vec::new();
+    let mut reports: Vec<RunReport> = Vec::new();
 
     for preset in TracePreset::ALL {
-        let trace = load_trace(preset, &scale);
         let has_estimates = preset.targets().has_user_estimates;
         eprintln!("== {} ==", preset.name());
 
+        // One heuristic cell = one spec under the shared eval protocol.
         let heur = |policy: Policy, backfill: Backfill| {
-            evaluate_heuristic(
-                &trace,
-                policy,
-                backfill,
-                scale.eval_samples,
-                scale.eval_window,
-                EVAL_SEED,
-            )
+            let spec = eval_builder(preset, &scale, EVAL_SEED)
+                .policy(policy)
+                .backfill(backfill)
+                .build();
+            hpcsim::scenario::run(&spec).expect("heuristic spec runs")
+        };
+        // One RLBF cell = the same spec with the agent in the scheduler
+        // slot, deployed from the shared checkpoint cache; the slot names
+        // that checkpoint so the embedded spec regenerates this exact run.
+        let rl = |policy: Policy| {
+            let agent = train_or_load_agent(preset, policy, &scale);
+            let checkpoint = agent_checkpoint_path(preset, policy, &scale)
+                .to_string_lossy()
+                .into_owned();
+            let spec = eval_builder(preset, &scale, EVAL_SEED)
+                .policy(policy)
+                .agent(agent_slot(&agent.env, None, Some(checkpoint)))
+                .build();
+            run_spec_with_agent(&spec, &agent).expect("agent spec runs")
         };
         let easy = Backfill::Easy(RuntimeEstimator::RequestTime);
         let easy_ar = Backfill::Easy(RuntimeEstimator::ActualRuntime);
@@ -67,46 +72,44 @@ fn main() {
         } else {
             (None, None)
         };
+        let fcfs_rlbf = rl(Policy::Fcfs);
+        let sjf_rlbf = rl(Policy::Sjf);
 
-        let fcfs_agent = train_or_load_agent(preset, Policy::Fcfs, &scale);
-        let fcfs_rlbf = fcfs_agent.evaluate(
-            &trace,
-            Policy::Fcfs,
-            scale.eval_samples,
-            scale.eval_window,
-            EVAL_SEED,
-        );
-        let sjf_agent = train_or_load_agent(preset, Policy::Sjf, &scale);
-        let sjf_rlbf = sjf_agent.evaluate(
-            &trace,
-            Policy::Sjf,
-            scale.eval_samples,
-            scale.eval_window,
-            EVAL_SEED,
-        );
-
+        let bsld = |r: &RunReport| r.metrics.mean_bounded_slowdown;
         rows.push(vec![
             preset.name().to_string(),
-            fmt_bsld(fcfs_easy),
-            fcfs_easy_ar.map(fmt_bsld).unwrap_or_else(na),
-            fmt_bsld(fcfs_rlbf),
-            fmt_bsld(sjf_easy),
-            sjf_easy_ar.map(fmt_bsld).unwrap_or_else(na),
-            fmt_bsld(sjf_rlbf),
-            fmt_bsld(wfp3_easy),
-            fmt_bsld(f1_easy),
+            fmt_bsld(bsld(&fcfs_easy)),
+            fcfs_easy_ar
+                .as_ref()
+                .map(|r| fmt_bsld(bsld(r)))
+                .unwrap_or_else(na),
+            fmt_bsld(bsld(&fcfs_rlbf)),
+            fmt_bsld(bsld(&sjf_easy)),
+            sjf_easy_ar
+                .as_ref()
+                .map(|r| fmt_bsld(bsld(r)))
+                .unwrap_or_else(na),
+            fmt_bsld(bsld(&sjf_rlbf)),
+            fmt_bsld(bsld(&wfp3_easy)),
+            fmt_bsld(bsld(&f1_easy)),
         ]);
-        records.push(Table4Row {
-            trace: preset.name().into(),
-            fcfs_easy,
-            fcfs_easy_ar,
-            fcfs_rlbf,
-            sjf_easy,
-            sjf_easy_ar,
-            sjf_rlbf,
-            wfp3_easy,
-            f1_easy,
-        });
+
+        println!(
+            "  {:<9} FCFS+RLBF vs FCFS+EASY: {:+.1}% (paper: +26%..+59%)",
+            preset.name(),
+            100.0 * (bsld(&fcfs_easy) - bsld(&fcfs_rlbf)) / bsld(&fcfs_easy)
+        );
+        if let Some(ar) = &fcfs_easy_ar {
+            println!(
+                "  {:<9} FCFS+RLBF vs FCFS+EASY-AR: {:+.1}% (paper: +15%..+30%)",
+                preset.name(),
+                100.0 * (bsld(ar) - bsld(&fcfs_rlbf)) / bsld(ar)
+            );
+        }
+
+        reports.extend([fcfs_easy, fcfs_rlbf, sjf_easy, sjf_rlbf, wfp3_easy, f1_easy]);
+        reports.extend(fcfs_easy_ar);
+        reports.extend(sjf_easy_ar);
     }
 
     print_table(
@@ -125,21 +128,5 @@ fn main() {
         &rows,
     );
 
-    println!("\nshape checks vs the paper:");
-    for r in &records {
-        let vs_easy = 100.0 * (r.fcfs_easy - r.fcfs_rlbf) / r.fcfs_easy;
-        print!(
-            "  {:<9} FCFS+RLBF vs FCFS+EASY: {:+.1}% (paper: +26%..+59%)",
-            r.trace, vs_easy
-        );
-        if let Some(ar) = r.fcfs_easy_ar {
-            print!(
-                "  vs EASY-AR: {:+.1}% (paper: +15%..+30%)",
-                100.0 * (ar - r.fcfs_rlbf) / ar
-            );
-        }
-        println!();
-    }
-
-    write_json("table4_performance", &records);
+    write_reports("table4_performance", &reports);
 }

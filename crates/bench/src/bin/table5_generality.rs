@@ -2,25 +2,25 @@
 //! base, as in the paper) applied to every other trace Y, under both FCFS
 //! and SJF base policies.
 //!
+//! Every cell is one scenario spec under the shared `Windows` protocol;
+//! the cross-deployment cells simply put a *different* trace source in
+//! the spec than the agent was trained on — generality studies are a loop
+//! over specs, exactly the shape the ROADMAP's cluster-generality item
+//! needs.
+//!
 //! ```text
 //! cargo run -p bench --release --bin table5_generality [--full]
 //! ```
 
-use bench::{fmt_bsld, load_trace, na, print_table, train_or_load_agent, write_json, Scale};
-use hpcsim::{Backfill, Policy, RuntimeEstimator};
-use rlbf::{evaluate_heuristic, RlbfAgent};
-use serde::Serialize;
+use bench::{
+    agent_checkpoint_path, eval_builder, fmt_bsld, na, print_table, train_or_load_agent,
+    write_reports, Scale,
+};
+use hpcsim::prelude::*;
+use rlbf::{agent_slot, run_spec_with_agent, RlbfAgent};
 use swf::TracePreset;
 
 const EVAL_SEED: u64 = 0x97a5;
-
-#[derive(Serialize)]
-struct Table5Cell {
-    base_policy: String,
-    eval_trace: String,
-    column: String,
-    bsld: Option<f64>,
-}
 
 fn main() {
     let scale = Scale::from_env();
@@ -31,67 +31,55 @@ fn main() {
         .map(|&p| (p, train_or_load_agent(p, Policy::Fcfs, &scale)))
         .collect();
 
-    let mut records = Vec::new();
+    let mut reports: Vec<RunReport> = Vec::new();
     for base in [Policy::Fcfs, Policy::Sjf] {
         let mut rows = Vec::new();
         for eval_preset in TracePreset::ALL {
-            let trace = load_trace(eval_preset, &scale);
             let has_estimates = eval_preset.targets().has_user_estimates;
 
-            let easy = if has_estimates {
-                Some(evaluate_heuristic(
-                    &trace,
-                    base,
-                    Backfill::Easy(RuntimeEstimator::RequestTime),
-                    scale.eval_samples,
-                    scale.eval_window,
-                    EVAL_SEED,
-                ))
-            } else {
-                None
+            let heur = |backfill: Backfill| {
+                let spec = eval_builder(eval_preset, &scale, EVAL_SEED)
+                    .policy(base)
+                    .backfill(backfill)
+                    .build();
+                hpcsim::scenario::run(&spec).expect("heuristic spec runs")
             };
-            let easy_ar = evaluate_heuristic(
-                &trace,
-                base,
-                Backfill::Easy(RuntimeEstimator::ActualRuntime),
-                scale.eval_samples,
-                scale.eval_window,
-                EVAL_SEED,
-            );
+            let easy = has_estimates.then(|| heur(Backfill::Easy(RuntimeEstimator::RequestTime)));
+            let easy_ar = heur(Backfill::Easy(RuntimeEstimator::ActualRuntime));
 
             let mut row = vec![
                 eval_preset.name().to_string(),
-                easy.map(fmt_bsld).unwrap_or_else(na),
-                fmt_bsld(easy_ar),
+                easy.as_ref()
+                    .map(|r| fmt_bsld(r.metrics.mean_bounded_slowdown))
+                    .unwrap_or_else(na),
+                fmt_bsld(easy_ar.metrics.mean_bounded_slowdown),
             ];
-            records.push(Table5Cell {
-                base_policy: base.name().into(),
-                eval_trace: eval_preset.name().into(),
-                column: "EASY".into(),
-                bsld: easy,
-            });
-            records.push(Table5Cell {
-                base_policy: base.name().into(),
-                eval_trace: eval_preset.name().into(),
-                column: "EASY-AR".into(),
-                bsld: Some(easy_ar),
-            });
+            reports.extend(easy);
+            reports.push(easy_ar);
 
             for (train_preset, agent) in &agents {
-                let bsld = agent.evaluate(
-                    &trace,
-                    base,
-                    scale.eval_samples,
-                    scale.eval_window,
-                    EVAL_SEED,
-                );
-                row.push(fmt_bsld(bsld));
-                records.push(Table5Cell {
-                    base_policy: base.name().into(),
-                    eval_trace: eval_preset.name().into(),
-                    column: format!("RL-{}", train_preset.name()),
-                    bsld: Some(bsld),
-                });
+                // The slot names the RL-X checkpoint (trained on
+                // `train_preset`, FCFS base), so the cross-deployment
+                // cell's spec regenerates with the exact trained model,
+                // not a freshly trained one on the eval trace.
+                let checkpoint = agent_checkpoint_path(*train_preset, Policy::Fcfs, &scale)
+                    .to_string_lossy()
+                    .into_owned();
+                let spec = eval_builder(eval_preset, &scale, EVAL_SEED)
+                    .name(format!(
+                        "{} · {}+RL-{} · {}x{}w",
+                        eval_preset.name(),
+                        base.name(),
+                        train_preset.name(),
+                        scale.eval_samples,
+                        scale.eval_window
+                    ))
+                    .policy(base)
+                    .agent(agent_slot(&agent.env, None, Some(checkpoint)))
+                    .build();
+                let report = run_spec_with_agent(&spec, agent).expect("agent spec runs");
+                row.push(fmt_bsld(report.metrics.mean_bounded_slowdown));
+                reports.push(report);
             }
             rows.push(row);
         }
@@ -112,5 +100,5 @@ fn main() {
 
     println!("\nshape check: cross-trained agents (off-diagonal) should still beat");
     println!("EASY in most cells — the paper's generality claim (§4.4).");
-    write_json("table5_generality", &records);
+    write_reports("table5_generality", &reports);
 }

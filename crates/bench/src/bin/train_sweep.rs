@@ -1,0 +1,122 @@
+//! Multi-seed **training** sweep through the scenario API: `rlbf::train`
+//! once per seed, fanned out across threads with `desim::Replicator`, and
+//! the per-seed `TrainResult`s merged into one report (mean ± std curves,
+//! per-seed finals, best seed) — the training-side counterpart of
+//! `replicated_eval` and the ROADMAP's open multi-seed-training item.
+//!
+//! The sweep is one scenario spec: trace source + base policy + agent
+//! slot (full `TrainConfig`) + seed list. The best seed's agent is also
+//! evaluated under the spec's windows protocol and checkpointed.
+//!
+//! ```text
+//! cargo run --release -p bench --bin train_sweep [-- --seeds N] [--full]
+//! ```
+
+use bench::{preset_source, print_table, results_dir, write_json, Scale, TRACE_SEED};
+use hpcsim::prelude::*;
+use hpcsim::scenario::replication_seeds;
+use rlbf::{agent_slot, run_spec_with_agent, train_sweep_spec, RlbfAgent, TrainSweepReport};
+use serde::Serialize;
+use std::time::Instant;
+use swf::TracePreset;
+
+const EVAL_SEED: u64 = 0x5eed;
+
+#[derive(Serialize)]
+struct SweepRecord {
+    /// The merged sweep report.
+    report: TrainSweepReport,
+    /// bsld of the best seed's agent under the spec's eval protocol.
+    best_eval_bsld: f64,
+    /// Wall-clock of the whole sweep, milliseconds.
+    wall_ms: f64,
+    /// Worker threads available (the fan-out ceiling).
+    host_threads: usize,
+    /// The spec that regenerates this sweep.
+    spec: ScenarioSpec,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let preset = TracePreset::Lublin2;
+    let cfg = scale.train_config(Policy::Fcfs);
+    let spec = ScenarioSpec::builder(preset_source(preset, &scale))
+        .policy(Policy::Fcfs)
+        .agent(agent_slot(&cfg.env, Some(&cfg), None))
+        .windows(scale.eval_samples, scale.eval_window, EVAL_SEED)
+        .seeds(replication_seeds(TRACE_SEED ^ 0x7a11, n_seeds))
+        .build();
+
+    eprintln!(
+        "sweeping {} training seeds on {} ({} epochs each, {host_threads} host threads) …",
+        n_seeds,
+        preset.name(),
+        scale.epochs
+    );
+    let t0 = Instant::now();
+    let sweep = train_sweep_spec(&spec, None).expect("agent spec sweeps");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = Vec::new();
+    for s in &sweep.report.per_seed {
+        rows.push(vec![
+            format!("{:#x}", s.seed),
+            format!("{:.2}", s.final_bsld),
+            format!("{:.2}", s.best_bsld),
+            format!("{:+.3}", s.final_return),
+            s.final_violations.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Training sweep — {} seeds × {} epochs on {} ({:.1}s)",
+            n_seeds,
+            sweep.report.epochs,
+            preset.name(),
+            wall_ms / 1e3
+        ),
+        &[
+            "seed",
+            "final bsld",
+            "best bsld",
+            "final return",
+            "violations",
+        ],
+        &rows,
+    );
+    println!(
+        "\nfinal bsld across seeds: {:.2} ± {:.2} (best seed {:#x})",
+        sweep.report.final_mean, sweep.report.final_std, sweep.report.best_seed
+    );
+
+    // Deploy + checkpoint the best seed's agent.
+    let best = RlbfAgent::from_training(sweep.best(), preset.name());
+    let report = run_spec_with_agent(&spec, &best).expect("agent spec runs");
+    let best_eval_bsld = report.metrics.mean_bounded_slowdown;
+    println!(
+        "best seed's agent under the {}x{} eval protocol: bsld {:.2}",
+        scale.eval_samples, scale.eval_window, best_eval_bsld
+    );
+    best.save(results_dir().join("agents").join("train_sweep_best.json"))
+        .expect("can save checkpoint");
+
+    write_json(
+        "train_sweep",
+        &SweepRecord {
+            report: sweep.report,
+            best_eval_bsld,
+            wall_ms,
+            host_threads,
+            spec,
+        },
+    );
+}

@@ -1,17 +1,20 @@
 //! Shared experiment infrastructure for the paper-reproduction binaries.
 //!
-//! Every table and figure of the paper has a binary in `src/bin/`; this
-//! library provides the pieces they share: experiment scaling (`--quick`
-//! vs `--full`), agent training with on-disk checkpoint caching (so
-//! Table 4, Table 5 and the ablations reuse the same trained models), and
-//! result emission (pretty table to stdout + JSON under `results/`).
+//! Every table and figure of the paper has a binary in `src/bin/`, and
+//! since the scenario redesign each binary is the same three steps:
+//! **build [`ScenarioSpec`]s → run them → write the reports** (one shared
+//! report-writer, [`write_reports`]). This library provides the pieces
+//! they share: spec construction helpers bound to the experiment
+//! [`Scale`], agent training with on-disk checkpoint caching (so Table 4,
+//! Table 5 and the ablations reuse the same trained models), and result
+//! emission (pretty table to stdout + JSON under `results/`).
 
-use hpcsim::Policy;
+use hpcsim::prelude::*;
 use rlbf::prelude::*;
 use rlbf::ObsConfig;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
-use swf::{Trace, TracePreset};
+use swf::{Trace, TracePreset, TraceSource};
 
 pub mod scale;
 
@@ -23,6 +26,53 @@ pub const TRACE_SEED: u64 = 20240914;
 /// Generates the evaluation trace for a preset at the experiment scale.
 pub fn load_trace(preset: TracePreset, scale: &Scale) -> Trace {
     preset.generate(scale.trace_jobs, TRACE_SEED)
+}
+
+/// The [`TraceSource`] equivalent of [`load_trace`]: the same preset ×
+/// scale × [`TRACE_SEED`] recipe as serializable spec data.
+pub fn preset_source(preset: TracePreset, scale: &Scale) -> TraceSource {
+    TraceSource::Preset {
+        preset,
+        jobs: scale.trace_jobs,
+        seed: TRACE_SEED,
+    }
+}
+
+/// A spec builder for the paper's §4.3 evaluation protocol at this scale:
+/// `preset` trace, sampled windows under `eval_seed`.
+pub fn eval_builder(preset: TracePreset, scale: &Scale, eval_seed: u64) -> ScenarioBuilder {
+    ScenarioSpec::builder(preset_source(preset, scale)).windows(
+        scale.eval_samples,
+        scale.eval_window,
+        eval_seed,
+    )
+}
+
+/// The shared report-writer: every bench binary emits its grid as a list
+/// of uniform [`RunReport`]s under `results/<name>.json`.
+pub fn write_reports(name: &str, reports: &[RunReport]) {
+    write_json(name, &reports);
+}
+
+/// Prints reports as a table: canonical labels as row names (derived from
+/// each spec — bins never format their own), one column per selected
+/// metric of the first report.
+pub fn report_table(title: &str, reports: &[RunReport]) {
+    let Some(first) = reports.first() else {
+        println!("\n## {title}\n(no rows)");
+        return;
+    };
+    let mut header: Vec<&str> = vec!["scenario", "jobs"];
+    header.extend(first.selected.iter().map(|s| s.metric.as_str()));
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.label.clone(), r.jobs.to_string()];
+            row.extend(r.selected.iter().map(|s| format!("{:.2}", s.value)));
+            row
+        })
+        .collect();
+    print_table(title, &header, &rows);
 }
 
 /// Where experiment outputs (JSON + agent checkpoints) live.
@@ -42,10 +92,11 @@ pub fn write_json(name: &str, value: &impl Serialize) {
     eprintln!("wrote {}", path.display());
 }
 
-/// Trains (or loads a cached) RLBackfilling agent for `preset` with the
-/// given base policy. Checkpoints are keyed by preset, policy and scale so
-/// Table 4, Table 5 and the ablations share models instead of retraining.
-pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> RlbfAgent {
+/// Where [`train_or_load_agent`] caches the checkpoint for this
+/// (preset, policy, scale) cell — also the `checkpoint` a spec's agent
+/// slot should carry so the committed report names the exact deployed
+/// model.
+pub fn agent_checkpoint_path(preset: TracePreset, base: Policy, scale: &Scale) -> PathBuf {
     // The feature count is part of the key: a checkpoint trained on a
     // different observation layout cannot be deployed (matrix dims differ).
     let key = format!(
@@ -58,7 +109,18 @@ pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> 
         scale.max_obsv_size,
         rlbf::JOB_FEATURES
     );
-    let path = results_dir().join("agents").join(format!("{key}.json"));
+    results_dir().join("agents").join(format!("{key}.json"))
+}
+
+/// Trains (or loads a cached) RLBackfilling agent for `preset` with the
+/// given base policy. Checkpoints are keyed by preset, policy and scale so
+/// Table 4, Table 5 and the ablations share models instead of retraining.
+pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> RlbfAgent {
+    let path = agent_checkpoint_path(preset, base, scale);
+    let key = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
     if path.exists() {
         if let Ok(agent) = RlbfAgent::load(&path) {
             eprintln!("loaded cached agent {key}");

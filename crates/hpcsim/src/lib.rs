@@ -18,6 +18,15 @@
 //!   `rlbf` crate uses to let a reinforcement-learning agent make the
 //!   backfilling decisions.
 //!
+//! Experiments are expressed declaratively through the [`scenario`]
+//! module: a serializable [`scenario::ScenarioSpec`] names one cell of
+//! the paper's experiment grid (trace source × cluster × router × policy
+//! × backfilling × seeds), and [`scenario::run`] /
+//! [`scenario::run_replicated`] execute it into a uniform
+//! [`scenario::RunReport`]. The free functions [`run_scheduler`] /
+//! [`run_scheduler_on`] remain the low-level seed-pinned engines the
+//! scenario runner drives.
+//!
 //! The simulator is deterministic: the same trace, policy and estimator
 //! always produce the same schedule.
 //!
@@ -43,6 +52,7 @@ pub mod policy;
 pub mod profile;
 pub mod reference;
 pub mod runner;
+pub mod scenario;
 pub mod state;
 pub mod timeline;
 
@@ -51,6 +61,10 @@ pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
 pub use policy::Policy;
 pub use runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
+pub use scenario::{
+    AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport, ScenarioBuilder,
+    ScenarioError, ScenarioSpec, SchedulerSpec,
+};
 pub use state::{BackfillSim, SimEvent, Simulation};
 
 /// Convenient glob import for simulator users.
@@ -62,5 +76,9 @@ pub mod prelude {
     pub use crate::metrics::Metrics;
     pub use crate::policy::Policy;
     pub use crate::runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
+    pub use crate::scenario::{
+        self, AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport,
+        ScenarioBuilder, ScenarioError, ScenarioSpec, SchedulerSpec,
+    };
     pub use crate::state::{SimEvent, Simulation};
 }

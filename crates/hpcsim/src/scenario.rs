@@ -1,0 +1,994 @@
+//! The declarative experiment API: one serializable spec per run.
+//!
+//! The paper's results are an experiment *grid* — tables and figures over
+//! (trace × cluster shape × router × policy × backfilling × seeds) — and
+//! before this module every cell of that grid was hand-rolled plumbing in
+//! a bench binary. A [`ScenarioSpec`] names one cell as serde-round-trip
+//! JSON **data**:
+//!
+//! * a [`swf::TraceSource`] (Table 2 preset, partitioned preset, raw or
+//!   partitioned Lublin model, SWF archive file);
+//! * a [`Platform`] — optional [`ClusterSpec`] plus a [`RouterSpec`]
+//!   (homogeneous machine when absent);
+//! * a base [`Policy`] and a [`SchedulerSpec`] — either a heuristic
+//!   [`Backfill`] or an [`AgentSlot`] naming an RL decision-maker (the
+//!   `rlbf` crate interprets that slot; this crate only carries it);
+//! * an [`Engine`] (the `desim` kernel, or the preserved seed engines for
+//!   differential baselines);
+//! * an evaluation [`Protocol`] — the whole trace, or the paper's §4.3
+//!   sampled-windows protocol;
+//! * replication `seeds` and a [`MetricKind`] selection.
+//!
+//! [`run`] executes one spec into a uniform [`RunReport`] (canonical
+//! label derived from the spec, aggregate [`Metrics`], optional per-job
+//! schedule, the spec embedded for provenance), and [`run_replicated`]
+//! fans the spec's seeds out across threads with [`desim::Replicator`].
+//! The old free functions [`run_scheduler`] / [`run_scheduler_on`] remain
+//! as the seed-pinned execution engines underneath; the equivalence suite
+//! (`tests/scenario_equivalence.rs`) pins `scenario::run` bitwise to them
+//! so the redesign cannot drift.
+//!
+//! ```
+//! use hpcsim::scenario::{self, ScenarioSpec};
+//! use hpcsim::{Backfill, Policy, RuntimeEstimator};
+//! use swf::{TracePreset, TraceSource};
+//!
+//! let spec = ScenarioSpec::builder(TraceSource::Preset {
+//!     preset: TracePreset::Lublin1,
+//!     jobs: 300,
+//!     seed: 21,
+//! })
+//! .policy(Policy::Fcfs)
+//! .backfill(Backfill::Easy(RuntimeEstimator::RequestTime))
+//! .build();
+//! let report = scenario::run(&spec).unwrap();
+//! assert_eq!(report.label, "Lublin-1 · FCFS+EASY");
+//! assert!(report.metrics.mean_bounded_slowdown >= 1.0);
+//! // The spec round-trips through JSON, so the run is reproducible from
+//! // a committed config file.
+//! let json = spec.to_json_pretty();
+//! assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+//! ```
+
+use crate::cluster::{ClusterSpec, EarliestStart, LeastLoaded, Router, StaticAffinity};
+use crate::estimator::RuntimeEstimator;
+use crate::metrics::Metrics;
+use crate::policy::Policy;
+use crate::runner::{
+    run_scheduler, run_scheduler_on, run_scheduler_reference, Backfill, ScheduleResult,
+};
+use crate::state::CompletedJob;
+use desim::Replicator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use swf::{Trace, TraceSource};
+
+/// Serializable selection of a [`Router`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RouterSpec {
+    /// [`StaticAffinity`]: narrowest fitting partition.
+    #[default]
+    Affinity,
+    /// [`LeastLoaded`]: lowest committed load.
+    LeastLoaded,
+    /// [`EarliestStart`] under the given runtime estimator.
+    EarliestStart(RuntimeEstimator),
+}
+
+impl RouterSpec {
+    /// The three routers at their experiment-default configurations.
+    pub const ALL: [RouterSpec; 3] = [
+        RouterSpec::Affinity,
+        RouterSpec::LeastLoaded,
+        RouterSpec::EarliestStart(RuntimeEstimator::RequestTime),
+    ];
+
+    /// Instantiates the router.
+    pub fn build(&self) -> Arc<dyn Router> {
+        match self {
+            RouterSpec::Affinity => Arc::new(StaticAffinity),
+            RouterSpec::LeastLoaded => Arc::new(LeastLoaded),
+            RouterSpec::EarliestStart(est) => Arc::new(EarliestStart { estimator: *est }),
+        }
+    }
+
+    /// The router's table label (matches [`Router::name`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterSpec::Affinity => "affinity",
+            RouterSpec::LeastLoaded => "least-loaded",
+            RouterSpec::EarliestStart(_) => "earliest-start",
+        }
+    }
+}
+
+/// The machine a scenario runs on: an optional explicit cluster shape plus
+/// the router that assigns arriving jobs to partitions.
+///
+/// `cluster: None` means "the homogeneous machine the trace targets" —
+/// the degenerate shape that realizes bitwise-identical schedules to the
+/// flat engine regardless of the router.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Platform {
+    /// Explicit cluster shape, or `None` for the trace's flat machine.
+    pub cluster: Option<ClusterSpec>,
+    /// Partition router (irrelevant on a flat machine).
+    pub router: RouterSpec,
+}
+
+impl Platform {
+    /// The homogeneous machine the trace targets.
+    pub fn flat() -> Self {
+        Self::default()
+    }
+
+    /// An explicit cluster shape under the given router.
+    pub fn clustered(cluster: ClusterSpec, router: RouterSpec) -> Self {
+        Self {
+            cluster: Some(cluster),
+            router,
+        }
+    }
+
+    /// A platform from a workload-side partition layout.
+    pub fn from_layout(layout: &[swf::PartitionLayout], router: RouterSpec) -> Self {
+        Self::clustered(ClusterSpec::from_layout(layout), router)
+    }
+
+    /// The concrete (cluster, router) pair for a given trace: the explicit
+    /// shape when present, otherwise the trace's homogeneous machine.
+    pub fn realize(&self, trace: &Trace) -> (ClusterSpec, Arc<dyn Router>) {
+        let cluster = self
+            .cluster
+            .clone()
+            .unwrap_or_else(|| ClusterSpec::homogeneous(trace.cluster_procs()));
+        (cluster, self.router.build())
+    }
+
+    /// Short label: `"flat"`, or `"<parts>p/<router>"`.
+    pub fn label(&self) -> String {
+        match &self.cluster {
+            None => "flat".into(),
+            Some(c) => format!("{}p/{}", c.len(), self.router.label()),
+        }
+    }
+}
+
+/// Which simulation engine executes the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// The production `desim` event-kernel engine (the default).
+    #[default]
+    Kernel,
+    /// The preserved seed stepping engine with the shared backfilling
+    /// passes ([`run_scheduler_reference`]); flat platforms only.
+    Reference,
+    /// The full seed cost model (seed engine with the naive availability
+    /// profile and seed pass logic,
+    /// [`crate::reference::run_seed_scheduler`]): the benchmark baseline;
+    /// flat platforms only.
+    SeedNaive,
+}
+
+/// The decision-maker slot of a scenario: either a heuristic backfilling
+/// strategy this crate executes directly, or an external agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerSpec {
+    /// A heuristic [`Backfill`] strategy.
+    Heuristic(Backfill),
+    /// An external (learned) decision-maker. `hpcsim` cannot execute this
+    /// variant — [`run`] returns [`ScenarioError::NeedsAgent`]; the `rlbf`
+    /// crate's scenario bridge interprets the slot.
+    Agent(AgentSlot),
+}
+
+impl SchedulerSpec {
+    /// The scheduler's table label (`"EASY"`, `"CONS(req)"`, `"RLBF"`, …).
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::Heuristic(b) => b.label(),
+            SchedulerSpec::Agent(_) => "RLBF".into(),
+        }
+    }
+}
+
+/// Names an external RL decision-maker plus its experiment configuration.
+///
+/// The `env` / `train` fields carry the owning crate's config structs
+/// (`rlbf::EnvConfig` / `rlbf::TrainConfig`) as opaque JSON values, so one
+/// committed spec file holds the *entire* experiment — workload, machine,
+/// scheduler and RL hyper-parameters — without `hpcsim` depending on the
+/// RL crate.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AgentSlot {
+    /// Path to a trained agent checkpoint (`rlbf::RlbfAgent` JSON), when
+    /// the scenario deploys an existing agent.
+    pub checkpoint: Option<String>,
+    /// Environment configuration (`rlbf::EnvConfig`), verbatim.
+    pub env: Option<serde_json::Value>,
+    /// Training configuration (`rlbf::TrainConfig`), verbatim, for
+    /// scenarios that train before evaluating.
+    pub train: Option<serde_json::Value>,
+}
+
+/// How the trace is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Schedule the whole materialized trace once.
+    #[default]
+    FullTrace,
+    /// The paper's §4.3 protocol: sample `samples` random windows of
+    /// `window_len` jobs (seeded, so competing schedulers see identical
+    /// sequences), schedule each, report field-wise mean metrics.
+    Windows {
+        /// Number of sampled windows (paper: 10).
+        samples: usize,
+        /// Jobs per window (paper: 1024).
+        window_len: usize,
+        /// Window-sampling seed.
+        seed: u64,
+    },
+}
+
+/// A selectable scalar metric of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Average bounded slowdown (the paper's headline metric).
+    BoundedSlowdown,
+    /// Average plain slowdown.
+    Slowdown,
+    /// Average queue wait, seconds.
+    Wait,
+    /// Maximum queue wait, seconds.
+    MaxWait,
+    /// Average turnaround, seconds.
+    Turnaround,
+    /// Machine utilization over the makespan.
+    Utilization,
+    /// Makespan, seconds.
+    Makespan,
+}
+
+impl MetricKind {
+    /// Every selectable metric.
+    pub const ALL: [MetricKind; 7] = [
+        MetricKind::BoundedSlowdown,
+        MetricKind::Slowdown,
+        MetricKind::Wait,
+        MetricKind::MaxWait,
+        MetricKind::Turnaround,
+        MetricKind::Utilization,
+        MetricKind::Makespan,
+    ];
+
+    /// Column name in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::BoundedSlowdown => "bsld",
+            MetricKind::Slowdown => "slowdown",
+            MetricKind::Wait => "wait",
+            MetricKind::MaxWait => "max_wait",
+            MetricKind::Turnaround => "turnaround",
+            MetricKind::Utilization => "utilization",
+            MetricKind::Makespan => "makespan",
+        }
+    }
+
+    /// Extracts the metric from aggregate [`Metrics`].
+    pub fn of(&self, m: &Metrics) -> f64 {
+        match self {
+            MetricKind::BoundedSlowdown => m.mean_bounded_slowdown,
+            MetricKind::Slowdown => m.mean_slowdown,
+            MetricKind::Wait => m.mean_wait,
+            MetricKind::MaxWait => m.max_wait,
+            MetricKind::Turnaround => m.mean_turnaround,
+            MetricKind::Utilization => m.utilization,
+            MetricKind::Makespan => m.makespan,
+        }
+    }
+}
+
+/// One cell of the experiment grid, as serializable data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Optional label override; [`Self::label`] derives one when absent.
+    pub name: Option<String>,
+    /// Where the workload comes from.
+    pub trace: TraceSource,
+    /// The machine it runs on.
+    pub platform: Platform,
+    /// The base scheduling policy.
+    pub policy: Policy,
+    /// The backfilling decision-maker.
+    pub scheduler: SchedulerSpec,
+    /// Which simulation engine executes the run.
+    pub engine: Engine,
+    /// Whole-trace or sampled-windows evaluation.
+    pub protocol: Protocol,
+    /// Replication seeds for [`run_replicated`] (empty = single-shot).
+    pub seeds: Vec<u64>,
+    /// Metrics surfaced in [`RunReport::selected`] (empty = bsld only).
+    pub metrics: Vec<MetricKind>,
+    /// Whether the report carries the full per-job schedule
+    /// (whole-trace heuristic runs only).
+    pub record_schedule: bool,
+}
+
+impl ScenarioSpec {
+    /// Starts a builder over the given trace source with experiment
+    /// defaults: flat platform, FCFS, EASY(request time), kernel engine,
+    /// whole-trace protocol.
+    pub fn builder(trace: TraceSource) -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: None,
+                trace,
+                platform: Platform::flat(),
+                policy: Policy::Fcfs,
+                scheduler: SchedulerSpec::Heuristic(Backfill::Easy(RuntimeEstimator::RequestTime)),
+                engine: Engine::Kernel,
+                protocol: Protocol::FullTrace,
+                seeds: Vec::new(),
+                metrics: Vec::new(),
+                record_schedule: false,
+            },
+        }
+    }
+
+    /// The canonical row label derived from the spec:
+    /// `trace · policy+scheduler[ · platform][ · protocol]`, or the
+    /// explicit `name` override. Every [`RunReport`] carries this, so
+    /// experiment binaries never format their own row names.
+    pub fn label(&self) -> String {
+        if let Some(name) = &self.name {
+            return name.clone();
+        }
+        let mut label = format!(
+            "{} · {}+{}",
+            self.trace.label(),
+            self.policy.name(),
+            self.scheduler.label()
+        );
+        if self.platform.cluster.is_some() {
+            label.push_str(&format!(" · {}", self.platform.label()));
+        }
+        if let Protocol::Windows {
+            samples,
+            window_len,
+            ..
+        } = self.protocol
+        {
+            label.push_str(&format!(" · {samples}x{window_len}w"));
+        }
+        label
+    }
+
+    /// The metric selection, defaulting to bounded slowdown.
+    pub fn selected_metrics(&self) -> Vec<MetricKind> {
+        if self.metrics.is_empty() {
+            vec![MetricKind::BoundedSlowdown]
+        } else {
+            self.metrics.clone()
+        }
+    }
+
+    /// Pretty JSON for committing under `examples/scenarios/`.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(json).map_err(|e| ScenarioError::Spec(e.to_string()))
+    }
+
+    /// Loads a spec from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ScenarioError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Spec(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+
+    /// Writes the spec as pretty JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_pretty())
+    }
+}
+
+/// Fluent construction of a [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Overrides the derived label.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = Some(name.into());
+        self
+    }
+
+    /// Sets the machine.
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.spec.platform = platform;
+        self
+    }
+
+    /// Shorthand: explicit cluster + router.
+    pub fn cluster(self, cluster: ClusterSpec, router: RouterSpec) -> Self {
+        self.platform(Platform::clustered(cluster, router))
+    }
+
+    /// Sets the base policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Uses a heuristic backfilling strategy.
+    pub fn backfill(mut self, backfill: Backfill) -> Self {
+        self.spec.scheduler = SchedulerSpec::Heuristic(backfill);
+        self
+    }
+
+    /// Uses an external agent slot.
+    pub fn agent(mut self, slot: AgentSlot) -> Self {
+        self.spec.scheduler = SchedulerSpec::Agent(slot);
+        self
+    }
+
+    /// Selects the simulation engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.spec.engine = engine;
+        self
+    }
+
+    /// Uses the sampled-windows evaluation protocol.
+    pub fn windows(mut self, samples: usize, window_len: usize, seed: u64) -> Self {
+        self.spec.protocol = Protocol::Windows {
+            samples,
+            window_len,
+            seed,
+        };
+        self
+    }
+
+    /// Sets the replication seeds.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.spec.seeds = seeds;
+        self
+    }
+
+    /// Selects the reported metrics.
+    pub fn metrics(mut self, metrics: Vec<MetricKind>) -> Self {
+        self.spec.metrics = metrics;
+        self
+    }
+
+    /// Records the full per-job schedule in the report.
+    pub fn record_schedule(mut self, record: bool) -> Self {
+        self.spec.record_schedule = record;
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+/// One selected metric value in a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedMetric {
+    /// [`MetricKind::name`] of the metric.
+    pub metric: String,
+    /// Its value.
+    pub value: f64,
+}
+
+/// The uniform outcome of executing one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Canonical label derived from the spec ([`ScenarioSpec::label`]).
+    pub label: String,
+    /// The replication seed, when run through [`run_replicated`] /
+    /// [`run_seeded`]; `None` for a single-shot [`run`].
+    pub seed: Option<u64>,
+    /// Jobs scheduled (summed across windows under
+    /// [`Protocol::Windows`]).
+    pub jobs: usize,
+    /// Aggregate metrics (field-wise mean across windows).
+    pub metrics: Metrics,
+    /// The spec's selected metrics, extracted for table rendering.
+    pub selected: Vec<SelectedMetric>,
+    /// The realized per-job schedule, when the spec asked for it.
+    pub schedule: Option<Vec<CompletedJob>>,
+    /// The spec that produced this report, embedded for provenance: the
+    /// report file alone regenerates the run.
+    pub spec: ScenarioSpec,
+}
+
+impl RunReport {
+    /// Pretty JSON (the committed-results format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report from JSON.
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(json).map_err(|e| ScenarioError::Spec(e.to_string()))
+    }
+
+    /// The value of a selected metric by name.
+    pub fn value(&self, metric: MetricKind) -> Option<f64> {
+        self.selected
+            .iter()
+            .find(|s| s.metric == metric.name())
+            .map(|s| s.value)
+    }
+}
+
+/// Why a scenario could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The trace source failed to materialize.
+    Trace(String),
+    /// The spec (or a report) failed to parse.
+    Spec(String),
+    /// The spec names an external agent; execute it through the crate
+    /// that owns the decision logic (`rlbf::scenario::run_spec`).
+    NeedsAgent,
+    /// The seed engines only model flat machines.
+    ReferenceNeedsFlat,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Trace(e) => write!(f, "trace source: {e}"),
+            ScenarioError::Spec(e) => write!(f, "scenario spec: {e}"),
+            ScenarioError::NeedsAgent => write!(
+                f,
+                "spec schedules with an external agent; run it through the RL crate's \
+                 scenario bridge (rlbf::scenario::run_spec)"
+            ),
+            ScenarioError::ReferenceNeedsFlat => write!(
+                f,
+                "the seed reference engines only model flat (single-partition, speed-1) machines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The §4.3 evaluation windows for a seed: `samples` random windows of
+/// `window_len` jobs, re-based to time 0. This is the **canonical** window
+/// stream — `rlbf::sample_windows` delegates here, so heuristics, agents
+/// and scenario runs all see identical sequences for the same seed.
+pub fn sample_windows(trace: &Trace, samples: usize, window_len: usize, seed: u64) -> Vec<Trace> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| trace.sample_window(window_len, &mut rng))
+        .collect()
+}
+
+/// Field-wise mean of per-window metrics (jobs are summed) — the paper
+/// reports the mean of per-window bsld values, not a pooled bsld.
+pub fn mean_metrics(per: &[Metrics]) -> Metrics {
+    if per.is_empty() {
+        return Metrics::of(&[], 1);
+    }
+    let n = per.len() as f64;
+    Metrics {
+        jobs: per.iter().map(|m| m.jobs).sum(),
+        mean_bounded_slowdown: per.iter().map(|m| m.mean_bounded_slowdown).sum::<f64>() / n,
+        mean_slowdown: per.iter().map(|m| m.mean_slowdown).sum::<f64>() / n,
+        mean_wait: per.iter().map(|m| m.mean_wait).sum::<f64>() / n,
+        max_wait: per.iter().map(|m| m.max_wait).fold(0.0, f64::max),
+        mean_turnaround: per.iter().map(|m| m.mean_turnaround).sum::<f64>() / n,
+        utilization: per.iter().map(|m| m.utilization).sum::<f64>() / n,
+        makespan: per.iter().map(|m| m.makespan).sum::<f64>() / n,
+    }
+}
+
+/// Assembles the uniform report for a spec run. Public so external
+/// executors of the [`SchedulerSpec::Agent`] slot (the RL crate) produce
+/// byte-compatible reports.
+pub fn make_report(
+    spec: &ScenarioSpec,
+    seed: Option<u64>,
+    metrics: Metrics,
+    schedule: Option<Vec<CompletedJob>>,
+) -> RunReport {
+    let selected = spec
+        .selected_metrics()
+        .iter()
+        .map(|k| SelectedMetric {
+            metric: k.name().into(),
+            value: k.of(&metrics),
+        })
+        .collect();
+    RunReport {
+        label: spec.label(),
+        seed,
+        jobs: metrics.jobs,
+        metrics,
+        selected,
+        schedule,
+        spec: spec.clone(),
+    }
+}
+
+/// Materializes a spec's trace and protocol under an optional replication
+/// seed. The seed re-seeds the *stochastic element of the protocol*: the
+/// window sampling under [`Protocol::Windows`], the trace generator under
+/// [`Protocol::FullTrace`]. Public so the RL scenario bridge shares the
+/// exact semantics.
+pub fn materialize(
+    spec: &ScenarioSpec,
+    seed: Option<u64>,
+) -> Result<(Trace, Protocol), ScenarioError> {
+    let mut protocol = spec.protocol;
+    let source = match (seed, &mut protocol) {
+        (Some(s), Protocol::Windows { seed, .. }) => {
+            *seed = s;
+            spec.trace.clone()
+        }
+        (Some(s), Protocol::FullTrace) => {
+            if spec.trace.seed().is_none() {
+                // Without this, N "replications" of a seedless source
+                // (an SWF file) would be N bit-identical runs dressed up
+                // as independent samples.
+                return Err(ScenarioError::Trace(format!(
+                    "trace source {:?} cannot be re-seeded for full-trace replication; \
+                     use the Windows protocol or a generator-backed source",
+                    spec.trace.label()
+                )));
+            }
+            spec.trace.clone().with_seed(s)
+        }
+        (None, _) => spec.trace.clone(),
+    };
+    let trace = source.materialize().map_err(ScenarioError::Trace)?;
+    Ok((trace, protocol))
+}
+
+/// Executes one already-materialized trace (or window) on the spec's
+/// engine and platform — the engine step alone, with no trace
+/// generation, window sampling or report assembly. Public for callers
+/// that need to time or drive the engines over a shared trace (the
+/// `speed_probe` binary) without hand-rolled dispatch.
+pub fn execute(trace: &Trace, spec: &ScenarioSpec) -> Result<ScheduleResult, ScenarioError> {
+    let backfill = match &spec.scheduler {
+        SchedulerSpec::Heuristic(b) => *b,
+        SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
+    };
+    run_once(trace, spec, backfill)
+}
+
+/// Executes one trace (or window) on the spec's engine and platform.
+fn run_once(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    backfill: Backfill,
+) -> Result<ScheduleResult, ScenarioError> {
+    match (spec.engine, &spec.platform.cluster) {
+        (Engine::Kernel, None) => Ok(run_scheduler(trace, spec.policy, backfill)),
+        (Engine::Kernel, Some(cluster)) => Ok(run_scheduler_on(
+            trace,
+            spec.policy,
+            backfill,
+            cluster,
+            spec.platform.router.build(),
+        )),
+        (Engine::Reference, None) => Ok(run_scheduler_reference(trace, spec.policy, backfill)),
+        (Engine::SeedNaive, None) => Ok(crate::reference::run_seed_scheduler(
+            trace,
+            spec.policy,
+            backfill,
+        )),
+        (Engine::Reference | Engine::SeedNaive, Some(_)) => Err(ScenarioError::ReferenceNeedsFlat),
+    }
+}
+
+fn run_with_seed(spec: &ScenarioSpec, seed: Option<u64>) -> Result<RunReport, ScenarioError> {
+    let (trace, protocol) = materialize(spec, seed)?;
+    run_protocol(spec, &trace, protocol, seed)
+}
+
+/// Runs the (already re-seeded) protocol over a materialized trace.
+fn run_protocol(
+    spec: &ScenarioSpec,
+    trace: &Trace,
+    protocol: Protocol,
+    seed: Option<u64>,
+) -> Result<RunReport, ScenarioError> {
+    let backfill = match &spec.scheduler {
+        SchedulerSpec::Heuristic(b) => *b,
+        SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
+    };
+    match protocol {
+        Protocol::FullTrace => {
+            let r = run_once(trace, spec, backfill)?;
+            let schedule = spec.record_schedule.then_some(r.completed);
+            Ok(make_report(spec, seed, r.metrics, schedule))
+        }
+        Protocol::Windows {
+            samples,
+            window_len,
+            seed: wseed,
+        } => {
+            let windows = sample_windows(trace, samples, window_len, wseed);
+            let per = windows
+                .iter()
+                .map(|w| run_once(w, spec, backfill).map(|r| r.metrics))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(make_report(spec, seed, mean_metrics(&per), None))
+        }
+    }
+}
+
+/// Executes one spec single-shot (heuristic schedulers; agent specs go
+/// through the RL crate's bridge).
+pub fn run(spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
+    run_with_seed(spec, None)
+}
+
+/// [`run`] under an explicit replication seed (see [`materialize`] for
+/// what the seed re-seeds).
+pub fn run_seeded(spec: &ScenarioSpec, seed: u64) -> Result<RunReport, ScenarioError> {
+    run_with_seed(spec, Some(seed))
+}
+
+/// Fans the spec's `seeds` out across threads with [`desim::Replicator`]
+/// and returns one report per seed, in seed order. An empty seed list
+/// degenerates to a single [`run`]. Deterministic and
+/// thread-count-independent.
+pub fn run_replicated(spec: &ScenarioSpec) -> Result<Vec<RunReport>, ScenarioError> {
+    run_replicated_threads(spec, 0)
+}
+
+/// [`run_replicated`] with a worker-thread cap (`0` = all cores, `1` =
+/// sequential; used by benchmarks to time the fan-out win).
+pub fn run_replicated_threads(
+    spec: &ScenarioSpec,
+    threads: usize,
+) -> Result<Vec<RunReport>, ScenarioError> {
+    if spec.seeds.is_empty() {
+        return Ok(vec![run(spec)?]);
+    }
+    let mut replicator = Replicator::new(spec.seeds[0]);
+    if threads > 0 {
+        replicator = replicator.threads(threads);
+    }
+    if let Protocol::Windows {
+        samples,
+        window_len,
+        ..
+    } = spec.protocol
+    {
+        // Under the windows protocol the replication seed only re-seeds
+        // the window sampler — materialize the (invariant) trace once
+        // and share it across all replications.
+        let (trace, _) = materialize(spec, None)?;
+        return replicator
+            .run(spec.seeds.len(), |i, _| {
+                let protocol = Protocol::Windows {
+                    samples,
+                    window_len,
+                    seed: spec.seeds[i],
+                };
+                run_protocol(spec, &trace, protocol, Some(spec.seeds[i]))
+            })
+            .into_iter()
+            .collect();
+    }
+    replicator
+        .run(spec.seeds.len(), |i, _| run_seeded(spec, spec.seeds[i]))
+        .into_iter()
+        .collect()
+}
+
+/// A deterministic replication seed stream for spec authors:
+/// `n` SplitMix64-decorrelated seeds derived from `master` (the same
+/// stream [`desim::Replicator`] hands its bodies).
+pub fn replication_seeds(master: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| desim::replication_seed(master, i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf::TracePreset;
+
+    fn lublin_spec(jobs: usize) -> ScenarioBuilder {
+        ScenarioSpec::builder(TraceSource::Preset {
+            preset: TracePreset::Lublin1,
+            jobs,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn run_matches_run_scheduler_bitwise() {
+        let spec = lublin_spec(300).build();
+        let report = run(&spec).unwrap();
+        let trace = TracePreset::Lublin1.generate(300, 21);
+        let direct = run_scheduler(
+            &trace,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+        );
+        assert_eq!(report.metrics, direct.metrics);
+        assert_eq!(report.jobs, direct.completed.len());
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        let spec = lublin_spec(100).build();
+        assert_eq!(spec.label(), "Lublin-1 · FCFS+EASY");
+        let clustered = lublin_spec(100)
+            .policy(Policy::Sjf)
+            .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+            .cluster(ClusterSpec::homogeneous(256), RouterSpec::LeastLoaded)
+            .build();
+        assert_eq!(
+            clustered.label(),
+            "Lublin-1 · SJF+CONS(request) · 1p/least-loaded"
+        );
+        let windows = lublin_spec(100).windows(10, 64, 3).build();
+        assert_eq!(windows.label(), "Lublin-1 · FCFS+EASY · 10x64w");
+        let named = lublin_spec(100).name("row 7").build();
+        assert_eq!(named.label(), "row 7");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = lublin_spec(50)
+            .cluster(ClusterSpec::homogeneous(64), RouterSpec::ALL[2])
+            .windows(4, 32, 9)
+            .seeds(vec![1, 2, 3])
+            .metrics(vec![MetricKind::BoundedSlowdown, MetricKind::Utilization])
+            .record_schedule(true)
+            .build();
+        let json = spec.to_json_pretty();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn report_embeds_spec_and_selected_metrics() {
+        let spec = lublin_spec(200)
+            .metrics(vec![MetricKind::BoundedSlowdown, MetricKind::Wait])
+            .record_schedule(true)
+            .build();
+        let report = run(&spec).unwrap();
+        assert_eq!(report.spec, spec);
+        assert_eq!(report.selected.len(), 2);
+        assert_eq!(
+            report.value(MetricKind::BoundedSlowdown),
+            Some(report.metrics.mean_bounded_slowdown)
+        );
+        assert_eq!(report.value(MetricKind::Makespan), None);
+        let sched = report.schedule.as_ref().expect("schedule recorded");
+        assert_eq!(sched.len(), report.jobs);
+        let back = RunReport::from_json(&report.to_json_pretty()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn windows_protocol_averages_per_window_metrics() {
+        let spec = lublin_spec(400).windows(3, 64, 11).build();
+        let report = run(&spec).unwrap();
+        let trace = TracePreset::Lublin1.generate(400, 21);
+        let windows = sample_windows(&trace, 3, 64, 11);
+        let per: Vec<Metrics> = windows
+            .iter()
+            .map(|w| {
+                run_scheduler(
+                    w,
+                    Policy::Fcfs,
+                    Backfill::Easy(RuntimeEstimator::RequestTime),
+                )
+                .metrics
+            })
+            .collect();
+        assert_eq!(report.metrics, mean_metrics(&per));
+        assert_eq!(report.jobs, per.iter().map(|m| m.jobs).sum::<usize>());
+    }
+
+    #[test]
+    fn seeded_full_trace_reseeds_the_generator() {
+        let spec = lublin_spec(200).build();
+        let a = run_seeded(&spec, 5).unwrap();
+        let b = run_seeded(&spec, 6).unwrap();
+        assert_ne!(
+            a.metrics.mean_bounded_slowdown,
+            b.metrics.mean_bounded_slowdown
+        );
+        assert_eq!(a.seed, Some(5));
+        // The label stays canonical; the seed lives in its own field.
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn seeded_windows_reseed_the_sampler_not_the_trace() {
+        let spec = lublin_spec(400).windows(2, 64, 1).build();
+        let a = run_seeded(&spec, 5).unwrap();
+        let direct = run(&lublin_spec(400).windows(2, 64, 5).build()).unwrap();
+        assert_eq!(a.metrics, direct.metrics);
+    }
+
+    #[test]
+    fn replication_is_thread_count_independent() {
+        let spec = lublin_spec(300)
+            .windows(2, 64, 1)
+            .seeds(replication_seeds(7, 6))
+            .build();
+        let par = run_replicated(&spec).unwrap();
+        let seq = run_replicated_threads(&spec, 1).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(par.len(), 6);
+        for (r, s) in par.iter().zip(&spec.seeds) {
+            assert_eq!(r.seed, Some(*s));
+            // The shared-trace fast path must equal the one-off path.
+            assert_eq!(r, &run_seeded(&spec, *s).unwrap());
+        }
+    }
+
+    #[test]
+    fn full_trace_replication_of_a_seedless_source_is_rejected() {
+        let spec = ScenarioSpec::builder(TraceSource::SwfFile {
+            path: "archive.swf".into(),
+        })
+        .seeds(vec![1, 2])
+        .build();
+        let err = run_replicated(&spec).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Trace(m) if m.contains("cannot be re-seeded")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_seed_list_degenerates_to_single_run() {
+        let spec = lublin_spec(150).build();
+        let reports = run_replicated(&spec).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0], run(&spec).unwrap());
+    }
+
+    #[test]
+    fn agent_specs_are_refused_here() {
+        let spec = lublin_spec(50).agent(AgentSlot::default()).build();
+        assert_eq!(run(&spec), Err(ScenarioError::NeedsAgent));
+        assert_eq!(spec.label(), "Lublin-1 · FCFS+RLBF");
+    }
+
+    #[test]
+    fn reference_engines_require_flat_platforms() {
+        let flat_ref = lublin_spec(120).engine(Engine::Reference).build();
+        let kernel = lublin_spec(120).build();
+        assert_eq!(
+            run(&flat_ref).unwrap().metrics,
+            run(&kernel).unwrap().metrics
+        );
+        let clustered = lublin_spec(120)
+            .engine(Engine::SeedNaive)
+            .cluster(ClusterSpec::homogeneous(256), RouterSpec::Affinity)
+            .build();
+        assert_eq!(run(&clustered), Err(ScenarioError::ReferenceNeedsFlat));
+    }
+
+    #[test]
+    fn mean_metrics_of_empty_is_zeroed() {
+        let m = mean_metrics(&[]);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.mean_bounded_slowdown, 0.0);
+    }
+}

@@ -57,7 +57,7 @@ impl RunningJob {
 }
 
 /// A finished job together with its realized start time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CompletedJob {
     /// The job that ran.
     pub job: Job,

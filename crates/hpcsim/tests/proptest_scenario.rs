@@ -1,0 +1,261 @@
+//! Serde round-trip property tests for the scenario layer: any
+//! [`ScenarioSpec`] the builder can produce must survive
+//! JSON-serialize → parse **exactly** (`PartialEq`), because committed
+//! spec files are the reproducibility contract of the experiment grid.
+
+use hpcsim::cluster::{ClusterSpec, PartitionSpec};
+use hpcsim::prelude::*;
+use hpcsim::scenario::SelectedMetric;
+use proptest::prelude::*;
+use swf::{TracePreset, TraceSource};
+
+fn arb_preset() -> impl Strategy<Value = TracePreset> {
+    prop_oneof![
+        Just(TracePreset::SdscSp2),
+        Just(TracePreset::Hpc2n),
+        Just(TracePreset::Lublin1),
+        Just(TracePreset::Lublin2),
+    ]
+}
+
+fn arb_source() -> impl Strategy<Value = TraceSource> {
+    prop_oneof![
+        (arb_preset(), 1usize..5000, any::<u64>())
+            .prop_map(|(preset, jobs, seed)| TraceSource::Preset { preset, jobs, seed }),
+        (arb_preset(), 2usize..=4, 1usize..5000, any::<u64>()).prop_map(
+            |(preset, parts, jobs, seed)| TraceSource::PartitionedPreset {
+                preset,
+                parts,
+                jobs,
+                seed,
+            }
+        ),
+        (
+            16u32..512,
+            100.0f64..2000.0,
+            500.0f64..20000.0,
+            1.0f64..32.0,
+            1usize..5000,
+            any::<u64>(),
+        )
+            .prop_map(|(procs, it, rt, nt, jobs, seed)| TraceSource::Lublin {
+                procs,
+                mean_interarrival: it,
+                mean_runtime: rt,
+                mean_procs: nt,
+                jobs,
+                seed,
+            }),
+        (
+            16u32..512,
+            2usize..=4,
+            0.2f64..1.2,
+            1usize..5000,
+            any::<u64>()
+        )
+            .prop_map(
+                |(total, parts, load, jobs, seed)| TraceSource::PartitionedLublin {
+                    layout: swf::split_cluster(total.max(parts as u32), parts),
+                    load,
+                    jobs,
+                    seed,
+                }
+            ),
+        (0u32..1000).prop_map(|stem| TraceSource::SwfFile {
+            path: format!("traces/archive-{stem}.swf"),
+        }),
+    ]
+}
+
+fn arb_estimator() -> impl Strategy<Value = RuntimeEstimator> {
+    prop_oneof![
+        Just(RuntimeEstimator::RequestTime),
+        Just(RuntimeEstimator::ActualRuntime),
+        (0.01f64..2.0, any::<u64>()).prop_map(|(max_over_frac, seed)| {
+            RuntimeEstimator::NoisyActual {
+                max_over_frac,
+                seed,
+            }
+        }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fcfs),
+        Just(Policy::Sjf),
+        Just(Policy::Wfp3),
+        Just(Policy::F1),
+    ]
+}
+
+fn arb_backfill() -> impl Strategy<Value = Backfill> {
+    prop_oneof![
+        Just(Backfill::None),
+        arb_estimator().prop_map(Backfill::Easy),
+        (arb_estimator(), arb_policy()).prop_map(|(e, p)| Backfill::EasyOrdered(e, p)),
+        arb_estimator().prop_map(Backfill::Conservative),
+    ]
+}
+
+fn arb_router() -> impl Strategy<Value = RouterSpec> {
+    prop_oneof![
+        Just(RouterSpec::Affinity),
+        Just(RouterSpec::LeastLoaded),
+        arb_estimator().prop_map(RouterSpec::EarliestStart),
+    ]
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    let cluster = proptest::collection::vec((1u32..256, 0.25f64..4.0), 1..4).prop_map(|parts| {
+        ClusterSpec::new(
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (procs, speed))| PartitionSpec::new(format!("p{i}"), procs, speed))
+                .collect(),
+        )
+    });
+    (any::<bool>(), cluster, arb_router()).prop_map(|(flat, cluster, router)| Platform {
+        cluster: if flat { None } else { Some(cluster) },
+        router,
+    })
+}
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerSpec> {
+    let agent =
+        (any::<bool>(), 0u32..100, any::<bool>()).prop_map(|(with_checkpoint, ckpt, with_env)| {
+            SchedulerSpec::Agent(AgentSlot {
+                checkpoint: with_checkpoint.then(|| format!("results/agents/a{ckpt}.json")),
+                // An opaque config payload, as the RL crate would embed.
+                env: with_env.then(|| {
+                    serde_json::Value::Object(vec![(
+                        "max_obsv_size".to_string(),
+                        serde_json::Value::Number(serde::Number::U64(64)),
+                    )])
+                }),
+                train: None,
+            })
+        });
+    prop_oneof![arb_backfill().prop_map(SchedulerSpec::Heuristic), agent]
+}
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::FullTrace),
+        (1usize..20, 8usize..2048, any::<u64>()).prop_map(|(samples, window_len, seed)| {
+            Protocol::Windows {
+                samples,
+                window_len,
+                seed,
+            }
+        }),
+    ]
+}
+
+fn arb_metric() -> impl Strategy<Value = MetricKind> {
+    prop_oneof![
+        Just(MetricKind::BoundedSlowdown),
+        Just(MetricKind::Slowdown),
+        Just(MetricKind::Wait),
+        Just(MetricKind::MaxWait),
+        Just(MetricKind::Turnaround),
+        Just(MetricKind::Utilization),
+        Just(MetricKind::Makespan),
+    ]
+}
+
+fn arb_engine() -> impl Strategy<Value = Engine> {
+    prop_oneof![
+        Just(Engine::Kernel),
+        Just(Engine::Reference),
+        Just(Engine::SeedNaive),
+    ]
+}
+
+#[allow(clippy::type_complexity)]
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let name =
+        (any::<bool>(), 0u32..100).prop_map(|(named, n)| named.then(|| format!("custom row {n}")));
+    (
+        (name, arb_source(), arb_platform()),
+        (arb_policy(), arb_scheduler(), arb_engine()),
+        (
+            arb_protocol(),
+            proptest::collection::vec(any::<u64>(), 0..8),
+            proptest::collection::vec(arb_metric(), 0..5),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (name, trace, platform),
+                (policy, scheduler, engine),
+                (protocol, seeds, metrics, record_schedule),
+            )| ScenarioSpec {
+                name,
+                trace,
+                platform,
+                policy,
+                scheduler,
+                engine,
+                protocol,
+                seeds,
+                metrics,
+                record_schedule,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn specs_round_trip_through_json(spec in arb_spec()) {
+        let json = spec.to_json_pretty();
+        let back = ScenarioSpec::from_json(&json).expect("round-trip parse");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn specs_round_trip_through_compact_json(spec in arb_spec()) {
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn labels_are_deterministic_and_nonempty(spec in arb_spec()) {
+        prop_assert_eq!(spec.label(), spec.label());
+        // A named spec uses the name verbatim; unnamed labels are derived.
+        if let Some(name) = &spec.name {
+            prop_assert_eq!(&spec.label(), name);
+        } else {
+            prop_assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_json(spec in arb_spec(), seed in any::<u64>(), seeded in any::<bool>()) {
+        // Reports must round-trip regardless of whether the spec is
+        // runnable here (agent slots, missing SWF files): build one
+        // directly over synthetic metrics.
+        let metrics = hpcsim::Metrics::of(&[], 4);
+        let report = hpcsim::scenario::make_report(&spec, seeded.then_some(seed), metrics, None);
+        prop_assert_eq!(&report.label, &spec.label());
+        let back = RunReport::from_json(&report.to_json_pretty()).expect("report parses");
+        prop_assert_eq!(back, report);
+    }
+
+    #[test]
+    fn selected_metrics_default_to_bsld(spec in arb_spec()) {
+        let metrics = hpcsim::Metrics::of(&[], 4);
+        let report = hpcsim::scenario::make_report(&spec, None, metrics, None);
+        if spec.metrics.is_empty() {
+            prop_assert_eq!(
+                report.selected,
+                vec![SelectedMetric { metric: "bsld".into(), value: 0.0 }]
+            );
+        } else {
+            prop_assert_eq!(report.selected.len(), spec.metrics.len());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Pins `scenario::run` **bitwise** to the seed-pinned low-level engines
+//! (`run_scheduler` / `run_scheduler_on`) across Policy × Backfill ×
+//! router, so the declarative redesign cannot drift from the engines the
+//! equivalence suite already ties to the seed implementation.
+//!
+//! The contract: a spec is *pure data* — executing it must produce the
+//! exact schedule (same `(id, start)` pairs, same metrics bits) as
+//! hand-rolled plumbing over the same trace, platform and heuristic.
+
+use hpcsim::prelude::*;
+use hpcsim::state::CompletedJob;
+use std::sync::Arc;
+use swf::{TracePreset, TraceSource};
+
+const JOBS: usize = 400;
+const SEED: u64 = 1123;
+
+fn source() -> TraceSource {
+    TraceSource::Preset {
+        preset: TracePreset::SdscSp2,
+        jobs: JOBS,
+        seed: SEED,
+    }
+}
+
+fn all_backfills() -> Vec<Backfill> {
+    vec![
+        Backfill::None,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+        Backfill::Easy(RuntimeEstimator::ActualRuntime),
+        Backfill::Easy(RuntimeEstimator::NoisyActual {
+            max_over_frac: 0.4,
+            seed: 11,
+        }),
+        Backfill::EasyOrdered(RuntimeEstimator::RequestTime, Policy::Sjf),
+        Backfill::Conservative(RuntimeEstimator::RequestTime),
+    ]
+}
+
+fn schedule_of(completed: &[CompletedJob]) -> Vec<(usize, f64)> {
+    let mut v: Vec<(usize, f64)> = completed.iter().map(|c| (c.job.id, c.start)).collect();
+    v.sort_by_key(|&(id, _)| id);
+    v
+}
+
+#[test]
+fn scenario_run_equals_run_scheduler_for_every_policy_and_backfill() {
+    let trace = source().materialize().unwrap();
+    for policy in Policy::ALL {
+        for backfill in all_backfills() {
+            let spec = ScenarioSpec::builder(source())
+                .policy(policy)
+                .backfill(backfill)
+                .record_schedule(true)
+                .build();
+            let report = hpcsim::scenario::run(&spec).unwrap();
+            let direct = run_scheduler(&trace, policy, backfill);
+            assert_eq!(
+                report.metrics, direct.metrics,
+                "metrics drifted: {policy} {backfill:?}"
+            );
+            assert_eq!(
+                schedule_of(report.schedule.as_ref().unwrap()),
+                schedule_of(&direct.completed),
+                "schedule drifted: {policy} {backfill:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_run_equals_run_scheduler_on_under_every_router() {
+    // A partitioned workload: the spec's platform names the cluster +
+    // router; the direct call builds the identical pieces by hand.
+    let parts = 3;
+    let w = swf::partitioned_preset(TracePreset::Lublin1, parts, JOBS, SEED);
+    let cluster = ClusterSpec::from_layout(&w.layout);
+    let src = TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts,
+        jobs: JOBS,
+        seed: SEED,
+    };
+    let routers: Vec<(RouterSpec, Arc<dyn hpcsim::cluster::Router>)> = vec![
+        (RouterSpec::Affinity, Arc::new(StaticAffinity)),
+        (RouterSpec::LeastLoaded, Arc::new(LeastLoaded)),
+        (
+            RouterSpec::EarliestStart(RuntimeEstimator::RequestTime),
+            Arc::new(EarliestStart::default()),
+        ),
+    ];
+    for policy in [Policy::Fcfs, Policy::Sjf] {
+        for backfill in [
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ] {
+            for (router_spec, router) in &routers {
+                let spec = ScenarioSpec::builder(src.clone())
+                    .policy(policy)
+                    .backfill(backfill)
+                    .cluster(cluster.clone(), *router_spec)
+                    .record_schedule(true)
+                    .build();
+                let report = hpcsim::scenario::run(&spec).unwrap();
+                let direct =
+                    run_scheduler_on(&w.trace, policy, backfill, &cluster, Arc::clone(router));
+                assert_eq!(
+                    report.metrics,
+                    direct.metrics,
+                    "metrics drifted: {policy} {backfill:?} {}",
+                    router_spec.label()
+                );
+                assert_eq!(
+                    schedule_of(report.schedule.as_ref().unwrap()),
+                    schedule_of(&direct.completed),
+                    "schedule drifted: {policy} {backfill:?} {}",
+                    router_spec.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_platform_is_bitwise_flat_regardless_of_router() {
+    // The one-partition spec must reproduce the flat engine exactly under
+    // every router — the cluster-subsystem invariant, restated at the
+    // scenario layer.
+    let trace = source().materialize().unwrap();
+    let flat = run_scheduler(
+        &trace,
+        Policy::Fcfs,
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+    );
+    for router in RouterSpec::ALL {
+        let spec = ScenarioSpec::builder(source())
+            .cluster(ClusterSpec::homogeneous(trace.cluster_procs()), router)
+            .record_schedule(true)
+            .build();
+        let report = hpcsim::scenario::run(&spec).unwrap();
+        assert_eq!(report.metrics, flat.metrics, "{}", router.label());
+        assert_eq!(
+            schedule_of(report.schedule.as_ref().unwrap()),
+            schedule_of(&flat.completed),
+            "{}",
+            router.label()
+        );
+    }
+}
+
+#[test]
+fn every_engine_realizes_the_same_flat_schedule() {
+    // Kernel, Reference and SeedNaive are pinned equal by the event
+    // equivalence suite; the scenario layer must preserve that.
+    let mut reports = Vec::new();
+    for engine in [Engine::Kernel, Engine::Reference, Engine::SeedNaive] {
+        let spec = ScenarioSpec::builder(source())
+            .policy(Policy::Sjf)
+            .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+            .engine(engine)
+            .record_schedule(true)
+            .build();
+        reports.push(hpcsim::scenario::run(&spec).unwrap());
+    }
+    let kernel = schedule_of(reports[0].schedule.as_ref().unwrap());
+    for r in &reports[1..] {
+        assert_eq!(schedule_of(r.schedule.as_ref().unwrap()), kernel);
+        assert_eq!(
+            r.metrics.mean_bounded_slowdown,
+            reports[0].metrics.mean_bounded_slowdown
+        );
+    }
+}
+
+#[test]
+fn windows_protocol_matches_manual_window_loop() {
+    // The §4.3 protocol through the spec == sampling the same windows by
+    // hand and averaging the per-window metrics.
+    let trace = source().materialize().unwrap();
+    let (samples, window_len, wseed) = (5, 96, 77);
+    let spec = ScenarioSpec::builder(source())
+        .windows(samples, window_len, wseed)
+        .build();
+    let report = hpcsim::scenario::run(&spec).unwrap();
+
+    let windows = hpcsim::scenario::sample_windows(&trace, samples, window_len, wseed);
+    let per: Vec<Metrics> = windows
+        .iter()
+        .map(|w| {
+            run_scheduler(
+                w,
+                Policy::Fcfs,
+                Backfill::Easy(RuntimeEstimator::RequestTime),
+            )
+            .metrics
+        })
+        .collect();
+    assert_eq!(report.metrics, hpcsim::scenario::mean_metrics(&per));
+}

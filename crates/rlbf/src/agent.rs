@@ -4,9 +4,7 @@
 use crate::env::{BackfillEnv, EnvConfig};
 use crate::nets::BackfillActorCritic;
 use crate::train::TrainResult;
-use hpcsim::{Metrics, Policy};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hpcsim::{Metrics, Platform, Policy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use swf::Trace;
@@ -40,7 +38,14 @@ impl RlbfAgent {
     /// Schedules `trace` to completion, taking greedy (argmax) backfilling
     /// decisions — the paper's test-time behaviour (§3.3.1).
     pub fn schedule(&self, trace: &Trace, base_policy: Policy) -> Metrics {
-        let mut env = BackfillEnv::new(trace, base_policy, self.env);
+        self.schedule_on(trace, base_policy, &Platform::flat())
+    }
+
+    /// [`Self::schedule`] on an explicit [`Platform`] (cluster shape +
+    /// router) — the deployment path for `hpcsim::scenario` specs whose
+    /// agent slot runs on a partitioned machine.
+    pub fn schedule_on(&self, trace: &Trace, base_policy: Policy, platform: &Platform) -> Metrics {
+        let mut env = BackfillEnv::on_platform(trace, base_policy, self.env, platform);
         while let Some(obs) = env.observation().cloned() {
             let slot = self.ac.act_greedy(&obs);
             env.step(slot)
@@ -139,12 +144,12 @@ impl RlbfAgent {
 }
 
 /// The evaluation windows used by [`RlbfAgent::evaluate`] — exposed so
-/// heuristic baselines can be measured on the *same* sequences.
+/// heuristic baselines can be measured on the *same* sequences. Delegates
+/// to [`hpcsim::scenario::sample_windows`], the canonical window stream:
+/// agents, heuristics and `scenario::run` all see identical sequences for
+/// the same seed.
 pub fn sample_windows(trace: &Trace, samples: usize, window_len: usize, seed: u64) -> Vec<Trace> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..samples)
-        .map(|_| trace.sample_window(window_len, &mut rng))
-        .collect()
+    hpcsim::scenario::sample_windows(trace, samples, window_len, seed)
 }
 
 /// Mean bounded slowdown of a heuristic scheduler over the same evaluation

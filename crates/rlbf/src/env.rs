@@ -25,8 +25,7 @@
 
 use crate::obs::{encode_with_skip, ObsConfig, Observation};
 use hpcsim::{
-    run_scheduler_on, Backfill, ClusterSpec, Metrics, Policy, RuntimeEstimator, SimEvent,
-    Simulation,
+    run_scheduler_on, Backfill, Metrics, Platform, Policy, RuntimeEstimator, SimEvent, Simulation,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -138,30 +137,28 @@ pub struct BackfillEnv {
 }
 
 impl BackfillEnv {
-    /// Creates an episode over `trace` under `base_policy`, precomputing
-    /// the reward baseline, and advances to the first decision point.
+    /// Creates an episode over `trace` under `base_policy` on the flat
+    /// (homogeneous) machine, precomputing the reward baseline, and
+    /// advances to the first decision point.
     pub fn new(trace: &Trace, base_policy: Policy, cfg: EnvConfig) -> Self {
-        Self::with_cluster(
-            trace,
-            base_policy,
-            cfg,
-            ClusterSpec::homogeneous(trace.cluster_procs()),
-            Arc::new(hpcsim::StaticAffinity),
-        )
+        Self::on_platform(trace, base_policy, cfg, &Platform::flat())
     }
 
-    /// [`Self::new`] on an explicit cluster shape: the episode simulation
-    /// *and* the reward baseline run on the same partitioned machine under
-    /// the same router, so the terminal reward compares the agent against a
-    /// heuristic that saw identical routing decisions. With a homogeneous
-    /// spec this is exactly [`Self::new`].
-    pub fn with_cluster(
+    /// The one spec-driven constructor (the former `new`/`with_cluster`
+    /// split): the machine is a serializable [`Platform`] — the cluster
+    /// shape and router slot of an `hpcsim::scenario::ScenarioSpec` — so
+    /// an episode's execution environment is config, not plumbing. The
+    /// episode simulation *and* the reward baseline run on the same
+    /// machine under the same router, so the terminal reward compares the
+    /// agent against a heuristic that saw identical routing decisions.
+    /// With a flat platform this is exactly [`Self::new`].
+    pub fn on_platform(
         trace: &Trace,
         base_policy: Policy,
         cfg: EnvConfig,
-        spec: ClusterSpec,
-        router: Arc<dyn hpcsim::Router>,
+        platform: &Platform,
     ) -> Self {
+        let (spec, router) = platform.realize(trace);
         let baseline = |policy: Policy, backfill: Backfill| {
             cfg.objective
                 .of(&run_scheduler_on(trace, policy, backfill, &spec, Arc::clone(&router)).metrics)
@@ -482,11 +479,10 @@ mod tests {
 
     #[test]
     fn clustered_env_runs_episodes_end_to_end() {
-        use hpcsim::{ClusterSpec, LeastLoaded};
+        use hpcsim::RouterSpec;
         let w = swf::partitioned_preset(TracePreset::Lublin2, 2, 300, 41);
-        let spec = ClusterSpec::from_layout(&w.layout);
-        let mut env =
-            BackfillEnv::with_cluster(&w.trace, Policy::Fcfs, cfg(32), spec, Arc::new(LeastLoaded));
+        let platform = Platform::from_layout(&w.layout, RouterSpec::LeastLoaded);
+        let mut env = BackfillEnv::on_platform(&w.trace, Policy::Fcfs, cfg(32), &platform);
         assert!(env.baseline_bsld().is_finite() && env.baseline_bsld() >= 1.0);
         let mut steps = 0;
         while let Some(obs) = env.observation().cloned() {
@@ -501,8 +497,8 @@ mod tests {
     }
 
     #[test]
-    fn homogeneous_with_cluster_equals_new() {
-        use hpcsim::{ClusterSpec, StaticAffinity};
+    fn homogeneous_platform_equals_new() {
+        use hpcsim::{ClusterSpec, RouterSpec};
         let trace = TracePreset::Lublin1.generate(200, 42);
         let run = |mut env: BackfillEnv| {
             while let Some(obs) = env.observation().cloned() {
@@ -511,12 +507,14 @@ mod tests {
             env.metrics().mean_bounded_slowdown
         };
         let flat = run(BackfillEnv::new(&trace, Policy::Fcfs, cfg(32)));
-        let clustered = run(BackfillEnv::with_cluster(
+        let clustered = run(BackfillEnv::on_platform(
             &trace,
             Policy::Fcfs,
             cfg(32),
-            ClusterSpec::homogeneous(trace.cluster_procs()),
-            Arc::new(StaticAffinity),
+            &Platform::clustered(
+                ClusterSpec::homogeneous(trace.cluster_procs()),
+                RouterSpec::Affinity,
+            ),
         ));
         assert_eq!(flat, clustered);
     }

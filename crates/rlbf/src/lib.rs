@@ -14,6 +14,10 @@
 //!   trajectory collection and gradient accumulation.
 //! * [`agent`] — greedy deployment, the 10×1024-job evaluation protocol of
 //!   §4.3, and JSON checkpointing.
+//! * [`scenario`] — the RL side of the `hpcsim::scenario` experiment API:
+//!   decode/author agent slots, run any spec to a uniform `RunReport`,
+//!   train from a spec, and Replicator-parallel multi-seed
+//!   [`scenario::train_sweep`]s.
 //!
 //! ```no_run
 //! use rlbf::prelude::*;
@@ -30,12 +34,17 @@ pub mod agent;
 pub mod env;
 pub mod nets;
 pub mod obs;
+pub mod scenario;
 pub mod train;
 
 pub use agent::{evaluate_heuristic, sample_windows, RlbfAgent};
 pub use env::{BackfillEnv, EnvConfig, EnvError, Objective, RewardKind};
 pub use nets::{BackfillActorCritic, NetConfig};
 pub use obs::{ObsConfig, Observation, PartitionCtx, JOB_FEATURES};
+pub use scenario::{
+    agent_slot, run_spec, run_spec_with_agent, train_from_spec, train_sweep, train_sweep_spec,
+    TrainSweep, TrainSweepReport,
+};
 pub use train::{
     easy_like_chooser, parallel_ppo_update, pretrain_imitation, train, EpochStats, TrainConfig,
     TrainResult,
@@ -47,5 +56,9 @@ pub mod prelude {
     pub use crate::env::{BackfillEnv, EnvConfig, Objective, RewardKind};
     pub use crate::nets::{BackfillActorCritic, NetConfig};
     pub use crate::obs::{ObsConfig, Observation};
+    pub use crate::scenario::{
+        agent_slot, run_spec, run_spec_with_agent, train_from_spec, train_sweep, train_sweep_spec,
+        TrainSweep, TrainSweepReport,
+    };
     pub use crate::train::{train, EpochStats, TrainConfig, TrainResult};
 }

@@ -11,7 +11,7 @@
 use crate::env::{BackfillEnv, EnvConfig};
 use crate::nets::{BackfillActorCritic, NetConfig};
 use crate::obs::Observation;
-use hpcsim::Policy;
+use hpcsim::{Platform, Policy};
 use ppo::update::{approx_kl, is_clipped, policy_grad_coef};
 use ppo::{ActorCritic, Batch, PpoConfig, RolloutBuffer, Step, UpdateStats};
 use rand::rngs::SmallRng;
@@ -37,6 +37,10 @@ pub struct TrainConfig {
     pub ppo: PpoConfig,
     /// Environment (reward/penalty/observation) configuration.
     pub env: EnvConfig,
+    /// The machine episodes run on (cluster shape + router — the same
+    /// serializable [`Platform`] an `hpcsim::scenario` spec carries); the
+    /// flat homogeneous machine by default.
+    pub platform: Platform,
     /// Network architecture.
     pub net: NetConfig,
     /// Master seed: training is fully deterministic given the seed and
@@ -64,6 +68,7 @@ impl Default for TrainConfig {
             jobs_per_traj: 256,
             ppo: PpoConfig::default(),
             env: EnvConfig::default(),
+            platform: Platform::flat(),
             net: NetConfig::default(),
             seed: 0,
             pretrain_episodes: 20,
@@ -146,7 +151,7 @@ fn collect_trajectory(
 ) -> TrajectoryOutcome {
     let mut rng = SmallRng::seed_from_u64(seed);
     let window = trace.sample_window(cfg.jobs_per_traj, &mut rng);
-    let mut env = BackfillEnv::new(&window, cfg.base_policy, cfg.env);
+    let mut env = BackfillEnv::on_platform(&window, cfg.base_policy, cfg.env, &cfg.platform);
     let mut steps = Vec::new();
     let mut episode_return = 0.0;
     while let Some(obs) = env.observation().cloned() {
@@ -211,7 +216,8 @@ pub fn pretrain_imitation(
         .flat_map(|e| {
             let mut rng = SmallRng::seed_from_u64(traj_seed(cfg.seed ^ 0xbc17, 0, e));
             let window = trace.sample_window(cfg.jobs_per_traj, &mut rng);
-            let mut env = BackfillEnv::new(&window, cfg.base_policy, cfg.env);
+            let mut env =
+                BackfillEnv::on_platform(&window, cfg.base_policy, cfg.env, &cfg.platform);
             let mut out = Vec::new();
             while let Some(obs) = env.observation().cloned() {
                 let a = easy_like_chooser(&obs);

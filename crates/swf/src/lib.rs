@@ -17,6 +17,9 @@
 //!   (SDSC-SP2, HPC2N, Lublin-1, Lublin-2).
 //! * [`partition`] — heterogeneous partition layouts: partitioned variants
 //!   of the Table 2 presets and a Lublin-based multi-partition generator.
+//! * [`source`] — [`TraceSource`], the declarative, serializable recipe
+//!   naming any of the above (the `trace` slot of an `hpcsim::scenario`
+//!   spec).
 //! * [`stats`] — trace statistics matching the columns of Table 2.
 //!
 //! # Quick example
@@ -37,6 +40,7 @@ pub mod overestimate;
 pub mod parse;
 pub mod partition;
 pub mod preset;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
@@ -46,5 +50,6 @@ pub use partition::{
     PartitionedWorkload,
 };
 pub use preset::TracePreset;
+pub use source::TraceSource;
 pub use stats::TraceStats;
 pub use trace::Trace;

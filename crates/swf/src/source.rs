@@ -1,0 +1,344 @@
+//! Declarative trace sources: where a scenario's workload comes from.
+//!
+//! Every experiment in the repo starts from one of a handful of workload
+//! recipes — a Table 2 preset, a partitioned variant of one, a raw
+//! calibrated Lublin model, a Lublin workload generated for a heterogeneous
+//! layout, or an SWF archive file on disk. [`TraceSource`] names each
+//! recipe as serializable *data*, so an experiment's workload can live in a
+//! committed JSON spec instead of in binary-specific construction code
+//! (`hpcsim::scenario` consumes these as the `trace` slot of a
+//! `ScenarioSpec`).
+//!
+//! A source is deterministic: [`TraceSource::materialize`] always yields
+//! the same [`Trace`] for the same source value, and [`with_seed`]
+//! re-seeds the stochastic sources for replication sweeps.
+//!
+//! [`with_seed`]: TraceSource::with_seed
+
+use crate::lublin::LublinModel;
+use crate::partition::{layout_procs, lublin_multi_partition, table2_partitions, PartitionLayout};
+use crate::preset::TracePreset;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A declarative, serializable recipe for a job trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSource {
+    /// A Table 2 preset: `jobs` jobs generated from `seed`
+    /// ([`TracePreset::generate`]).
+    Preset {
+        /// Which of the four calibrated presets.
+        preset: TracePreset,
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A preset's job stream on a partitioned variant of its machine
+    /// ([`crate::partitioned_preset`]): widths clamped to the widest
+    /// partition, layout = [`table2_partitions`]`(preset, parts)`.
+    PartitionedPreset {
+        /// The underlying Table 2 preset.
+        preset: TracePreset,
+        /// Number of partitions (2–4).
+        parts: usize,
+        /// Number of jobs to generate (before the width clamp).
+        jobs: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A raw Lublin–Feitelson workload calibrated to explicit means on a
+    /// homogeneous `procs`-processor machine.
+    Lublin {
+        /// Cluster size.
+        procs: u32,
+        /// Target mean inter-arrival gap, seconds.
+        mean_interarrival: f64,
+        /// Target mean actual runtime, seconds.
+        mean_runtime: f64,
+        /// Target mean requested processors.
+        mean_procs: f64,
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A Lublin workload generated for a heterogeneous partition layout at
+    /// a target whole-machine utilization
+    /// ([`lublin_multi_partition`]).
+    PartitionedLublin {
+        /// The partitions of the machine.
+        layout: Vec<PartitionLayout>,
+        /// Target speed-weighted utilization of the whole machine.
+        load: f64,
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A Standard Workload Format archive file on disk (e.g. a real
+    /// SDSC-SP2 log, when available).
+    SwfFile {
+        /// Path to the `.swf` file.
+        path: String,
+    },
+}
+
+impl TraceSource {
+    /// Generates the trace this source describes.
+    ///
+    /// Deterministic for the generator-backed sources; [`Self::SwfFile`]
+    /// reads from disk and fails with a message when the file is missing
+    /// or malformed.
+    pub fn materialize(&self) -> Result<Trace, String> {
+        match self {
+            TraceSource::Preset { preset, jobs, seed } => Ok(preset.generate(*jobs, *seed)),
+            TraceSource::PartitionedPreset {
+                preset,
+                parts,
+                jobs,
+                seed,
+            } => Ok(crate::partitioned_preset(*preset, *parts, *jobs, *seed).trace),
+            TraceSource::Lublin {
+                procs,
+                mean_interarrival,
+                mean_runtime,
+                mean_procs,
+                jobs,
+                seed,
+            } => {
+                let template = LublinModel::with_shapes(*procs);
+                let model = LublinModel::calibrated_from(
+                    template,
+                    *mean_interarrival,
+                    *mean_runtime,
+                    *mean_procs,
+                );
+                let base = model.generate(*jobs, *seed);
+                Ok(Trace::new("lublin", *procs, base.jobs().to_vec()))
+            }
+            TraceSource::PartitionedLublin {
+                layout,
+                load,
+                jobs,
+                seed,
+            } => Ok(lublin_multi_partition(layout, *load, *jobs, *seed)),
+            TraceSource::SwfFile { path } => crate::parse::parse_swf_file(path)
+                .map(|f| f.into_trace(Self::file_stem(path)))
+                .map_err(|e| format!("cannot load SWF file {path:?}: {e}")),
+        }
+    }
+
+    /// The partition layout this source targets, for the partitioned
+    /// sources; `None` means a homogeneous machine.
+    pub fn layout(&self) -> Option<Vec<PartitionLayout>> {
+        match self {
+            TraceSource::PartitionedPreset { preset, parts, .. } => {
+                Some(table2_partitions(*preset, *parts))
+            }
+            TraceSource::PartitionedLublin { layout, .. } => Some(layout.clone()),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable label, matching the materialized trace's
+    /// name for the generator-backed sources.
+    pub fn label(&self) -> String {
+        match self {
+            TraceSource::Preset { preset, .. } => preset.name().to_string(),
+            TraceSource::PartitionedPreset { preset, parts, .. } => {
+                format!("{}/{}p", preset.name(), parts)
+            }
+            TraceSource::Lublin { procs, .. } => format!("lublin@{procs}"),
+            TraceSource::PartitionedLublin { layout, .. } => {
+                format!("lublin-multi/{}p", layout.len())
+            }
+            TraceSource::SwfFile { path } => Self::file_stem(path),
+        }
+    }
+
+    /// The generation seed, for the stochastic sources.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            TraceSource::Preset { seed, .. }
+            | TraceSource::PartitionedPreset { seed, .. }
+            | TraceSource::Lublin { seed, .. }
+            | TraceSource::PartitionedLublin { seed, .. } => Some(*seed),
+            TraceSource::SwfFile { .. } => None,
+        }
+    }
+
+    /// The same recipe re-seeded (replication sweeps re-generate the
+    /// workload per replication seed). A no-op for [`Self::SwfFile`].
+    pub fn with_seed(mut self, new_seed: u64) -> Self {
+        match &mut self {
+            TraceSource::Preset { seed, .. }
+            | TraceSource::PartitionedPreset { seed, .. }
+            | TraceSource::Lublin { seed, .. }
+            | TraceSource::PartitionedLublin { seed, .. } => *seed = new_seed,
+            TraceSource::SwfFile { .. } => {}
+        }
+        self
+    }
+
+    /// Total processors of the machine this source targets (without
+    /// materializing, for the generator-backed sources).
+    pub fn cluster_procs(&self) -> Option<u32> {
+        match self {
+            TraceSource::Preset { preset, .. } | TraceSource::PartitionedPreset { preset, .. } => {
+                Some(preset.targets().cluster_procs)
+            }
+            TraceSource::Lublin { procs, .. } => Some(*procs),
+            TraceSource::PartitionedLublin { layout, .. } => Some(layout_procs(layout)),
+            TraceSource::SwfFile { .. } => None,
+        }
+    }
+
+    fn file_stem(path: &str) -> String {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::widest_partition;
+
+    #[test]
+    fn preset_source_matches_direct_generation() {
+        let src = TraceSource::Preset {
+            preset: TracePreset::Lublin1,
+            jobs: 400,
+            seed: 7,
+        };
+        let t = src.materialize().unwrap();
+        let direct = TracePreset::Lublin1.generate(400, 7);
+        assert_eq!(t.jobs(), direct.jobs());
+        assert_eq!(src.label(), "Lublin-1");
+        assert_eq!(src.layout(), None);
+        assert_eq!(src.cluster_procs(), Some(256));
+    }
+
+    #[test]
+    fn partitioned_preset_source_matches_partitioned_preset() {
+        let src = TraceSource::PartitionedPreset {
+            preset: TracePreset::Hpc2n,
+            parts: 3,
+            jobs: 300,
+            seed: 9,
+        };
+        let t = src.materialize().unwrap();
+        let direct = crate::partitioned_preset(TracePreset::Hpc2n, 3, 300, 9);
+        assert_eq!(t.jobs(), direct.trace.jobs());
+        assert_eq!(src.layout().as_deref(), Some(&direct.layout[..]));
+        assert_eq!(src.label(), "HPC2N/3p");
+        let widest = widest_partition(&direct.layout);
+        assert!(t.jobs().iter().all(|j| j.procs <= widest));
+    }
+
+    #[test]
+    fn partitioned_lublin_source_matches_generator() {
+        let layout = crate::split_cluster(256, 4);
+        let src = TraceSource::PartitionedLublin {
+            layout: layout.clone(),
+            load: 0.8,
+            jobs: 500,
+            seed: 3,
+        };
+        let t = src.materialize().unwrap();
+        let direct = lublin_multi_partition(&layout, 0.8, 500, 3);
+        assert_eq!(t.jobs(), direct.jobs());
+        assert_eq!(src.label(), "lublin-multi/4p");
+        assert_eq!(src.cluster_procs(), Some(256));
+    }
+
+    #[test]
+    fn lublin_source_is_deterministic_and_calibrated() {
+        let src = TraceSource::Lublin {
+            procs: 128,
+            mean_interarrival: 900.0,
+            mean_runtime: 3000.0,
+            mean_procs: 12.0,
+            jobs: 2000,
+            seed: 5,
+        };
+        let a = src.materialize().unwrap();
+        let b = src.materialize().unwrap();
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.cluster_procs(), 128);
+        let s = a.stats();
+        assert!((s.mean_interarrival - 900.0).abs() / 900.0 < 0.2);
+    }
+
+    #[test]
+    fn with_seed_reseeds_generators() {
+        let src = TraceSource::Preset {
+            preset: TracePreset::Lublin2,
+            jobs: 200,
+            seed: 1,
+        };
+        let reseeded = src.clone().with_seed(2);
+        assert_eq!(reseeded.seed(), Some(2));
+        assert_ne!(
+            src.materialize().unwrap().jobs(),
+            reseeded.materialize().unwrap().jobs()
+        );
+        let file = TraceSource::SwfFile {
+            path: "x.swf".into(),
+        };
+        assert_eq!(file.clone().with_seed(9), file);
+        assert_eq!(file.seed(), None);
+    }
+
+    #[test]
+    fn missing_swf_file_is_a_clean_error() {
+        let src = TraceSource::SwfFile {
+            path: "/definitely/not/here.swf".into(),
+        };
+        let err = src.materialize().unwrap_err();
+        assert!(err.contains("cannot load SWF file"), "{err}");
+        assert_eq!(src.label(), "here");
+    }
+
+    #[test]
+    fn sources_round_trip_through_serde() {
+        let sources = [
+            TraceSource::Preset {
+                preset: TracePreset::SdscSp2,
+                jobs: 100,
+                seed: 4,
+            },
+            TraceSource::PartitionedPreset {
+                preset: TracePreset::Lublin1,
+                parts: 2,
+                jobs: 50,
+                seed: 8,
+            },
+            TraceSource::Lublin {
+                procs: 64,
+                mean_interarrival: 500.0,
+                mean_runtime: 2000.0,
+                mean_procs: 8.0,
+                jobs: 10,
+                seed: 0,
+            },
+            TraceSource::PartitionedLublin {
+                layout: crate::split_cluster(64, 2),
+                load: 0.7,
+                jobs: 10,
+                seed: 1,
+            },
+            TraceSource::SwfFile {
+                path: "trace.swf".into(),
+            },
+        ];
+        for src in sources {
+            let json = serde_json::to_string(&src).unwrap();
+            let back: TraceSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, src);
+        }
+    }
+}
