@@ -1,0 +1,192 @@
+//! Decision-point job re-routing (queue migration) scenarios: the same
+//! 2-/4-partition machines and heuristics as the `multi_partition` grid,
+//! run once with the classic submit-and-forget binding
+//! (`ReroutePolicy::AtSubmission`) and once with decision-point migration
+//! (`ReroutePolicy::AtDecisionPoints`), so the committed results show
+//! exactly what re-routing changes — per cell: migrations performed, jobs
+//! whose realized start moved, and the bounded-slowdown delta.
+//!
+//! The grid is (trace source × router × backfill × reroute) scenario
+//! specs over a shared materialized trace per source. Results go to
+//! `results/migration.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin migration              # 10k jobs
+//! cargo run --release -p bench --bin migration -- --jobs 600    # smoke
+//! ```
+
+use bench::{fmt_bsld, print_table, write_json, TRACE_SEED};
+use hpcsim::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+use swf::{TracePreset, TraceSource};
+
+/// The decision-point configuration the committed results use: up to 3
+/// moves per job, and only for estimated gains of at least a minute (sub-
+/// minute wins are noise against request-time estimates).
+const DECISION_POINTS: ReroutePolicy = ReroutePolicy::AtDecisionPoints {
+    max_moves_per_job: 3,
+    min_gain_secs: 60.0,
+};
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    scenario: String,
+    router: String,
+    backfill: String,
+    reroute: String,
+    jobs: usize,
+    dropped_jobs: usize,
+    /// Queue migrations performed (0 for at-submission rows).
+    migrations: usize,
+    /// Jobs whose realized start differs from the at-submission run of
+    /// the same (scenario, router, backfill) cell.
+    changed_starts: usize,
+    bsld: f64,
+    /// `bsld − bsld(at-submission)` for the same cell (0 by construction
+    /// on at-submission rows).
+    bsld_delta: f64,
+    mean_wait: f64,
+    utilization: f64,
+    wall_ms: f64,
+    /// The spec that regenerates this row (timing aside).
+    spec: ScenarioSpec,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let sources: Vec<TraceSource> = [2usize, 4]
+        .into_iter()
+        .map(|parts| TraceSource::PartitionedPreset {
+            preset: TracePreset::Lublin1,
+            parts,
+            jobs,
+            seed: TRACE_SEED,
+        })
+        .collect();
+    let routers = [
+        RouterSpec::LeastLoaded,
+        RouterSpec::EarliestStart(RuntimeEstimator::RequestTime),
+    ];
+    let backfills = [
+        ("EASY", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        (
+            "CONS",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    let mut table = Vec::new();
+    for source in &sources {
+        let layout = source.layout().expect("partitioned sources carry layouts");
+        let trace = source
+            .materialize()
+            .expect("partitioned sources materialize");
+        for router in routers {
+            for (bf_name, bf) in backfills {
+                // The at-submission run is the pinned baseline of the
+                // cell; the decision-point run is diffed against it.
+                let mut baseline_starts: Vec<(usize, f64)> = Vec::new();
+                let mut baseline_bsld = 0.0;
+                for reroute in [ReroutePolicy::AtSubmission, DECISION_POINTS] {
+                    let spec = ScenarioSpec::builder(source.clone())
+                        .platform(Platform::from_layout(&layout, router).rerouted(reroute))
+                        .policy(Policy::Fcfs)
+                        .backfill(bf)
+                        .metrics(vec![
+                            MetricKind::BoundedSlowdown,
+                            MetricKind::Wait,
+                            MetricKind::Utilization,
+                        ])
+                        .build();
+                    let t0 = Instant::now();
+                    let result =
+                        hpcsim::scenario::execute(&trace, &spec).expect("heuristic spec runs");
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let report = hpcsim::scenario::make_report(
+                        &spec,
+                        None,
+                        result.metrics,
+                        result.dropped_jobs,
+                        None,
+                    );
+                    assert_eq!(
+                        report.jobs + report.dropped_jobs,
+                        trace.len(),
+                        "jobs lost in {} under {} / {}",
+                        source.label(),
+                        router.label(),
+                        reroute.label()
+                    );
+                    let mut starts: Vec<(usize, f64)> = result
+                        .completed
+                        .iter()
+                        .map(|c| (c.job.id, c.start))
+                        .collect();
+                    starts.sort_by_key(|&(id, _)| id);
+                    let (changed_starts, bsld_delta) = if reroute == ReroutePolicy::AtSubmission {
+                        baseline_starts = starts;
+                        baseline_bsld = report.metrics.mean_bounded_slowdown;
+                        (0, 0.0)
+                    } else {
+                        let changed = starts
+                            .iter()
+                            .zip(&baseline_starts)
+                            .filter(|(a, b)| a != b)
+                            .count();
+                        (
+                            changed,
+                            report.metrics.mean_bounded_slowdown - baseline_bsld,
+                        )
+                    };
+                    table.push(vec![
+                        source.label(),
+                        router.label().to_string(),
+                        bf_name.to_string(),
+                        reroute.label().to_string(),
+                        fmt_bsld(report.metrics.mean_bounded_slowdown),
+                        format!("{bsld_delta:+.2}"),
+                        result.migrations.to_string(),
+                        changed_starts.to_string(),
+                        format!("{wall_ms:.0}"),
+                    ]);
+                    records.push(Row {
+                        label: report.label.clone(),
+                        scenario: source.label(),
+                        router: router.label().to_string(),
+                        backfill: bf_name.to_string(),
+                        reroute: reroute.label().to_string(),
+                        jobs: report.jobs,
+                        dropped_jobs: report.dropped_jobs,
+                        migrations: result.migrations,
+                        changed_starts,
+                        bsld: report.metrics.mean_bounded_slowdown,
+                        bsld_delta,
+                        mean_wait: report.metrics.mean_wait,
+                        utilization: report.metrics.utilization,
+                        wall_ms,
+                        spec,
+                    });
+                }
+            }
+        }
+    }
+
+    print_table(
+        &format!("Queue migration scenarios ({jobs} jobs, FCFS base)"),
+        &[
+            "scenario", "router", "backfill", "reroute", "bsld", "Δbsld", "moves", "changed", "ms",
+        ],
+        &table,
+    );
+    write_json("migration", &records);
+}

@@ -97,9 +97,15 @@ fn main() {
                 let t0 = Instant::now();
                 let result = hpcsim::scenario::execute(&trace, &spec).expect("heuristic spec runs");
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let report = hpcsim::scenario::make_report(&spec, None, result.metrics, None);
+                let report = hpcsim::scenario::make_report(
+                    &spec,
+                    None,
+                    result.metrics,
+                    result.dropped_jobs,
+                    None,
+                );
                 assert_eq!(
-                    report.jobs,
+                    report.jobs + report.dropped_jobs,
                     routable_jobs,
                     "jobs lost in {} under {}",
                     source.label(),

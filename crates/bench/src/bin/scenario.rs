@@ -184,6 +184,18 @@ fn main() {
                     }
                 }
             };
+            for r in &reports {
+                if r.dropped_jobs > 0 {
+                    eprintln!(
+                        "warning: {}: {} of {} trace jobs fit no partition and were \
+                         dropped (metrics describe the remaining {})",
+                        r.label,
+                        r.dropped_jobs,
+                        r.jobs + r.dropped_jobs,
+                        r.jobs
+                    );
+                }
+            }
             report_table(&format!("scenario run {path}"), &reports);
             if args.iter().any(|a| a == "--stdout") {
                 let json = serde_json::to_string_pretty(&reports).expect("reports serialize");

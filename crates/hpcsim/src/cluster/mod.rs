@@ -27,5 +27,7 @@ pub mod router;
 pub mod spec;
 
 pub use partition::Partition;
-pub use router::{ClusterView, EarliestStart, LeastLoaded, Router, StaticAffinity};
+pub use router::{
+    ClusterView, EarliestStart, LeastLoaded, RerouteDecision, ReroutePolicy, Router, StaticAffinity,
+};
 pub use spec::{ClusterSpec, PartitionSpec};

@@ -107,6 +107,26 @@ impl Partition {
         }
     }
 
+    /// Inverse of [`Partition::scale_job`]: maps a queued job's durations
+    /// back to reference hardware (`runtime * speed`), which is how a
+    /// migrating job leaves this partition before being re-scaled to its
+    /// target. At speed 1.0 the job is returned untouched (bitwise, like
+    /// `scale_job` — a reference-speed hop must not round-trip through
+    /// floating-point multiplication); exact for power-of-two speeds, and
+    /// accurate to an ulp for other speed factors (1.35, 0.8, …) — the
+    /// per-job move budget bounds how often that rounding can accumulate,
+    /// and the drift is deterministic either way.
+    pub(crate) fn unscale_job(&self, job: Job) -> Job {
+        if self.spec.speed == 1.0 {
+            return job;
+        }
+        Job {
+            runtime: job.runtime * self.spec.speed,
+            request_time: job.request_time * self.spec.speed,
+            ..job
+        }
+    }
+
     /// Merges an arriving job into the queue, preserving the policy order
     /// without a full re-sort when the policy is time-independent (see
     /// `Policy::time_dependent`): the queue is already sorted by the total
@@ -158,6 +178,24 @@ mod tests {
         let p = part(8, 1.0);
         let j = job(0, 5.0, 4, 100.0);
         assert_eq!(p.scale_job(j), j);
+    }
+
+    #[test]
+    fn unscale_inverts_scale() {
+        // Power-of-two speeds round-trip exactly; speed 1.0 is bitwise
+        // identity by construction.
+        let fast = part(8, 2.0);
+        let j = job(0, 5.0, 4, 100.0);
+        assert_eq!(fast.unscale_job(fast.scale_job(j)), j);
+        let reference = part(8, 1.0);
+        assert_eq!(reference.unscale_job(j), j);
+        // Non-dyadic speeds (the preset layouts use 1.35 / 0.8 / 1.6) are
+        // inverse only to an ulp — the reroute pass's move budget bounds
+        // the accumulated drift.
+        let express = part(8, 1.35);
+        let back = express.unscale_job(express.scale_job(j));
+        assert!((back.runtime - j.runtime).abs() <= f64::EPSILON * j.runtime);
+        assert!((back.request_time - j.request_time).abs() <= f64::EPSILON * j.request_time);
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! Meta-scheduler routing: which partition an arriving job joins.
+//! Meta-scheduler routing: which partition a job queues on — decided at
+//! submission, and (optionally) revisited at every decision point.
 //!
-//! The [`Router`] decides **once, at submission**, before the job enters a
-//! partition's queue — jobs never migrate afterwards, matching how real
-//! multi-partition systems bind a job to the queue it was submitted to.
-//! Routers see a read-only [`ClusterView`] of every partition's current
-//! state and must return the index of a partition the job fits
-//! (`job.procs <= partition.procs()`).
+//! The [`Router`] decides where an arriving job queues **at submission**,
+//! before the job enters a partition's queue. Under the default
+//! [`ReroutePolicy::AtSubmission`] that decision is final — jobs never
+//! migrate afterwards, matching how real multi-partition systems bind a
+//! job to the queue it was submitted to. Under
+//! [`ReroutePolicy::AtDecisionPoints`] the simulation calls the router's
+//! [`Router::reroute`] hook for every still-waiting job whenever an
+//! arrival/completion batch settles, and migrates jobs whose estimated
+//! start would be strictly earlier elsewhere — the Moab-style
+//! meta-scheduler that spans clusters. Routers see a read-only
+//! [`ClusterView`] of every partition's current state and must return the
+//! index of a partition the job fits (`job.procs <= partition.procs()`).
 //!
 //! Three built-in strategies cover the classic design space:
 //!
@@ -20,14 +27,60 @@
 
 use super::partition::Partition;
 use crate::estimator::RuntimeEstimator;
+use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
+use serde::{Deserialize, Serialize};
 use swf::Job;
+
+/// When (if ever) the meta-scheduler revisits a waiting job's partition.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReroutePolicy {
+    /// Route once at submission and never migrate — the classic binding
+    /// and the default; bitwise-identical to the pre-migration engine.
+    #[default]
+    AtSubmission,
+    /// Re-evaluate every still-waiting, non-reserved job at each decision
+    /// point (settled arrival/completion batch) and migrate it when the
+    /// router estimates a strictly earlier start elsewhere.
+    AtDecisionPoints {
+        /// Migration budget per job: a job moves at most this many times
+        /// over its queueing lifetime (0 disables migration outright).
+        max_moves_per_job: u32,
+        /// Minimum estimated start-time gain, in seconds, for a move to be
+        /// worth taking. Gains below this keep the job where it is.
+        min_gain_secs: f64,
+    },
+}
+
+impl ReroutePolicy {
+    /// Short label used in experiment tables (`"at-submission"` /
+    /// `"decision-points"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReroutePolicy::AtSubmission => "at-submission",
+            ReroutePolicy::AtDecisionPoints { .. } => "decision-points",
+        }
+    }
+}
+
+/// A proposed migration for one waiting job: the target partition and the
+/// estimated start-time gain (seconds, always positive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RerouteDecision {
+    /// Index of the partition the job should move to.
+    pub to: usize,
+    /// Estimated start-time improvement of the move, in seconds.
+    pub gain: f64,
+}
 
 /// Read-only snapshot of the cluster a router decides against.
 #[derive(Debug)]
 pub struct ClusterView<'a> {
     /// Current simulation time, seconds.
     pub now: f64,
+    /// The base policy the partitions serve their queues under — routing
+    /// estimates must plan queues in *policy* order, not storage order.
+    pub policy: Policy,
     /// Every partition's live state.
     pub parts: &'a [Partition],
 }
@@ -44,7 +97,7 @@ impl ClusterView<'_> {
     }
 }
 
-/// A meta-scheduling strategy mapping each arriving job to a partition.
+/// A meta-scheduling strategy mapping jobs to partitions.
 ///
 /// Implementations must be deterministic (same job + same view → same
 /// partition) — the simulator's reproducibility depends on it — and must
@@ -53,9 +106,25 @@ pub trait Router: std::fmt::Debug + Send + Sync {
     /// Short label used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// The partition `job` joins. Panics allowed if no partition fits
-    /// (the simulation filters unroutable jobs up front).
+    /// The partition `job` joins at submission. Panics allowed if no
+    /// partition fits (the simulation sets unroutable jobs aside up front
+    /// and reports them as dropped).
     fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize;
+
+    /// Proposes migrating a still-waiting job off partition `from` — the
+    /// decision-point hook behind [`ReroutePolicy::AtDecisionPoints`].
+    ///
+    /// `job` carries reference-hardware durations (the simulation
+    /// unscales it from its current partition before asking); the view is
+    /// the live cluster with the job still queued on `from`. Returns the
+    /// strictly-better target and estimated gain, or `None` to stay. The
+    /// default implementation plans [`EarliestStart`] reservation chains
+    /// under the request-time estimator, so every router participates in
+    /// migration without re-deriving the gain geometry; `EarliestStart`
+    /// itself overrides this to reuse its configured estimator.
+    fn reroute(&self, job: &Job, view: &ClusterView<'_>, from: usize) -> Option<RerouteDecision> {
+        EarliestStart::default().best_move(job, view, from)
+    }
 }
 
 /// Routes by size class: the narrowest fitting partition, ties to the
@@ -99,10 +168,11 @@ impl Router for LeastLoaded {
 }
 
 /// Full meta-scheduling: estimates, per fitting partition, when the job
-/// could start if appended behind the partition's current queue (running
-/// jobs release at their estimated ends; every queued job is granted a
-/// conservative-style reservation first), and joins the partition with the
-/// earliest estimated start. Ties break to faster, then earlier partitions.
+/// could start if it joined the partition's queue at its policy position
+/// (running jobs release at their estimated ends; every higher-priority
+/// queued job is granted a conservative-style reservation first), and
+/// joins the partition with the earliest estimated start. Ties break to
+/// faster, then earlier partitions.
 #[derive(Debug, Clone, Copy)]
 pub struct EarliestStart {
     /// The runtime estimator the plan is built under (the scheduler-side
@@ -121,6 +191,21 @@ impl Default for EarliestStart {
 impl EarliestStart {
     /// The estimated earliest start of `job` on partition `i` of `view`,
     /// in wall-clock seconds (partition speed already applied).
+    ///
+    /// The scheduler serves each queue in **policy** order, so the
+    /// reservation chain is planned over a policy-sorted copy of the
+    /// queue (storage order can lag for time-dependent policies, and is
+    /// simply wrong for SJF/F1 candidates that outrank queued work): jobs
+    /// ranked ahead of the candidate are granted reservations first, jobs
+    /// ranked behind it cannot block it. A job already queued on the
+    /// partition (re-route estimation) is excluded by id so it is not
+    /// planned against itself.
+    ///
+    /// The copy + sort per evaluation is deliberate: outside WFP3
+    /// staleness the queue is already in policy order, so the adaptive
+    /// sort costs one O(Q) scan, and the copy is what lets this method
+    /// stay read-only over a shared [`ClusterView`] (the reroute pass
+    /// evaluates many candidates against the same live queues).
     pub fn estimated_start(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
         let p = &view.parts[i];
         let mut prof = AvailabilityProfile::new(view.now, p.free());
@@ -128,15 +213,60 @@ impl EarliestStart {
             let est_end = (r.start + self.estimator.estimate(&r.job)).max(view.now);
             prof.add_release(est_end, r.job.procs);
         }
-        for q in p.queue() {
+        // The candidate job's durations scale with the partition's speed —
+        // both for its own fit and for its rank among the queued jobs
+        // (which are stored already scaled).
+        let scaled = p.scale_job(*job);
+        let mut queued: Vec<Job> = p
+            .queue()
+            .iter()
+            .filter(|q| q.id != job.id)
+            .copied()
+            .collect();
+        view.policy.sort_queue(&mut queued, view.now);
+        let ahead = queued.partition_point(|q| {
+            view.policy
+                .score(q, view.now)
+                .total_cmp(&view.policy.score(&scaled, view.now))
+                .then(q.submit.total_cmp(&scaled.submit))
+                .then(q.id.cmp(&scaled.id))
+                .is_lt()
+        });
+        for q in &queued[..ahead] {
             let est = self.estimator.estimate(q);
             let t = prof.earliest_fit(q.procs, est, view.now);
             prof.add_usage(t, t + est, q.procs);
         }
-        // The candidate job's durations scale with the partition's speed.
-        let scaled = p.scale_job(*job);
         let est = self.estimator.estimate(&scaled);
         prof.earliest_fit(scaled.procs, est, view.now)
+    }
+
+    /// The best strictly-earlier partition for a job currently queued on
+    /// `from`: compares the job's estimated start if it stays against its
+    /// estimated start on every other fitting partition. Ties among
+    /// targets break like [`Router::route`] (earliest start, then faster,
+    /// then earlier partition); returns `None` when staying is at least
+    /// as good everywhere.
+    pub fn best_move(
+        &self,
+        job: &Job,
+        view: &ClusterView<'_>,
+        from: usize,
+    ) -> Option<RerouteDecision> {
+        let stay = self.estimated_start(job, view, from);
+        let (to, start) = view
+            .fitting(job)
+            .filter(|&i| i != from)
+            .map(|i| (i, self.estimated_start(job, view, i)))
+            .min_by(|&(a, sa), &(b, sb)| {
+                sa.total_cmp(&sb)
+                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed()))
+                    .then(a.cmp(&b))
+            })?;
+        (start < stay).then_some(RerouteDecision {
+            to,
+            gain: stay - start,
+        })
     }
 }
 
@@ -162,6 +292,10 @@ impl Router for EarliestStart {
             .map(|(i, _)| i)
             .expect("job fits no partition")
     }
+
+    fn reroute(&self, job: &Job, view: &ClusterView<'_>, from: usize) -> Option<RerouteDecision> {
+        self.best_move(job, view, from)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +314,14 @@ mod tests {
             .collect()
     }
 
+    fn view(parts: &[Partition]) -> ClusterView<'_> {
+        ClusterView {
+            now: 0.0,
+            policy: Policy::Fcfs,
+            parts,
+        }
+    }
+
     fn job(id: usize, procs: u32, rt: f64) -> Job {
         Job::new(id, 0.0, procs, rt, rt)
     }
@@ -187,10 +329,7 @@ mod tests {
     #[test]
     fn affinity_picks_narrowest_fitting_partition() {
         let parts = parts(&[(96, 1.0), (32, 1.35), (16, 0.8)]);
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
+        let view = view(&parts);
         assert_eq!(StaticAffinity.route(&job(0, 8, 100.0), &view), 2);
         assert_eq!(StaticAffinity.route(&job(1, 20, 100.0), &view), 1);
         assert_eq!(StaticAffinity.route(&job(2, 64, 100.0), &view), 0);
@@ -199,27 +338,15 @@ mod tests {
     #[test]
     fn least_loaded_follows_the_load_signal() {
         let mut parts = parts(&[(32, 1.0), (32, 1.0)]);
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
         // Equal load: ties to the earlier partition.
-        assert_eq!(LeastLoaded.route(&job(0, 4, 10.0), &view), 0);
+        assert_eq!(LeastLoaded.route(&job(0, 4, 10.0), &view(&parts)), 0);
         // Load partition 0 (16 of 32 used) — partition 1 wins.
         parts[0].free = 16;
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
-        assert_eq!(LeastLoaded.route(&job(1, 4, 10.0), &view), 1);
+        assert_eq!(LeastLoaded.route(&job(1, 4, 10.0), &view(&parts)), 1);
         // Queue backlog counts too.
         parts[0].free = 32;
         parts[1].queue.push(job(9, 20, 100.0));
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
-        assert_eq!(LeastLoaded.route(&job(2, 4, 10.0), &view), 0);
+        assert_eq!(LeastLoaded.route(&job(2, 4, 10.0), &view(&parts)), 0);
     }
 
     #[test]
@@ -231,10 +358,7 @@ mod tests {
             job: job(7, 8, 1000.0),
             start: 0.0,
         });
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
+        let view = view(&parts);
         let r = EarliestStart::default();
         assert_eq!(r.estimated_start(&job(0, 4, 10.0), &view, 0), 1000.0);
         assert_eq!(r.estimated_start(&job(0, 4, 10.0), &view, 1), 0.0);
@@ -244,35 +368,133 @@ mod tests {
     #[test]
     fn earliest_start_accounts_for_queued_reservations() {
         let mut parts = parts(&[(8, 1.0), (8, 1.0)]);
-        // Both idle, but partition 0 has a queued full-machine job.
+        // Both idle, but partition 0 has a queued full-machine job (which
+        // arrived earlier — lower id — so it outranks the candidate).
         parts[0].queue.push(job(5, 8, 500.0));
-        let view = ClusterView {
+        let view = view(&parts);
+        assert_eq!(EarliestStart::default().route(&job(9, 8, 10.0), &view), 1);
+    }
+
+    #[test]
+    fn earliest_start_plans_in_policy_order_not_storage_order() {
+        // Regression for the storage-order planning bug: under SJF a short
+        // candidate outranks a long queued job, so the queued job's
+        // reservation cannot block it.
+        //
+        // Partition 0: 8 procs, fully busy until t=100, queue holds a
+        // 1000s full-machine job. Partition 1: fully busy until t=500,
+        // empty queue. A 1-proc 10s SJF candidate starts at t=100 on
+        // partition 0 (it is served before the queued long job) — the old
+        // storage-order chain estimated t=1100 and misrouted it to
+        // partition 1.
+        let mut parts = parts(&[(8, 1.0), (8, 1.0)]);
+        parts[0].free = 0;
+        parts[0].running.push(RunningJob {
+            job: job(1, 8, 100.0),
+            start: 0.0,
+        });
+        parts[0].queue.push(job(2, 8, 1000.0));
+        parts[1].free = 0;
+        parts[1].running.push(RunningJob {
+            job: job(3, 8, 500.0),
+            start: 0.0,
+        });
+        let sjf_view = ClusterView {
             now: 0.0,
+            policy: Policy::Sjf,
             parts: &parts,
         };
-        assert_eq!(EarliestStart::default().route(&job(0, 8, 10.0), &view), 1);
+        let r = EarliestStart::default();
+        let candidate = job(9, 1, 10.0);
+        assert_eq!(r.estimated_start(&candidate, &sjf_view, 0), 100.0);
+        assert_eq!(r.estimated_start(&candidate, &sjf_view, 1), 500.0);
+        assert_eq!(r.route(&candidate, &sjf_view), 0);
+        // The same state under FCFS keeps the old chain: the queued job
+        // outranks the newcomer, so partition 1 wins — the two orders
+        // disagree, which is exactly what the bug hid.
+        let fcfs_view = view(&parts);
+        assert_eq!(r.estimated_start(&candidate, &fcfs_view, 0), 1100.0);
+        assert_eq!(r.route(&candidate, &fcfs_view), 1);
     }
 
     #[test]
     fn earliest_start_ties_break_to_faster_partition() {
         let parts = parts(&[(8, 1.0), (8, 2.0)]);
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
-        assert_eq!(EarliestStart::default().route(&job(0, 4, 100.0), &view), 1);
+        assert_eq!(
+            EarliestStart::default().route(&job(0, 4, 100.0), &view(&parts)),
+            1
+        );
     }
 
     #[test]
     fn routers_only_pick_fitting_partitions() {
         let parts = parts(&[(16, 1.0), (64, 1.0)]);
-        let view = ClusterView {
-            now: 0.0,
-            parts: &parts,
-        };
+        let view = view(&parts);
         let wide = job(0, 32, 100.0);
         assert_eq!(StaticAffinity.route(&wide, &view), 1);
         assert_eq!(LeastLoaded.route(&wide, &view), 1);
         assert_eq!(EarliestStart::default().route(&wide, &view), 1);
+    }
+
+    #[test]
+    fn best_move_targets_a_strictly_earlier_start() {
+        let mut parts = parts(&[(8, 1.0), (8, 1.0)]);
+        // The job waits on partition 0 behind a 1000s blocker; partition 1
+        // is idle — moving gains the full 1000 seconds.
+        parts[0].free = 0;
+        parts[0].running.push(RunningJob {
+            job: job(1, 8, 1000.0),
+            start: 0.0,
+        });
+        parts[0].queue.push(job(5, 4, 10.0));
+        let view = view(&parts);
+        let d = EarliestStart::default()
+            .best_move(&job(5, 4, 10.0), &view, 0)
+            .expect("idle partition must attract the job");
+        assert_eq!(d.to, 1);
+        assert_eq!(d.gain, 1000.0);
+        // Every router proposes the same move through the default hook.
+        assert_eq!(StaticAffinity.reroute(&job(5, 4, 10.0), &view, 0), Some(d));
+        assert_eq!(LeastLoaded.reroute(&job(5, 4, 10.0), &view, 0), Some(d));
+    }
+
+    #[test]
+    fn best_move_stays_put_without_strict_gain() {
+        let parts = parts(&[(8, 1.0), (8, 1.0)]);
+        // Both partitions idle: the job could start now either way — no
+        // strictly earlier start exists, so it stays.
+        let mut parts = parts;
+        parts[0].queue.push(job(5, 4, 10.0));
+        let view = view(&parts);
+        assert_eq!(
+            EarliestStart::default().best_move(&job(5, 4, 10.0), &view, 0),
+            None
+        );
+    }
+
+    #[test]
+    fn best_move_excludes_itself_from_the_stay_estimate() {
+        let mut parts = parts(&[(8, 1.0), (4, 1.0)]);
+        // The job is the only queued work on an idle partition 0: its stay
+        // estimate must be "now", not "behind its own reservation".
+        parts[0].queue.push(job(5, 8, 500.0));
+        let view = view(&parts);
+        let r = EarliestStart::default();
+        assert_eq!(r.estimated_start(&job(5, 8, 500.0), &view, 0), 0.0);
+        assert_eq!(r.best_move(&job(5, 8, 500.0), &view, 0), None);
+    }
+
+    #[test]
+    fn reroute_policy_labels_and_default() {
+        assert_eq!(ReroutePolicy::default(), ReroutePolicy::AtSubmission);
+        assert_eq!(ReroutePolicy::AtSubmission.label(), "at-submission");
+        assert_eq!(
+            ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job: 3,
+                min_gain_secs: 60.0
+            }
+            .label(),
+            "decision-points"
+        );
     }
 }

@@ -56,11 +56,16 @@ pub mod scenario;
 pub mod state;
 pub mod timeline;
 
-pub use cluster::{ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, Router, StaticAffinity};
+pub use cluster::{
+    ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, RerouteDecision, ReroutePolicy, Router,
+    StaticAffinity,
+};
 pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
 pub use policy::Policy;
-pub use runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
+pub use runner::{
+    run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, Backfill, ScheduleResult,
+};
 pub use scenario::{
     AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport, ScenarioBuilder,
     ScenarioError, ScenarioSpec, SchedulerSpec,
@@ -70,12 +75,15 @@ pub use state::{BackfillSim, SimEvent, Simulation};
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::cluster::{
-        ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, Router, StaticAffinity,
+        ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, RerouteDecision, ReroutePolicy,
+        Router, StaticAffinity,
     };
     pub use crate::estimator::RuntimeEstimator;
     pub use crate::metrics::Metrics;
     pub use crate::policy::Policy;
-    pub use crate::runner::{run_scheduler, run_scheduler_on, Backfill, ScheduleResult};
+    pub use crate::runner::{
+        run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, Backfill, ScheduleResult,
+    };
     pub use crate::scenario::{
         self, AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport,
         ScenarioBuilder, ScenarioError, ScenarioSpec, SchedulerSpec,

@@ -89,6 +89,17 @@ impl ReferenceSimulation {
         &self.completed
     }
 
+    /// Unroutable jobs: always 0 — the seed engine models the flat
+    /// machine, where [`swf::Trace::new`] already sanitized the trace.
+    pub fn dropped_jobs(&self) -> usize {
+        0
+    }
+
+    /// Queue migrations: always 0 — the seed engine has a single queue.
+    pub fn migrations(&self) -> usize {
+        0
+    }
+
     /// The reserved job (head of the sorted queue), if any.
     pub fn reserved_job(&self) -> Option<&Job> {
         self.queue.first()
@@ -462,6 +473,8 @@ pub fn run_seed_scheduler(
     crate::runner::ScheduleResult {
         completed: sim.completed().to_vec(),
         metrics,
+        dropped_jobs: 0,
+        migrations: 0,
     }
 }
 

@@ -1,6 +1,6 @@
 //! High-level one-call scheduling runs: trace × policy × backfilling.
 
-use crate::cluster::{ClusterSpec, Router};
+use crate::cluster::{ClusterSpec, ReroutePolicy, Router};
 use crate::conservative::conservative_pass;
 use crate::easy::easy_pass;
 use crate::estimator::RuntimeEstimator;
@@ -47,8 +47,16 @@ impl Backfill {
 pub struct ScheduleResult {
     /// Every job with its realized start time, in completion order.
     pub completed: Vec<CompletedJob>,
-    /// Aggregate quality metrics.
+    /// Aggregate quality metrics (over `completed` only — see
+    /// `dropped_jobs`).
     pub metrics: Metrics,
+    /// Trace jobs that fit no partition and were set aside before the run
+    /// (always 0 on flat machines): `completed.len() + dropped_jobs`
+    /// accounts for the whole trace.
+    pub dropped_jobs: usize,
+    /// Queue migrations performed (0 unless the run used
+    /// [`ReroutePolicy::AtDecisionPoints`]).
+    pub migrations: usize,
 }
 
 /// Schedules `trace` to completion under `policy` + `backfill` and returns
@@ -74,9 +82,32 @@ pub fn run_scheduler_on(
     spec: &ClusterSpec,
     router: Arc<dyn Router>,
 ) -> ScheduleResult {
+    run_scheduler_on_rerouted(
+        trace,
+        policy,
+        backfill,
+        spec,
+        router,
+        ReroutePolicy::AtSubmission,
+    )
+}
+
+/// [`run_scheduler_on`] under an explicit [`ReroutePolicy`]: with
+/// [`ReroutePolicy::AtDecisionPoints`] the router revisits still-waiting
+/// jobs at every settled event batch and migrates them to partitions with
+/// strictly earlier estimated starts. `AtSubmission` is exactly
+/// [`run_scheduler_on`] (bitwise).
+pub fn run_scheduler_on_rerouted(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    spec: &ClusterSpec,
+    router: Arc<dyn Router>,
+    reroute: ReroutePolicy,
+) -> ScheduleResult {
     let total = spec.total_procs();
     drive_to_completion(
-        Simulation::with_cluster(trace, policy, spec.clone(), router),
+        Simulation::with_cluster_rerouted(trace, policy, spec.clone(), router, reroute),
         total,
         backfill,
     )
@@ -123,6 +154,8 @@ fn drive_to_completion<S: crate::state::BackfillSim>(
     ScheduleResult {
         completed: sim.completed().to_vec(),
         metrics,
+        dropped_jobs: sim.dropped_jobs(),
+        migrations: sim.migrations(),
     }
 }
 

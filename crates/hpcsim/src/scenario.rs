@@ -50,13 +50,13 @@
 //! assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
 //! ```
 
-use crate::cluster::{ClusterSpec, EarliestStart, LeastLoaded, Router, StaticAffinity};
+use crate::cluster::{
+    ClusterSpec, EarliestStart, LeastLoaded, ReroutePolicy, Router, StaticAffinity,
+};
 use crate::estimator::RuntimeEstimator;
 use crate::metrics::Metrics;
 use crate::policy::Policy;
-use crate::runner::{
-    run_scheduler, run_scheduler_on, run_scheduler_reference, Backfill, ScheduleResult,
-};
+use crate::runner::{run_scheduler, run_scheduler_reference, Backfill, ScheduleResult};
 use crate::state::CompletedJob;
 use desim::Replicator;
 use rand::rngs::SmallRng;
@@ -105,17 +105,55 @@ impl RouterSpec {
 }
 
 /// The machine a scenario runs on: an optional explicit cluster shape plus
-/// the router that assigns arriving jobs to partitions.
+/// the router that assigns arriving jobs to partitions and the
+/// [`ReroutePolicy`] governing whether that assignment is ever revisited.
 ///
 /// `cluster: None` means "the homogeneous machine the trace targets" —
 /// the degenerate shape that realizes bitwise-identical schedules to the
-/// flat engine regardless of the router.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+/// flat engine regardless of the router (and of the reroute policy, which
+/// is inert with a single partition).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Platform {
     /// Explicit cluster shape, or `None` for the trace's flat machine.
     pub cluster: Option<ClusterSpec>,
     /// Partition router (irrelevant on a flat machine).
     pub router: RouterSpec,
+    /// When the meta-scheduler revisits waiting jobs' partitions
+    /// ([`ReroutePolicy::AtSubmission`], the default, never does).
+    pub reroute: ReroutePolicy,
+}
+
+// Hand-written serde (instead of the derive) so the `reroute` field is
+// **omitted when default** and **defaulted when absent**: every spec and
+// report file committed before migration landed keeps parsing, and
+// at-submission specs keep serializing to the identical bytes the
+// reproduce pins (`tests/scenario_reproduce.rs`) compare against.
+impl Serialize for Platform {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("cluster".to_string(), self.cluster.to_value()),
+            ("router".to_string(), self.router.to_value()),
+        ];
+        if self.reroute != ReroutePolicy::default() {
+            entries.push(("reroute".to_string(), self.reroute.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for Platform {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let has_reroute = matches!(v, serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "reroute"));
+        Ok(Platform {
+            cluster: serde::field(v, "cluster")?,
+            router: serde::field(v, "router")?,
+            reroute: if has_reroute {
+                serde::field(v, "reroute")?
+            } else {
+                ReroutePolicy::default()
+            },
+        })
+    }
 }
 
 impl Platform {
@@ -124,17 +162,25 @@ impl Platform {
         Self::default()
     }
 
-    /// An explicit cluster shape under the given router.
+    /// An explicit cluster shape under the given router (at-submission
+    /// routing; see [`Platform::rerouted`]).
     pub fn clustered(cluster: ClusterSpec, router: RouterSpec) -> Self {
         Self {
             cluster: Some(cluster),
             router,
+            reroute: ReroutePolicy::AtSubmission,
         }
     }
 
     /// A platform from a workload-side partition layout.
     pub fn from_layout(layout: &[swf::PartitionLayout], router: RouterSpec) -> Self {
         Self::clustered(ClusterSpec::from_layout(layout), router)
+    }
+
+    /// This platform under a different [`ReroutePolicy`].
+    pub fn rerouted(mut self, reroute: ReroutePolicy) -> Self {
+        self.reroute = reroute;
+        self
     }
 
     /// The concrete (cluster, router) pair for a given trace: the explicit
@@ -147,11 +193,18 @@ impl Platform {
         (cluster, self.router.build())
     }
 
-    /// Short label: `"flat"`, or `"<parts>p/<router>"`.
+    /// Short label: `"flat"`, or `"<parts>p/<router>"`, with `"+mig"`
+    /// appended when decision-point migration is on.
     pub fn label(&self) -> String {
         match &self.cluster {
             None => "flat".into(),
-            Some(c) => format!("{}p/{}", c.len(), self.router.label()),
+            Some(c) => {
+                let mut label = format!("{}p/{}", c.len(), self.router.label());
+                if matches!(self.reroute, ReroutePolicy::AtDecisionPoints { .. }) {
+                    label.push_str("+mig");
+                }
+                label
+            }
         }
     }
 }
@@ -384,12 +437,20 @@ impl ScenarioSpec {
         serde_json::from_str(json).map_err(|e| ScenarioError::Spec(e.to_string()))
     }
 
-    /// Loads a spec from a JSON file.
+    /// Loads a spec from a JSON file. Both failure modes — an unreadable
+    /// file and a malformed spec — name the offending path (and, for
+    /// parse failures, the offending field) so `scenario run` can report
+    /// them instead of panicking.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ScenarioError> {
         let path = path.as_ref();
         let json = std::fs::read_to_string(path)
             .map_err(|e| ScenarioError::Spec(format!("cannot read {}: {e}", path.display())))?;
-        Self::from_json(&json)
+        Self::from_json(&json).map_err(|e| match e {
+            ScenarioError::Spec(msg) => {
+                ScenarioError::Spec(format!("cannot parse {}: {msg}", path.display()))
+            }
+            other => other,
+        })
     }
 
     /// Writes the spec as pretty JSON.
@@ -420,6 +481,12 @@ impl ScenarioBuilder {
     /// Shorthand: explicit cluster + router.
     pub fn cluster(self, cluster: ClusterSpec, router: RouterSpec) -> Self {
         self.platform(Platform::clustered(cluster, router))
+    }
+
+    /// Sets the platform's [`ReroutePolicy`] (decision-point migration).
+    pub fn reroute(mut self, reroute: ReroutePolicy) -> Self {
+        self.spec.platform.reroute = reroute;
+        self
     }
 
     /// Sets the base policy.
@@ -490,7 +557,7 @@ pub struct SelectedMetric {
 }
 
 /// The uniform outcome of executing one scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Canonical label derived from the spec ([`ScenarioSpec::label`]).
     pub label: String,
@@ -500,6 +567,11 @@ pub struct RunReport {
     /// Jobs scheduled (summed across windows under
     /// [`Protocol::Windows`]).
     pub jobs: usize,
+    /// Trace jobs that fit no partition of the platform and were never
+    /// scheduled: `metrics` describes `jobs` completions, **not** the
+    /// whole trace, whenever this is nonzero (summed across windows under
+    /// [`Protocol::Windows`]; always 0 on flat platforms).
+    pub dropped_jobs: usize,
     /// Aggregate metrics (field-wise mean across windows).
     pub metrics: Metrics,
     /// The spec's selected metrics, extracted for table rendering.
@@ -509,6 +581,50 @@ pub struct RunReport {
     /// The spec that produced this report, embedded for provenance: the
     /// report file alone regenerates the run.
     pub spec: ScenarioSpec,
+}
+
+// Hand-written serde (like [`Platform`]'s): `dropped_jobs` is omitted
+// when 0 and defaulted when absent, so reports written before the field
+// existed keep parsing and drop-free reports keep their committed bytes.
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("jobs".to_string(), self.jobs.to_value()),
+        ];
+        if self.dropped_jobs > 0 {
+            entries.push(("dropped_jobs".to_string(), self.dropped_jobs.to_value()));
+        }
+        entries.push(("metrics".to_string(), self.metrics.to_value()));
+        entries.push(("selected".to_string(), self.selected.to_value()));
+        entries.push(("schedule".to_string(), self.schedule.to_value()));
+        entries.push(("spec".to_string(), self.spec.to_value()));
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let has_dropped = matches!(
+            v,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "dropped_jobs")
+        );
+        Ok(RunReport {
+            label: serde::field(v, "label")?,
+            seed: serde::field(v, "seed")?,
+            jobs: serde::field(v, "jobs")?,
+            dropped_jobs: if has_dropped {
+                serde::field(v, "dropped_jobs")?
+            } else {
+                0
+            },
+            metrics: serde::field(v, "metrics")?,
+            selected: serde::field(v, "selected")?,
+            schedule: serde::field(v, "schedule")?,
+            spec: serde::field(v, "spec")?,
+        })
+    }
 }
 
 impl RunReport {
@@ -595,13 +711,15 @@ pub fn mean_metrics(per: &[Metrics]) -> Metrics {
     }
 }
 
-/// Assembles the uniform report for a spec run. Public so external
-/// executors of the [`SchedulerSpec::Agent`] slot (the RL crate) produce
-/// byte-compatible reports.
+/// Assembles the uniform report for a spec run. `dropped_jobs` counts the
+/// trace jobs the platform could not route (0 on flat platforms). Public
+/// so external executors of the [`SchedulerSpec::Agent`] slot (the RL
+/// crate) produce byte-compatible reports.
 pub fn make_report(
     spec: &ScenarioSpec,
     seed: Option<u64>,
     metrics: Metrics,
+    dropped_jobs: usize,
     schedule: Option<Vec<CompletedJob>>,
 ) -> RunReport {
     let selected = spec
@@ -616,6 +734,7 @@ pub fn make_report(
         label: spec.label(),
         seed,
         jobs: metrics.jobs,
+        dropped_jobs,
         metrics,
         selected,
         schedule,
@@ -678,12 +797,13 @@ fn run_once(
 ) -> Result<ScheduleResult, ScenarioError> {
     match (spec.engine, &spec.platform.cluster) {
         (Engine::Kernel, None) => Ok(run_scheduler(trace, spec.policy, backfill)),
-        (Engine::Kernel, Some(cluster)) => Ok(run_scheduler_on(
+        (Engine::Kernel, Some(cluster)) => Ok(crate::runner::run_scheduler_on_rerouted(
             trace,
             spec.policy,
             backfill,
             cluster,
             spec.platform.router.build(),
+            spec.platform.reroute,
         )),
         (Engine::Reference, None) => Ok(run_scheduler_reference(trace, spec.policy, backfill)),
         (Engine::SeedNaive, None) => Ok(crate::reference::run_seed_scheduler(
@@ -715,7 +835,7 @@ fn run_protocol(
         Protocol::FullTrace => {
             let r = run_once(trace, spec, backfill)?;
             let schedule = spec.record_schedule.then_some(r.completed);
-            Ok(make_report(spec, seed, r.metrics, schedule))
+            Ok(make_report(spec, seed, r.metrics, r.dropped_jobs, schedule))
         }
         Protocol::Windows {
             samples,
@@ -725,9 +845,17 @@ fn run_protocol(
             let windows = sample_windows(trace, samples, window_len, wseed);
             let per = windows
                 .iter()
-                .map(|w| run_once(w, spec, backfill).map(|r| r.metrics))
+                .map(|w| run_once(w, spec, backfill).map(|r| (r.metrics, r.dropped_jobs)))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(make_report(spec, seed, mean_metrics(&per), None))
+            let dropped = per.iter().map(|(_, d)| d).sum();
+            let metrics: Vec<Metrics> = per.into_iter().map(|(m, _)| m).collect();
+            Ok(make_report(
+                spec,
+                seed,
+                mean_metrics(&metrics),
+                dropped,
+                None,
+            ))
         }
     }
 }
@@ -961,6 +1089,37 @@ mod tests {
         let reports = run_replicated(&spec).unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0], run(&spec).unwrap());
+    }
+
+    #[test]
+    fn unroutable_jobs_are_counted_not_silently_dropped() {
+        // Lublin-1 targets a 256-proc machine; on a cluster whose widest
+        // partition is 128 procs, the trace's capability jobs fit no
+        // partition — the report must count them instead of quietly
+        // describing a smaller trace.
+        let spec = lublin_spec(400)
+            .cluster(
+                ClusterSpec::new(vec![
+                    crate::cluster::PartitionSpec::new("a", 128, 1.0),
+                    crate::cluster::PartitionSpec::new("b", 128, 1.0),
+                ]),
+                RouterSpec::LeastLoaded,
+            )
+            .build();
+        let report = run(&spec).unwrap();
+        let trace = TracePreset::Lublin1.generate(400, 21);
+        let wide = trace.jobs().iter().filter(|j| j.procs > 128).count();
+        assert!(wide > 0, "the scenario needs at least one over-wide job");
+        assert_eq!(report.dropped_jobs, wide);
+        assert_eq!(report.jobs + report.dropped_jobs, trace.len());
+        // The count survives the committed-report round trip.
+        let back = RunReport::from_json(&report.to_json_pretty()).unwrap();
+        assert_eq!(back, report);
+        // And a pre-migration report without the field parses as 0.
+        let legacy = make_report(&lublin_spec(10).build(), None, Metrics::of(&[], 4), 0, None);
+        let json = legacy.to_json_pretty();
+        assert!(!json.contains("dropped_jobs"), "0 must serialize omitted");
+        assert_eq!(RunReport::from_json(&json).unwrap().dropped_jobs, 0);
     }
 
     #[test]

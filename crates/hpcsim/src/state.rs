@@ -30,10 +30,11 @@
 //! `tests/event_equivalence.rs`; throughput is compared by the `kernel`
 //! criterion bench.
 
-use crate::cluster::{ClusterSpec, ClusterView, Partition, Router, StaticAffinity};
+use crate::cluster::{ClusterSpec, ClusterView, Partition, ReroutePolicy, Router, StaticAffinity};
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
 use desim::{EventQueue, SimTime};
+use std::collections::HashMap;
 use std::sync::Arc;
 use swf::{Job, Trace};
 
@@ -144,6 +145,18 @@ pub trait BackfillSim {
     /// Jobs that finished, in completion order.
     fn completed(&self) -> &[CompletedJob];
 
+    /// Jobs set aside as unroutable before the run started (always 0 on
+    /// flat machines — [`swf::Trace::new`] sanitizes against them).
+    fn dropped_jobs(&self) -> usize {
+        0
+    }
+
+    /// Queue migrations performed so far (always 0 without
+    /// [`ReroutePolicy::AtDecisionPoints`]).
+    fn migrations(&self) -> usize {
+        0
+    }
+
     /// The reserved job (head of the sorted queue), if any.
     fn reserved_job(&self) -> Option<&Job> {
         self.queue().first()
@@ -176,6 +189,12 @@ macro_rules! impl_backfill_sim {
             }
             fn completed(&self) -> &[CompletedJob] {
                 <$ty>::completed(self)
+            }
+            fn dropped_jobs(&self) -> usize {
+                <$ty>::dropped_jobs(self)
+            }
+            fn migrations(&self) -> usize {
+                <$ty>::migrations(self)
             }
         }
     };
@@ -212,6 +231,7 @@ pub struct Simulation {
     policy: Policy,
     spec: ClusterSpec,
     router: Arc<dyn Router>,
+    reroute: ReroutePolicy,
     parts: Vec<Partition>,
     /// The partition the current backfilling opportunity is in (always 0
     /// between opportunities on a one-partition cluster).
@@ -219,6 +239,14 @@ pub struct Simulation {
     now: f64,
     arrivals: Vec<Job>,
     completed: Vec<CompletedJob>,
+    /// Jobs wider than every partition, set aside before the run (the
+    /// trace jobs `Metrics` would otherwise silently under-count).
+    dropped: Vec<Job>,
+    /// Per-job migration counts under [`ReroutePolicy::AtDecisionPoints`]
+    /// (empty under the default at-submission routing).
+    moves: HashMap<usize, u32>,
+    /// Total queue migrations performed.
+    migrations: usize,
     events: EventQueue<ClusterEvent>,
 }
 
@@ -235,22 +263,39 @@ impl Simulation {
     }
 
     /// Starts a simulation of `trace` on an explicit cluster shape, with
-    /// `router` assigning each arriving job to a partition. Jobs wider than
-    /// the widest partition are unroutable and dropped up front (the same
-    /// sanitation [`Trace::new`] applies against a homogeneous machine).
+    /// `router` assigning each arriving job to a partition **once, at
+    /// submission** ([`ReroutePolicy::AtSubmission`]). Jobs wider than the
+    /// widest partition are unroutable: they are set aside up front (the
+    /// same sanitation [`Trace::new`] applies against a homogeneous
+    /// machine) and counted in [`Simulation::dropped_jobs`].
     pub fn with_cluster(
         trace: &Trace,
         policy: Policy,
         spec: ClusterSpec,
         router: Arc<dyn Router>,
     ) -> Self {
+        Self::with_cluster_rerouted(trace, policy, spec, router, ReroutePolicy::AtSubmission)
+    }
+
+    /// [`Simulation::with_cluster`] with an explicit [`ReroutePolicy`]:
+    /// under [`ReroutePolicy::AtDecisionPoints`], still-waiting jobs are
+    /// re-evaluated whenever an arrival/completion batch settles and
+    /// migrated to a partition with a strictly earlier estimated start
+    /// (see [`Router::reroute`]). `AtSubmission` realizes
+    /// bitwise-identical schedules to [`Simulation::with_cluster`].
+    pub fn with_cluster_rerouted(
+        trace: &Trace,
+        policy: Policy,
+        spec: ClusterSpec,
+        router: Arc<dyn Router>,
+        reroute: ReroutePolicy,
+    ) -> Self {
         let widest = spec.max_partition_procs();
-        let arrivals: Vec<Job> = trace
+        let (arrivals, dropped): (Vec<Job>, Vec<Job>) = trace
             .jobs()
             .iter()
-            .filter(|j| j.procs <= widest)
             .copied()
-            .collect();
+            .partition(|j| j.procs <= widest);
         let mut events = EventQueue::new();
         if !arrivals.is_empty() {
             events.schedule(
@@ -267,11 +312,15 @@ impl Simulation {
             policy,
             spec,
             router,
+            reroute,
             parts,
             active: 0,
             now: 0.0,
             arrivals,
             completed: Vec::new(),
+            dropped,
+            moves: HashMap::new(),
+            migrations: 0,
             events,
         }
     }
@@ -330,6 +379,29 @@ impl Simulation {
         &self.completed
     }
 
+    /// The active re-routing policy.
+    pub fn reroute_policy(&self) -> ReroutePolicy {
+        self.reroute
+    }
+
+    /// Trace jobs set aside as unroutable (wider than every partition) —
+    /// the jobs a [`crate::metrics::Metrics`] over [`Self::completed`]
+    /// does **not** describe. Always empty on a flat machine.
+    pub fn dropped(&self) -> &[Job] {
+        &self.dropped
+    }
+
+    /// Number of unroutable jobs set aside up front.
+    pub fn dropped_jobs(&self) -> usize {
+        self.dropped.len()
+    }
+
+    /// Total queue migrations performed so far (0 unless the simulation
+    /// runs under [`ReroutePolicy::AtDecisionPoints`]).
+    pub fn migrations(&self) -> usize {
+        self.migrations
+    }
+
     /// The reserved job (head of the active partition's queue), if any.
     pub fn reserved_job(&self) -> Option<&Job> {
         self.parts[self.active].queue.first()
@@ -340,7 +412,14 @@ impl Simulation {
     /// active partition) or completion of the whole trace.
     pub fn advance(&mut self) -> SimEvent {
         loop {
-            self.apply_due_events();
+            if self.apply_due_events() > 0 {
+                // A decision point: the arrival/completion batch settled
+                // and the cluster state changed. Re-evaluate waiting jobs
+                // before start decisions (a job that can start right here
+                // has no strictly earlier start elsewhere, so the pass
+                // never steals immediately-startable work).
+                self.reroute_pass();
+            }
             self.start_ready_jobs();
             if let Some(p) = self.next_opportunity() {
                 self.parts[p].opportunity_armed = false;
@@ -450,9 +529,14 @@ impl Simulation {
     /// are back in `free` — `EarliestStart` profiles both). Nothing else
     /// reads `free` mid-batch, so the end-of-batch state (and the
     /// degenerate-path equivalence with the flat engine) is unchanged.
-    fn apply_due_events(&mut self) {
+    ///
+    /// Returns the number of events applied — the re-route pass only runs
+    /// on settled batches that actually changed the cluster state.
+    fn apply_due_events(&mut self) -> usize {
+        let mut applied = 0;
         let deadline = SimTime::new(self.now + EPS);
         while let Some((_, event)) = self.events.pop_until(deadline) {
+            applied += 1;
             match event {
                 ClusterEvent::Arrival(idx) => {
                     let job = self.arrivals[idx];
@@ -461,6 +545,7 @@ impl Simulation {
                         &job,
                         &ClusterView {
                             now: self.now,
+                            policy: self.policy,
                             parts: &self.parts,
                         },
                     );
@@ -497,6 +582,105 @@ impl Simulation {
                 }
             }
         }
+        applied
+    }
+
+    /// The decision-point migration pass ([`ReroutePolicy::AtDecisionPoints`]).
+    ///
+    /// Runs once per settled arrival/completion batch, before start
+    /// decisions. Every still-waiting job is offered to
+    /// [`Router::reroute`] and moved when the router names a partition
+    /// with a strictly earlier estimated start and the gain clears
+    /// `min_gain_secs`, except:
+    ///
+    /// * **policy heads** (queue index 0) — the reserved job anchors the
+    ///   partition's backfilling protocol and EASY/conservative shadow
+    ///   geometry, so it never migrates;
+    /// * jobs in, or moving into, **partitions holding an armed
+    ///   backfilling opportunity** — those queues are about to be handed
+    ///   to the decision-point driver, and migrating them would change
+    ///   the action space between arming and acting (the `BackfillSim`
+    ///   protocol stays untouched);
+    /// * jobs whose **move budget** (`max_moves_per_job`) is spent.
+    ///
+    /// The scan order is deterministic: partitions by index, queues in
+    /// policy order; a moved job re-enters its target queue at its policy
+    /// position with durations re-scaled to the target's speed.
+    fn reroute_pass(&mut self) {
+        let ReroutePolicy::AtDecisionPoints {
+            max_moves_per_job,
+            min_gain_secs,
+        } = self.reroute
+        else {
+            return;
+        };
+        if self.parts.len() < 2 || max_moves_per_job == 0 {
+            return;
+        }
+        // Establish policy order everywhere first, so "queue index 0" is
+        // the policy head (the same sort `start_ready_jobs` would apply at
+        // this instant — doing it here changes nothing downstream).
+        for part in &mut self.parts {
+            if part.needs_sort {
+                self.policy.sort_queue(&mut part.queue, self.now);
+                part.needs_sort = false;
+            }
+        }
+        let frozen: Vec<bool> = self.parts.iter().map(Self::has_opportunity).collect();
+        let router = Arc::clone(&self.router);
+        for p in 0..self.parts.len() {
+            if frozen[p] {
+                continue;
+            }
+            let mut pos = 1;
+            while pos < self.parts[p].queue.len() {
+                let stored = self.parts[p].queue[pos];
+                if self.moves.get(&stored.id).copied().unwrap_or(0) >= max_moves_per_job {
+                    pos += 1;
+                    continue;
+                }
+                // The router reasons in reference-hardware durations; the
+                // queued copy is scaled to its current partition.
+                let reference = self.parts[p].unscale_job(stored);
+                let view = ClusterView {
+                    now: self.now,
+                    policy: self.policy,
+                    parts: &self.parts,
+                };
+                let decision = router.reroute(&reference, &view, p);
+                match decision {
+                    Some(d) if d.gain >= min_gain_secs && !frozen[d.to] && d.to != p => {
+                        debug_assert!(
+                            reference.procs <= self.parts[d.to].procs(),
+                            "router migrated a {}-proc job to partition {} ({} procs)",
+                            reference.procs,
+                            d.to,
+                            self.parts[d.to].procs()
+                        );
+                        let job = self.parts[p].queue.remove(pos);
+                        let moved = self.parts[d.to].scale_job(self.parts[p].unscale_job(job));
+                        self.parts[d.to].enqueue(moved, self.policy, self.now);
+                        // Both queues changed: re-arm their opportunities
+                        // (state-change semantics, same as a job start).
+                        self.parts[p].opportunity_armed = true;
+                        self.parts[d.to].opportunity_armed = true;
+                        *self.moves.entry(job.id).or_insert(0) += 1;
+                        self.migrations += 1;
+                        // The vec shifted left — re-examine this position.
+                    }
+                    _ => pos += 1,
+                }
+            }
+        }
+    }
+
+    /// Whether this partition currently holds an (armed) backfilling
+    /// opportunity — the exact predicate [`Self::next_opportunity`] scans
+    /// for.
+    fn has_opportunity(part: &Partition) -> bool {
+        part.opportunity_armed
+            && !part.queue.is_empty()
+            && part.queue.iter().skip(1).any(|j| j.procs <= part.free)
     }
 
     /// Starts policy-selected head jobs in every partition while they fit.
@@ -549,11 +733,7 @@ impl Simulation {
     /// a non-empty queue whose head is blocked while some other queued job
     /// fits the partition's free processors.
     fn next_opportunity(&self) -> Option<usize> {
-        self.parts.iter().position(|part| {
-            part.opportunity_armed
-                && !part.queue.is_empty()
-                && part.queue.iter().skip(1).any(|j| j.procs <= part.free)
-        })
+        self.parts.iter().position(Self::has_opportunity)
     }
 }
 
@@ -811,6 +991,201 @@ mod tests {
         while sim.advance() != SimEvent::Done {}
         assert_eq!(sim.completed().len(), 1);
         assert_eq!(sim.completed()[0].job.id, 1);
+        // The dropped job is counted, not silently lost.
+        assert_eq!(sim.dropped_jobs(), 1);
+        assert_eq!(sim.dropped()[0].id, 0);
+        assert_eq!(sim.completed().len() + sim.dropped_jobs(), t.len());
+    }
+
+    mod reroute {
+        use super::*;
+        use crate::cluster::{ClusterSpec, PartitionSpec, ReroutePolicy, StaticAffinity};
+        use std::sync::Arc;
+
+        fn two_partitions(speed_b: f64) -> ClusterSpec {
+            ClusterSpec::new(vec![
+                PartitionSpec::new("a", 4, 1.0),
+                PartitionSpec::new("b", 4, speed_b),
+            ])
+        }
+
+        fn decision_points(max_moves: u32, min_gain: f64) -> ReroutePolicy {
+            ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job: max_moves,
+                min_gain_secs: min_gain,
+            }
+        }
+
+        /// Affinity sends every 4-proc job to partition "a" (ties to the
+        /// earlier partition), leaving "b" idle — the canonical misrouting
+        /// migration repairs.
+        fn congested_trace() -> Trace {
+            trace(
+                8,
+                vec![
+                    Job::new(0, 0.0, 4, 1000.0, 1000.0), // runs on a
+                    Job::new(1, 1.0, 4, 1000.0, 1000.0), // head of a's queue
+                    Job::new(2, 2.0, 4, 10.0, 10.0),     // queued behind it
+                ],
+            )
+        }
+
+        fn run(reroute: ReroutePolicy) -> Simulation {
+            let mut sim = Simulation::with_cluster_rerouted(
+                &congested_trace(),
+                Policy::Fcfs,
+                two_partitions(1.0),
+                Arc::new(StaticAffinity),
+                reroute,
+            );
+            while sim.advance() != SimEvent::Done {}
+            sim
+        }
+
+        #[test]
+        fn migration_moves_queued_job_to_the_idle_partition() {
+            // At submission, job 2 queues on "a" behind jobs 0 and 1; the
+            // settle of its own arrival batch re-evaluates it and moves it
+            // to the idle "b", where it starts immediately.
+            let sim = run(decision_points(3, 0.0));
+            let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+            assert_eq!(c2.start, 2.0);
+            assert_eq!(sim.migrations(), 1);
+            // The reserved chain on "a" is untouched.
+            let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+            assert_eq!(c1.start, 1000.0);
+            assert_eq!(sim.completed().len(), 3);
+        }
+
+        #[test]
+        fn at_submission_never_migrates() {
+            let sim = run(ReroutePolicy::AtSubmission);
+            assert_eq!(sim.migrations(), 0);
+            // Job 2 serializes behind both 1000s jobs on "a".
+            let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+            assert_eq!(c2.start, 2000.0);
+        }
+
+        #[test]
+        fn zero_move_budget_disables_migration() {
+            let sim = run(decision_points(0, 0.0));
+            assert_eq!(sim.migrations(), 0);
+            let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+            assert_eq!(c2.start, 2000.0);
+        }
+
+        #[test]
+        fn moves_below_the_gain_threshold_are_not_taken() {
+            // The move would gain 1998s; a 10000s threshold rejects it.
+            let sim = run(decision_points(3, 10_000.0));
+            assert_eq!(sim.migrations(), 0);
+            let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+            assert_eq!(c2.start, 2000.0);
+        }
+
+        #[test]
+        fn policy_heads_never_migrate() {
+            // Only jobs 0 and 1: job 1 is the head of "a"'s queue — it
+            // holds the next reservation and must stay even though "b"
+            // idles.
+            let t = trace(
+                8,
+                vec![
+                    Job::new(0, 0.0, 4, 1000.0, 1000.0),
+                    Job::new(1, 1.0, 4, 1000.0, 1000.0),
+                ],
+            );
+            let mut sim = Simulation::with_cluster_rerouted(
+                &t,
+                Policy::Fcfs,
+                two_partitions(1.0),
+                Arc::new(StaticAffinity),
+                decision_points(3, 0.0),
+            );
+            while sim.advance() != SimEvent::Done {}
+            assert_eq!(sim.migrations(), 0);
+            let c1 = sim.completed().iter().find(|c| c.job.id == 1).unwrap();
+            assert_eq!(c1.start, 1000.0);
+        }
+
+        #[test]
+        fn armed_opportunity_partitions_are_frozen() {
+            // Partition "a": 3-proc blocker leaves 1 free, a blocked
+            // 4-proc head, and a fitting 1-proc candidate — an armed
+            // backfilling opportunity. The candidate must NOT migrate to
+            // the idle "b" at the settle that armed the opportunity: the
+            // driver is about to act on this exact queue.
+            let t = trace(
+                8,
+                vec![
+                    Job::new(0, 0.0, 3, 1000.0, 1000.0),
+                    Job::new(1, 1.0, 4, 1000.0, 1000.0),
+                    Job::new(2, 2.0, 1, 50.0, 50.0),
+                ],
+            );
+            let mut sim = Simulation::with_cluster_rerouted(
+                &t,
+                Policy::Fcfs,
+                two_partitions(1.0),
+                Arc::new(StaticAffinity),
+                decision_points(3, 0.0),
+            );
+            assert_eq!(sim.advance(), SimEvent::BackfillOpportunity);
+            assert_eq!(sim.active_partition(), 0);
+            assert_eq!(sim.migrations(), 0, "frozen partition must keep its queue");
+            assert_eq!(sim.queue().iter().map(|j| j.id).collect::<Vec<_>>(), [1, 2]);
+            assert!(sim.backfill(1).is_ok());
+            while sim.advance() != SimEvent::Done {}
+            assert_eq!(sim.completed().len(), 3);
+        }
+
+        #[test]
+        fn migration_rescales_durations_to_the_target_partition() {
+            // "b" runs at double speed: the migrated 10s job executes in
+            // 5 wall-clock seconds there.
+            let mut sim = Simulation::with_cluster_rerouted(
+                &congested_trace(),
+                Policy::Fcfs,
+                two_partitions(2.0),
+                Arc::new(StaticAffinity),
+                decision_points(3, 0.0),
+            );
+            while sim.advance() != SimEvent::Done {}
+            assert_eq!(sim.migrations(), 1);
+            let c2 = sim.completed().iter().find(|c| c.job.id == 2).unwrap();
+            assert_eq!(c2.start, 2.0);
+            assert_eq!(c2.end(), 7.0, "runtime must rescale to b's speed");
+        }
+
+        #[test]
+        fn move_budget_bounds_total_migrations() {
+            // A synthetic churn workload cannot migrate any job more than
+            // the per-job budget allows.
+            let t = swf::TracePreset::Lublin1.generate(300, 11);
+            let spec = ClusterSpec::new(vec![
+                PartitionSpec::new("a", 128, 1.0),
+                PartitionSpec::new("b", 128, 1.0),
+                PartitionSpec::new("c", 64, 1.35),
+            ]);
+            let budget = 2;
+            let mut sim = Simulation::with_cluster_rerouted(
+                &t,
+                Policy::Fcfs,
+                spec,
+                Arc::new(crate::cluster::LeastLoaded),
+                decision_points(budget, 0.0),
+            );
+            while sim.advance() != SimEvent::Done {}
+            assert_eq!(
+                sim.completed().len() + sim.dropped_jobs(),
+                t.len(),
+                "migration must conserve jobs"
+            );
+            assert!(
+                sim.migrations() <= t.len() * budget as usize,
+                "total moves exceed the per-job budget"
+            );
+        }
     }
 
     #[test]

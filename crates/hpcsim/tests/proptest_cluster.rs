@@ -6,7 +6,7 @@
 //! heuristic and adversarial interactive driving.
 
 use hpcsim::cluster::{
-    ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, Router, StaticAffinity,
+    ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, ReroutePolicy, Router, StaticAffinity,
 };
 use hpcsim::prelude::*;
 use proptest::prelude::*;
@@ -101,6 +101,42 @@ fn arb_policy() -> impl Strategy<Value = Policy> {
     ]
 }
 
+/// Decision-point migration configurations, including degenerate budgets
+/// and prohibitive gain thresholds.
+fn arb_reroute() -> impl Strategy<Value = ReroutePolicy> {
+    (
+        0u32..=4,
+        prop_oneof![Just(0.0f64), Just(60.0), Just(3600.0)],
+    )
+        .prop_map(
+            |(max_moves_per_job, min_gain_secs)| ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job,
+                min_gain_secs,
+            },
+        )
+}
+
+/// Like [`arb_trace`], but with jobs up to twice the widest partition so
+/// runs exercise the unroutable-drop path too.
+fn arb_trace_with_unroutable() -> impl Strategy<Value = Trace> {
+    let job = (
+        0.0f64..20_000.0, // submit
+        1u32..=48,        // procs — up to 2× the widest partition (24)
+        1.0f64..10_000.0, // runtime
+        1.0f64..2.5,      // request multiplier
+    );
+    proptest::collection::vec(job, 1..80).prop_map(|specs| {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, procs, runtime, over))| {
+                Job::new(i, submit, procs, runtime * over, runtime)
+            })
+            .collect();
+        Trace::new("prop", 48, jobs)
+    })
+}
+
 proptest! {
     /// EASY-driven partitioned runs: invariants hold at every decision
     /// point and every job completes.
@@ -149,6 +185,49 @@ proptest! {
         }
         check_invariants(&sim);
         prop_assert_eq!(sim.completed().len(), trace.len());
+        for part in sim.partitions() {
+            prop_assert_eq!(part.free(), part.procs());
+        }
+    }
+
+    /// Decision-point migration conserves jobs (`completed + dropped =
+    /// trace`) and never violates per-partition accounting, across random
+    /// traces (including unroutable jobs), cluster shapes, routers,
+    /// policies and reroute configurations.
+    #[test]
+    fn migration_conserves_jobs_and_accounting(
+        trace in arb_trace_with_unroutable(),
+        spec in arb_spec(),
+        router in arb_router(),
+        policy in arb_policy(),
+        reroute in arb_reroute(),
+    ) {
+        let budget = match reroute {
+            ReroutePolicy::AtDecisionPoints { max_moves_per_job, .. } => max_moves_per_job,
+            ReroutePolicy::AtSubmission => 0,
+        };
+        let mut sim =
+            Simulation::with_cluster_rerouted(&trace, policy, spec, router, reroute);
+        let mut guard = 0usize;
+        loop {
+            let ev = sim.advance();
+            check_invariants(&sim);
+            if ev == SimEvent::Done {
+                break;
+            }
+            hpcsim::easy::easy_pass(&mut sim, RuntimeEstimator::RequestTime);
+            check_invariants(&sim);
+            guard += 1;
+            prop_assert!(guard < 50_000, "no progress");
+        }
+        // Conservation: migration must not lose or duplicate jobs.
+        prop_assert_eq!(sim.completed().len() + sim.dropped_jobs(), trace.len());
+        prop_assert!(sim.migrations() <= trace.len() * budget as usize);
+        // Every job completed exactly once.
+        let mut ids: Vec<usize> = sim.completed().iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), sim.completed().len());
         for part in sim.partitions() {
             prop_assert_eq!(part.free(), part.procs());
         }

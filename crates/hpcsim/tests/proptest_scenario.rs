@@ -106,6 +106,18 @@ fn arb_router() -> impl Strategy<Value = RouterSpec> {
     ]
 }
 
+fn arb_reroute() -> impl Strategy<Value = ReroutePolicy> {
+    prop_oneof![
+        Just(ReroutePolicy::AtSubmission),
+        (0u32..8, 0.0f64..3600.0).prop_map(|(max_moves_per_job, min_gain_secs)| {
+            ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job,
+                min_gain_secs,
+            }
+        }),
+    ]
+}
+
 fn arb_platform() -> impl Strategy<Value = Platform> {
     let cluster = proptest::collection::vec((1u32..256, 0.25f64..4.0), 1..4).prop_map(|parts| {
         ClusterSpec::new(
@@ -116,10 +128,13 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
                 .collect(),
         )
     });
-    (any::<bool>(), cluster, arb_router()).prop_map(|(flat, cluster, router)| Platform {
-        cluster: if flat { None } else { Some(cluster) },
-        router,
-    })
+    (any::<bool>(), cluster, arb_router(), arb_reroute()).prop_map(
+        |(flat, cluster, router, reroute)| Platform {
+            cluster: if flat { None } else { Some(cluster) },
+            router,
+            reroute,
+        },
+    )
 }
 
 fn arb_scheduler() -> impl Strategy<Value = SchedulerSpec> {
@@ -239,7 +254,7 @@ proptest! {
         // runnable here (agent slots, missing SWF files): build one
         // directly over synthetic metrics.
         let metrics = hpcsim::Metrics::of(&[], 4);
-        let report = hpcsim::scenario::make_report(&spec, seeded.then_some(seed), metrics, None);
+        let report = hpcsim::scenario::make_report(&spec, seeded.then_some(seed), metrics, 0, None);
         prop_assert_eq!(&report.label, &spec.label());
         let back = RunReport::from_json(&report.to_json_pretty()).expect("report parses");
         prop_assert_eq!(back, report);
@@ -248,7 +263,7 @@ proptest! {
     #[test]
     fn selected_metrics_default_to_bsld(spec in arb_spec()) {
         let metrics = hpcsim::Metrics::of(&[], 4);
-        let report = hpcsim::scenario::make_report(&spec, None, metrics, None);
+        let report = hpcsim::scenario::make_report(&spec, None, metrics, 0, None);
         if spec.metrics.is_empty() {
             prop_assert_eq!(
                 report.selected,

@@ -122,6 +122,104 @@ fn scenario_run_equals_run_scheduler_on_under_every_router() {
 }
 
 #[test]
+fn at_submission_reroute_is_bitwise_inert_across_routers_and_policies() {
+    // An explicit `reroute: AtSubmission` spec must realize the exact
+    // schedule of (a) the same spec without the field and (b) the direct
+    // `run_scheduler_on` engines — the migration subsystem cannot perturb
+    // default runs, for any router × policy.
+    let parts = 3;
+    let w = swf::partitioned_preset(TracePreset::Lublin1, parts, JOBS, SEED);
+    let cluster = ClusterSpec::from_layout(&w.layout);
+    let src = TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts,
+        jobs: JOBS,
+        seed: SEED,
+    };
+    let routers: Vec<(RouterSpec, Arc<dyn hpcsim::cluster::Router>)> = vec![
+        (RouterSpec::Affinity, Arc::new(StaticAffinity)),
+        (RouterSpec::LeastLoaded, Arc::new(LeastLoaded)),
+        (
+            RouterSpec::EarliestStart(RuntimeEstimator::RequestTime),
+            Arc::new(EarliestStart::default()),
+        ),
+    ];
+    for policy in Policy::ALL {
+        for (router_spec, router) in &routers {
+            let implicit = ScenarioSpec::builder(src.clone())
+                .policy(policy)
+                .cluster(cluster.clone(), *router_spec)
+                .record_schedule(true)
+                .build();
+            let explicit = ScenarioSpec::builder(src.clone())
+                .policy(policy)
+                .cluster(cluster.clone(), *router_spec)
+                .reroute(ReroutePolicy::AtSubmission)
+                .record_schedule(true)
+                .build();
+            assert_eq!(implicit, explicit, "AtSubmission is the default");
+            let report = hpcsim::scenario::run(&explicit).unwrap();
+            let direct = run_scheduler_on(
+                &w.trace,
+                policy,
+                Backfill::Easy(RuntimeEstimator::RequestTime),
+                &cluster,
+                Arc::clone(router),
+            );
+            assert_eq!(
+                report.metrics,
+                direct.metrics,
+                "metrics drifted: {policy} {}",
+                router_spec.label()
+            );
+            assert_eq!(
+                schedule_of(report.schedule.as_ref().unwrap()),
+                schedule_of(&direct.completed),
+                "schedule drifted: {policy} {}",
+                router_spec.label()
+            );
+            assert_eq!(report.jobs + report.dropped_jobs, w.trace.len());
+        }
+    }
+}
+
+#[test]
+fn decision_point_migration_changes_partitioned_schedules() {
+    // The counterpart of the inertness pin: with migration on, the same
+    // spec must realize a *different* schedule (otherwise the subsystem
+    // is dead code), while still conserving every job.
+    let parts = 2;
+    let w = swf::partitioned_preset(TracePreset::Lublin1, parts, JOBS, SEED);
+    let cluster = ClusterSpec::from_layout(&w.layout);
+    let src = TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts,
+        jobs: JOBS,
+        seed: SEED,
+    };
+    let build = |reroute| {
+        ScenarioSpec::builder(src.clone())
+            .cluster(cluster.clone(), RouterSpec::LeastLoaded)
+            .reroute(reroute)
+            .record_schedule(true)
+            .build()
+    };
+    let pinned = hpcsim::scenario::run(&build(ReroutePolicy::AtSubmission)).unwrap();
+    let migrated = hpcsim::scenario::run(&build(ReroutePolicy::AtDecisionPoints {
+        max_moves_per_job: 3,
+        min_gain_secs: 0.0,
+    }))
+    .unwrap();
+    assert_eq!(migrated.jobs + migrated.dropped_jobs, w.trace.len());
+    assert_eq!(pinned.jobs, migrated.jobs);
+    assert_ne!(
+        schedule_of(pinned.schedule.as_ref().unwrap()),
+        schedule_of(migrated.schedule.as_ref().unwrap()),
+        "decision-point migration must change the realized schedule"
+    );
+}
+
+#[test]
 fn degenerate_platform_is_bitwise_flat_regardless_of_router() {
     // The one-partition spec must reproduce the flat engine exactly under
     // every router — the cluster-subsystem invariant, restated at the
@@ -133,18 +231,29 @@ fn degenerate_platform_is_bitwise_flat_regardless_of_router() {
         Backfill::Easy(RuntimeEstimator::RequestTime),
     );
     for router in RouterSpec::ALL {
-        let spec = ScenarioSpec::builder(source())
-            .cluster(ClusterSpec::homogeneous(trace.cluster_procs()), router)
-            .record_schedule(true)
-            .build();
-        let report = hpcsim::scenario::run(&spec).unwrap();
-        assert_eq!(report.metrics, flat.metrics, "{}", router.label());
-        assert_eq!(
-            schedule_of(report.schedule.as_ref().unwrap()),
-            schedule_of(&flat.completed),
-            "{}",
-            router.label()
-        );
+        for reroute in [
+            ReroutePolicy::AtSubmission,
+            // Migration is inert on a single partition: the degenerate
+            // equivalence holds even with re-routing enabled.
+            ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job: 3,
+                min_gain_secs: 0.0,
+            },
+        ] {
+            let spec = ScenarioSpec::builder(source())
+                .cluster(ClusterSpec::homogeneous(trace.cluster_procs()), router)
+                .reroute(reroute)
+                .record_schedule(true)
+                .build();
+            let report = hpcsim::scenario::run(&spec).unwrap();
+            assert_eq!(report.metrics, flat.metrics, "{}", router.label());
+            assert_eq!(
+                schedule_of(report.schedule.as_ref().unwrap()),
+                schedule_of(&flat.completed),
+                "{}",
+                router.label()
+            );
+        }
     }
 }
 

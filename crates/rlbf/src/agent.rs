@@ -45,13 +45,27 @@ impl RlbfAgent {
     /// router) — the deployment path for `hpcsim::scenario` specs whose
     /// agent slot runs on a partitioned machine.
     pub fn schedule_on(&self, trace: &Trace, base_policy: Policy, platform: &Platform) -> Metrics {
+        self.schedule_on_counted(trace, base_policy, platform).0
+    }
+
+    /// [`Self::schedule_on`] also reporting the number of trace jobs the
+    /// platform could not route (the simulation's authoritative dropped
+    /// count, so agent reports agree with heuristic reports field by
+    /// field).
+    pub fn schedule_on_counted(
+        &self,
+        trace: &Trace,
+        base_policy: Policy,
+        platform: &Platform,
+    ) -> (Metrics, usize) {
         let mut env = BackfillEnv::on_platform(trace, base_policy, self.env, platform);
         while let Some(obs) = env.observation().cloned() {
             let slot = self.ac.act_greedy(&obs);
             env.step(slot)
                 .expect("greedy actions are valid by construction");
         }
-        env.metrics()
+        let dropped = env.simulation().dropped_jobs();
+        (env.metrics(), dropped)
     }
 
     /// The paper's evaluation protocol (§4.3): sample `samples` random

@@ -133,22 +133,24 @@ pub fn run_spec_with_agent(spec: &ScenarioSpec, agent: &RlbfAgent) -> Result<Run
         ));
     }
     let (trace, protocol) = scenario::materialize(spec, None).map_err(|e| e.to_string())?;
-    let metrics = match protocol {
-        Protocol::FullTrace => agent.schedule_on(&trace, spec.policy, &spec.platform),
+    let (metrics, dropped) = match protocol {
+        Protocol::FullTrace => agent.schedule_on_counted(&trace, spec.policy, &spec.platform),
         Protocol::Windows {
             samples,
             window_len,
             seed,
         } => {
             let windows = scenario::sample_windows(&trace, samples, window_len, seed);
-            let per: Vec<Metrics> = windows
+            let per: Vec<(Metrics, usize)> = windows
                 .par_iter()
-                .map(|w| agent.schedule_on(w, spec.policy, &spec.platform))
+                .map(|w| agent.schedule_on_counted(w, spec.policy, &spec.platform))
                 .collect();
-            scenario::mean_metrics(&per)
+            let dropped = per.iter().map(|(_, d)| d).sum();
+            let metrics: Vec<Metrics> = per.into_iter().map(|(m, _)| m).collect();
+            (scenario::mean_metrics(&metrics), dropped)
         }
     };
-    Ok(scenario::make_report(spec, None, metrics, None))
+    Ok(scenario::make_report(spec, None, metrics, dropped, None))
 }
 
 /// Per-seed summary of one training run in a sweep.
