@@ -78,6 +78,61 @@ fn bench_conservative_kernel_vs_seed(c: &mut Criterion) {
             )
         })
     });
+    // The incremental-planner headline case: 10k jobs was seconds-scale
+    // before persistent plans landed, so it lives here (kernel-only, per
+    // commit) and not just in speed_probe.
+    let trace10k = TracePreset::Lublin1.generate(10_000, TRACE_SEED);
+    group.bench_with_input(BenchmarkId::new("kernel", 10_000), &trace10k, |b, t| {
+        b.iter(|| {
+            run_scheduler(
+                black_box(t),
+                Policy::Fcfs,
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    // The decision-point re-routing hot path this PR's shared router
+    // plans optimize: every settled batch re-evaluates the waiting jobs
+    // of every partition. Tracked per commit so the reroute scan cannot
+    // silently regress to per-candidate plan rebuilding.
+    use std::sync::Arc;
+    let reroute = ReroutePolicy::AtDecisionPoints {
+        max_moves_per_job: 3,
+        min_gain_secs: 60.0,
+    };
+    let mut group = c.benchmark_group("migration_lublin1");
+    for parts in [2usize, 4] {
+        let w = swf::partitioned_preset(TracePreset::Lublin1, parts, 3_000, TRACE_SEED);
+        let spec = ClusterSpec::from_layout(&w.layout);
+        for (name, backfill) in [
+            ("easy", Backfill::Easy(RuntimeEstimator::RequestTime)),
+            (
+                "cons",
+                Backfill::Conservative(RuntimeEstimator::RequestTime),
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("decision_points_{name}"), parts),
+                &(&w, &spec),
+                |b, (w, spec)| {
+                    b.iter(|| {
+                        run_scheduler_on_rerouted(
+                            black_box(&w.trace),
+                            Policy::Fcfs,
+                            backfill,
+                            spec,
+                            Arc::new(LeastLoaded),
+                            reroute,
+                        )
+                    })
+                },
+            );
+        }
+    }
     group.finish();
 }
 
@@ -180,6 +235,7 @@ criterion_group!(
     bench_easy_kernel_100k,
     bench_conservative_kernel_vs_seed,
     bench_multi_partition,
+    bench_migration,
     bench_replicated_experiments,
     bench_full_sizes,
 );

@@ -28,6 +28,7 @@ pub mod spec;
 
 pub use partition::Partition;
 pub use router::{
-    ClusterView, EarliestStart, LeastLoaded, RerouteDecision, ReroutePolicy, Router, StaticAffinity,
+    ClusterView, EarliestStart, LeastLoaded, RerouteDecision, ReroutePolicy, Router,
+    RouterPlanCache, StaticAffinity,
 };
 pub use spec::{ClusterSpec, PartitionSpec};

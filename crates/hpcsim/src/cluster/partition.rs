@@ -30,6 +30,11 @@ pub struct Partition {
     /// here), so a driver that declines is never re-asked about the
     /// identical state.
     pub(crate) opportunity_armed: bool,
+    /// Mutation stamp: bumped whenever the queue, running set or free
+    /// count changes. Shared planning caches (the router's
+    /// [`super::RouterPlanCache`]) compare it to decide whether their
+    /// per-partition scratch state is still current.
+    pub(crate) version: u64,
 }
 
 impl Partition {
@@ -42,7 +47,19 @@ impl Partition {
             running: Vec::new(),
             needs_sort: false,
             opportunity_armed: true,
+            version: 1,
         }
+    }
+
+    /// Marks the partition's scheduling state as changed (see `version`).
+    pub(crate) fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// The current mutation stamp (never 0, so caches can use 0 as
+    /// "never built").
+    pub(crate) fn version(&self) -> u64 {
+        self.version
     }
 
     /// The partition's static description.
@@ -134,11 +151,16 @@ impl Partition {
     /// binary-search insert lands the job exactly where a full re-sort
     /// would. Time-dependent policies (WFP3) fall back to the deferred
     /// full re-sort, as scores must be recomputed at the next pass anyway.
-    pub(crate) fn enqueue(&mut self, job: Job, policy: Policy, now: f64) {
+    ///
+    /// Returns the insertion position, or `None` on the deferred-sort
+    /// path (the caller's planner needs to know where positional
+    /// alignment changed).
+    pub(crate) fn enqueue(&mut self, job: Job, policy: Policy, now: f64) -> Option<usize> {
+        self.touch();
         if policy.time_dependent() || self.needs_sort {
             self.queue.push(job);
             self.needs_sort = true;
-            return;
+            return None;
         }
         let pos = self.queue.partition_point(|q| {
             policy
@@ -149,6 +171,7 @@ impl Partition {
                 .is_lt()
         });
         self.queue.insert(pos, job);
+        Some(pos)
     }
 }
 

@@ -30,6 +30,7 @@ use crate::estimator::RuntimeEstimator;
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use swf::Job;
 
 /// When (if ever) the meta-scheduler revisits a waiting job's partition.
@@ -83,6 +84,123 @@ pub struct ClusterView<'a> {
     pub policy: Policy,
     /// Every partition's live state.
     pub parts: &'a [Partition],
+    /// Shared planning scratch for [`EarliestStart`] estimates, reused
+    /// across every candidate of a routing/re-routing batch. `None`
+    /// (standalone views, tests) computes each estimate from scratch —
+    /// the two paths are bitwise identical (asserted against each other
+    /// in debug builds).
+    pub plans: Option<&'a RouterPlanCache>,
+}
+
+/// Per-partition scratch shared by [`EarliestStart`] estimates within a
+/// routing batch: the partition's release profile, its policy-sorted
+/// queue, and the conservative reservation chain over that order —
+/// extended lazily rank by rank and rewound exactly (usage removal is
+/// bitwise) as candidates of different ranks are evaluated.
+///
+/// Rebuilt per partition whenever the partition's mutation stamp or the
+/// batch time moves, reusing the allocations (profile buckets, sort and
+/// chain buffers). Owned by `state::Simulation`, handed to routers
+/// through [`ClusterView::plans`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterPlanCache {
+    parts: RefCell<Vec<PartRouterPlan>>,
+}
+
+impl RouterPlanCache {
+    /// An empty cache; entries materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PartRouterPlan {
+    /// `Partition::version` this entry reflects; 0 = never built.
+    stamp: u64,
+    /// Batch time this entry reflects.
+    now: f64,
+    estimator: RuntimeEstimator,
+    /// The policy `sorted`/`chain` were built under.
+    policy: Policy,
+    /// The partition queue in policy order.
+    sorted: Vec<Job>,
+    /// Conservative reservation chain over `sorted`, extended lazily;
+    /// `chain[r]` only depends on `sorted[..r]`, so it stays valid when
+    /// the applied depth is rewound.
+    chain: Vec<ChainLink>,
+    /// How many chain links are currently applied to `profile`.
+    depth: usize,
+    /// Release profile + the usages of `chain[..depth]`.
+    profile: AvailabilityProfile,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChainLink {
+    start: f64,
+    est: f64,
+    procs: u32,
+}
+
+impl Default for PartRouterPlan {
+    fn default() -> Self {
+        Self {
+            stamp: 0,
+            now: f64::NAN,
+            estimator: RuntimeEstimator::RequestTime,
+            policy: Policy::Fcfs,
+            sorted: Vec::new(),
+            chain: Vec::new(),
+            depth: 0,
+            profile: AvailabilityProfile::new(0.0, 0),
+        }
+    }
+}
+
+impl PartRouterPlan {
+    fn rebuild(&mut self, p: &Partition, now: f64, policy: Policy, estimator: RuntimeEstimator) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(p.queue());
+        policy.sort_queue(&mut self.sorted, now);
+        self.profile.reset(now, p.free());
+        for r in p.running() {
+            self.profile
+                .add_release((r.start + estimator.estimate(&r.job)).max(now), r.job.procs);
+        }
+        self.chain.clear();
+        self.depth = 0;
+        self.stamp = p.version();
+        self.now = now;
+        self.estimator = estimator;
+        self.policy = policy;
+    }
+
+    /// Moves the applied reservation-chain depth to exactly `rank`,
+    /// planning chain links on first need and retracting usages exactly
+    /// when rewinding.
+    fn seek(&mut self, rank: usize, now: f64, estimator: RuntimeEstimator) {
+        while self.depth > rank {
+            let l = self.chain[self.depth - 1];
+            self.profile.remove_usage(l.start, l.start + l.est, l.procs);
+            self.depth -= 1;
+        }
+        while self.depth < rank {
+            let r = self.depth;
+            if r == self.chain.len() {
+                let q = self.sorted[r];
+                let est = estimator.estimate(&q);
+                let start = self.profile.earliest_fit(q.procs, est, now);
+                self.chain.push(ChainLink {
+                    start,
+                    est,
+                    procs: q.procs,
+                });
+            }
+            let l = self.chain[r];
+            self.profile.add_usage(l.start, l.start + l.est, l.procs);
+            self.depth = r + 1;
+        }
+    }
 }
 
 impl ClusterView<'_> {
@@ -201,12 +319,82 @@ impl EarliestStart {
     /// partition (re-route estimation) is excluded by id so it is not
     /// planned against itself.
     ///
-    /// The copy + sort per evaluation is deliberate: outside WFP3
-    /// staleness the queue is already in policy order, so the adaptive
-    /// sort costs one O(Q) scan, and the copy is what lets this method
-    /// stay read-only over a shared [`ClusterView`] (the reroute pass
-    /// evaluates many candidates against the same live queues).
+    /// When the view carries a [`RouterPlanCache`] (every view the
+    /// simulation hands out), the release profile, the policy-sorted
+    /// queue and the reservation chain are **shared scratch**, rebuilt
+    /// once per partition per batch and re-wound/extended per candidate
+    /// instead of rebuilt per call; candidates evaluated in policy order
+    /// (the re-route pass's scan order) extend the chain monotonically.
+    /// Standalone views compute from scratch; both paths are bitwise
+    /// identical (cross-asserted in debug builds).
     pub fn estimated_start(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
+        if let Some(cache) = view.plans {
+            if let Some(t) = self.estimated_start_shared(job, view, i, cache) {
+                debug_assert_eq!(
+                    t.to_bits(),
+                    self.estimated_start_scratch(job, view, i).to_bits(),
+                    "shared-plan estimate diverged from scratch (job {}, partition {i})",
+                    job.id,
+                );
+                return t;
+            }
+        }
+        self.estimated_start_scratch(job, view, i)
+    }
+
+    /// The shared-scratch estimate. Returns `None` in one rare corner:
+    /// the candidate is queued on this partition and speed-rescaling
+    /// drift makes its stored copy rank *strictly ahead* of its
+    /// re-scaled self — the chain prefix would then wrongly include the
+    /// job's own reservation, so the caller falls back to scratch.
+    fn estimated_start_shared(
+        &self,
+        job: &Job,
+        view: &ClusterView<'_>,
+        i: usize,
+        cache: &RouterPlanCache,
+    ) -> Option<f64> {
+        let mut parts = cache.parts.borrow_mut();
+        if parts.len() < view.parts.len() {
+            parts.resize_with(view.parts.len(), Default::default);
+        }
+        let entry = &mut parts[i];
+        let p = &view.parts[i];
+        if entry.stamp != p.version()
+            || entry.now.to_bits() != view.now.to_bits()
+            || entry.estimator != self.estimator
+            || entry.policy != view.policy
+        {
+            entry.rebuild(p, view.now, view.policy, self.estimator);
+        }
+        let scaled = p.scale_job(*job);
+        // The candidate's rank: how many queued jobs outrank it. Its own
+        // stored copy (same id ⇒ the (score, submit, id) order makes them
+        // compare equal when the scores match bitwise) is naturally
+        // excluded from the strict-less count unless rescaling drift
+        // skewed the stored score lower — the fallback corner.
+        let rank = entry.sorted.partition_point(|q| {
+            view.policy
+                .score(q, view.now)
+                .total_cmp(&view.policy.score(&scaled, view.now))
+                .then(q.submit.total_cmp(&scaled.submit))
+                .then(q.id.cmp(&scaled.id))
+                .is_lt()
+        });
+        // At reference speed the stored copy is bitwise the candidate, so
+        // it compares equal and lands exactly at `rank` — no scan needed.
+        if p.speed() != 1.0 && entry.sorted[..rank].iter().any(|q| q.id == job.id) {
+            return None;
+        }
+        entry.seek(rank, view.now, self.estimator);
+        let est = self.estimator.estimate(&scaled);
+        Some(entry.profile.earliest_fit(scaled.procs, est, view.now))
+    }
+
+    /// The from-scratch estimate: fresh profile, fresh policy-sorted
+    /// queue copy, fresh reservation chain — the pre-sharing semantics
+    /// both paths are pinned to.
+    fn estimated_start_scratch(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
         let p = &view.parts[i];
         let mut prof = AvailabilityProfile::new(view.now, p.free());
         for r in p.running() {
@@ -319,6 +507,7 @@ mod tests {
             now: 0.0,
             policy: Policy::Fcfs,
             parts,
+            plans: None,
         }
     }
 
@@ -403,6 +592,7 @@ mod tests {
             now: 0.0,
             policy: Policy::Sjf,
             parts: &parts,
+            plans: None,
         };
         let r = EarliestStart::default();
         let candidate = job(9, 1, 10.0);

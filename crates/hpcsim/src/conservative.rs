@@ -6,50 +6,31 @@
 //! This trades backfilling aggressiveness for predictability, and is the
 //! classic comparison point the paper's related-work section cites.
 //!
-//! Implementation: at every scheduling pass we rebuild the reservation plan
-//! from scratch against the current estimated availability profile
-//! (plan-ahead conservative). Jobs whose planned start is *now* are started.
+//! Implementation: planning is delegated to
+//! [`BackfillSim::plan_conservative_starts`] — the kernel engine repairs
+//! its persistent per-partition reservation plan incrementally (see
+//! [`crate::plan`]), the seed reference engine re-derives the plan from
+//! scratch; both return the same start set bitwise. Jobs whose planned
+//! start is *now* are started.
 
 use crate::estimator::RuntimeEstimator;
-use crate::profile::AvailabilityProfile;
 use crate::state::BackfillSim;
-
-/// Time slack when deciding whether a planned start is "now".
-const EPS: f64 = 1e-9;
 
 /// Runs one conservative backfilling pass at the current opportunity.
 /// Returns the number of jobs started early. Generic over [`BackfillSim`]
 /// (kernel and reference engines share this pass).
 pub fn conservative_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimator) -> usize {
-    let now = sim.now();
-    let mut prof = AvailabilityProfile::new(now, sim.free_procs());
-    for r in sim.running() {
-        let est_end = (r.start + estimator.estimate(&r.job)).max(now);
-        prof.add_release(est_end, r.job.procs);
-    }
-
-    // Plan reservations in queue (priority) order; collect the job ids that
-    // can start immediately without disturbing earlier reservations.
-    let mut start_now = Vec::new();
-    for (i, job) in sim.queue().iter().enumerate() {
-        let est = estimator.estimate(job);
-        let t = prof.earliest_fit(job.procs, est, now);
-        debug_assert!(t.is_finite(), "every queued job fits an empty cluster");
-        prof.add_usage(t, t + est, job.procs);
-        // Index 0 is the reserved head job: if it could start now the
-        // simulator would have started it already, so only later jobs
-        // (true backfills) are collected.
-        if i > 0 && t <= now + EPS {
-            start_now.push(job.id);
-        }
-    }
-
+    // Plan-time queue positions, ascending and head-free. Each successful
+    // backfill removes one job ahead of every later position, so the live
+    // index is the planned position minus the starts so far — no rescans
+    // of the queue per started job.
+    let starts = sim.plan_conservative_starts(estimator);
     let mut started = 0;
-    for id in start_now {
-        if let Some(idx) = sim.queue().iter().position(|j| j.id == id) {
-            if idx > 0 && sim.backfill(idx).is_ok() {
-                started += 1;
-            }
+    for pos in starts {
+        let idx = pos - started;
+        debug_assert!(idx > 0, "the reserved head is never in the start set");
+        if sim.backfill(idx).is_ok() {
+            started += 1;
         }
     }
     started

@@ -17,7 +17,6 @@
 
 use crate::estimator::RuntimeEstimator;
 use crate::policy::Policy;
-use crate::profile::AvailabilityProfile;
 use crate::state::BackfillSim;
 
 /// Runs one EASY backfilling pass at the current opportunity, scanning the
@@ -42,20 +41,13 @@ pub fn easy_pass_with_order<S: BackfillSim>(
     estimator: RuntimeEstimator,
     order: Policy,
 ) -> usize {
-    let Some(&reserved) = sim.reserved_job() else {
+    let now = sim.now();
+    // Shadow time and extra processors of the reserved job, from the
+    // engine's release profile (the kernel engine keeps it persistent —
+    // see `crate::plan` — the reference engine rebuilds from scratch).
+    let Some((shadow, mut extra)) = sim.shadow_extra(estimator) else {
         return 0;
     };
-    let now = sim.now();
-
-    // Estimated availability profile of the running jobs.
-    let mut prof = AvailabilityProfile::new(now, sim.free_procs());
-    for r in sim.running() {
-        let est_end = (r.start + estimator.estimate(&r.job)).max(now);
-        prof.add_release(est_end, r.job.procs);
-    }
-    let shadow = prof.earliest_avail(reserved.procs);
-    // Processors still free at the shadow time after the reserved job starts.
-    let mut extra = (prof.avail_at(shadow) - reserved.procs as i64).max(0) as u32;
 
     let mut backfilled = 0;
     loop {
@@ -94,19 +86,13 @@ pub fn easy_pass_with_order<S: BackfillSim>(
 
 /// The reserved job's shadow time and extra-processor count under the given
 /// estimator — exposed for tests, observation encodings and diagnostics.
+/// Always computed from scratch (read-only access); the scheduling pass
+/// itself goes through [`BackfillSim::shadow_extra`].
 pub fn shadow_and_extra<S: BackfillSim>(
     sim: &S,
     estimator: RuntimeEstimator,
 ) -> Option<(f64, u32)> {
-    let reserved = sim.reserved_job()?;
-    let mut prof = AvailabilityProfile::new(sim.now(), sim.free_procs());
-    for r in sim.running() {
-        let est_end = (r.start + estimator.estimate(&r.job)).max(sim.now());
-        prof.add_release(est_end, r.job.procs);
-    }
-    let shadow = prof.earliest_avail(reserved.procs);
-    let extra = (prof.avail_at(shadow) - reserved.procs as i64).max(0) as u32;
-    Some((shadow, extra))
+    crate::plan::from_scratch_shadow_extra(sim, estimator)
 }
 
 #[cfg(test)]

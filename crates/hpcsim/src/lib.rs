@@ -48,6 +48,7 @@ pub mod conservative;
 pub mod easy;
 pub mod estimator;
 pub mod metrics;
+pub mod plan;
 pub mod policy;
 pub mod profile;
 pub mod reference;

@@ -9,43 +9,111 @@
 //! # Representation
 //!
 //! The seed implementation kept an unsorted `(time, delta)` list and
-//! answered every query by re-summing it — `O(n)` per `avail_at`, which
-//! made `earliest_fit` quadratic and a conservative pass cubic. This
-//! version maintains a **sorted interval timeline**: edges are merged into
-//! a time-sorted list with running prefix availability, kept incrementally
-//! on insert (`O(n)` memmove, cheap for scheduling queue depths). Queries
-//! then run on the closed form:
+//! answered every query by re-summing it; PR 1 replaced it with a sorted
+//! `Vec` of edges carrying a running prefix availability — `O(log n)`
+//! point queries, but `O(n)` per insert (memmove plus a suffix update of
+//! every later edge's stored availability) and an `O(n)` shortfall sweep
+//! per `earliest_fit`, which kept a conservative pass quadratic in queue
+//! depth.
 //!
-//! * [`AvailabilityProfile::avail_at`] — binary search, `O(log n)`;
-//! * [`AvailabilityProfile::earliest_fit`] — one sweep over candidate
-//!   start times with a precomputed "next shortfall" index, `O(n log n)`
-//!   instead of `O(n²)`.
+//! This version is an **edge timeline**: edges live in time-ordered
+//! buckets of bounded width, each bucket carrying its delta sum and the
+//! min/max of its internal prefix availability. That turns every
+//! operation into "locate bucket + touch one bucket + scan bucket
+//! summaries":
+//!
+//! * insert/remove — `O(log n)` bucket location plus an `O(B)` rewrite of
+//!   one bucket (`B` = bucket width, a constant), with occasional bucket
+//!   splits; no suffix updates ever;
+//! * [`AvailabilityProfile::avail_at`] — one pass over bucket summaries
+//!   plus a binary search in the boundary bucket;
+//! * [`AvailabilityProfile::earliest_fit`] — a candidate/shortfall cursor
+//!   walk that **skips whole buckets** whose prefix-availability range
+//!   rules them out, instead of materializing a shortfall list per query.
+//!
+//! Edges are **reference-counted**: profiles now support exact removal
+//! ([`AvailabilityProfile::remove_release`] /
+//! [`AvailabilityProfile::remove_usage`]) so a long-lived profile can be
+//! maintained incrementally as jobs start, finish and migrate (see
+//! `crate::plan`), instead of being rebuilt from the running set at every
+//! decision point. A merged edge whose contributions all went away is
+//! dropped outright (it must stop being an `earliest_fit` candidate); a
+//! merged edge that still has live contributions survives even when its
+//! net delta is zero — exactly the edge set a from-scratch rebuild over
+//! the live contributions would produce.
 //!
 //! Query *semantics* are identical to the seed (same candidate instants,
 //! same strict/inclusive comparisons, same float arithmetic), which the
-//! property suite (`tests/proptest_profile.rs`) and the equivalence suite
-//! pin down.
+//! differential property suite (`tests/proptest_profile.rs`, pinning this
+//! implementation against a retained naive reference) and the equivalence
+//! suite pin down.
+
+/// Target bucket width. Buckets split once they reach `2 * BUCKET_WIDTH`
+/// edges; they are never re-merged (a bucket that empties is removed).
+const BUCKET_WIDTH: usize = 64;
 
 /// A piecewise-constant availability timeline starting at `now`.
 ///
-/// Internally a time-sorted list of merged `(time, delta, avail_after)`
-/// edges over a baseline of `free` processors. Deltas are integers, so
-/// availability values are exact (no float accumulation error) and
-/// independent of insertion order.
+/// Internally a bucketed, time-sorted list of merged
+/// `(time, delta, refs)` edges over a baseline of `free` processors.
+/// Deltas are integers, so availability values are exact (no float
+/// accumulation error) and independent of insertion order.
 #[derive(Debug, Clone)]
 pub struct AvailabilityProfile {
     now: f64,
     free: i64,
-    /// Sorted by time; `avail` is the availability at and after this edge
-    /// (until the next edge).
-    edges: Vec<Edge>,
+    /// Non-empty buckets, globally sorted by time.
+    buckets: Vec<Bucket>,
+    /// Retired edge storage, reused when a new bucket is needed — the
+    /// allocation-reuse half of `reset`.
+    spare: Vec<Edge>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Edge {
     time: f64,
+    /// Net delta of all live contributions merged at this time.
     delta: i64,
-    avail: i64,
+    /// Prefix sum of deltas within the bucket, up to and including this
+    /// edge. Availability at this edge = baseline + sum of earlier
+    /// buckets' `sum` + `prefix`.
+    prefix: i64,
+    /// Live contributions merged at this time; the edge is dropped when
+    /// it reaches zero.
+    refs: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    edges: Vec<Edge>,
+    /// Sum of all deltas in this bucket.
+    sum: i64,
+    /// Minimum of `prefix` over the bucket's edges.
+    min_prefix: i64,
+    /// Maximum of `prefix` over the bucket's edges.
+    max_prefix: i64,
+}
+
+impl Bucket {
+    /// Recomputes `prefix` for every edge and the bucket summaries.
+    fn refresh(&mut self) {
+        let mut sum = 0;
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for e in &mut self.edges {
+            sum += e.delta;
+            e.prefix = sum;
+            min = min.min(sum);
+            max = max.max(sum);
+        }
+        self.sum = sum;
+        self.min_prefix = min;
+        self.max_prefix = max;
+    }
+
+    fn last_time(&self) -> f64 {
+        self.edges.last().expect("buckets are never empty").time
+    }
 }
 
 impl AvailabilityProfile {
@@ -54,14 +122,94 @@ impl AvailabilityProfile {
         Self {
             now,
             free: free as i64,
-            edges: Vec::new(),
+            buckets: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
+    /// Empties the profile and rebases it at `now` with `free` baseline
+    /// processors, keeping one bucket's allocation for reuse — the
+    /// scratch-buffer path of the router's per-batch plan cache.
+    pub fn reset(&mut self, now: f64, free: u32) {
+        self.now = now;
+        self.free = free as i64;
+        if let Some(mut b) = self.buckets.pop() {
+            b.edges.clear();
+            self.spare = b.edges;
+        }
+        self.buckets.clear();
+    }
+
+    /// A fresh bucket backed by the spare allocation when available.
+    fn fresh_bucket(&mut self) -> Bucket {
+        let mut edges = std::mem::take(&mut self.spare);
+        edges.clear();
+        Bucket {
+            edges,
+            ..Bucket::default()
+        }
+    }
+
+    /// The profile's time origin.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Moves the time origin forward without touching the edges. Edges
+    /// now in the past keep contributing to availability at every
+    /// queryable instant and stop being `earliest_fit` candidates —
+    /// exactly the behavior of a from-scratch rebuild that clamps them
+    /// to `now` (pinned by the differential property suite).
+    pub fn advance_to(&mut self, now: f64) {
+        debug_assert!(now >= self.now, "profiles only move forward in time");
+        self.now = now;
+    }
+
+    /// Adjusts the baseline free-processor count by `delta` — how a
+    /// persistent profile tracks jobs claiming and releasing processors
+    /// *now* (future edges describe everything else).
+    pub fn shift_baseline(&mut self, delta: i64) {
+        self.free += delta;
+    }
+
+    /// The baseline free-processor count (availability before any edge).
+    pub fn baseline(&self) -> i64 {
+        self.free
+    }
+
+    /// Number of live (merged) edges.
+    pub fn edge_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.edges.len()).sum()
+    }
+
+    /// The merged `(time, delta)` edges in time order — exposed for the
+    /// differential tests and the planner's debug oracle.
+    pub fn edges(&self) -> impl Iterator<Item = (f64, i64)> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.edges.iter().map(|e| (e.time, e.delta)))
+    }
+
     /// Records that `procs` processors are released at `time` (a running
-    /// job's estimated completion).
+    /// job's estimated completion). Times before `now` are clamped.
     pub fn add_release(&mut self, time: f64, procs: u32) {
-        self.insert_edge(time.max(self.now), procs as i64);
+        self.insert_contrib(time.max(self.now), procs as i64);
+    }
+
+    /// Records a release at exactly `time` without clamping to `now` — the
+    /// persistent-planner insertion path: its removal recomputes the same
+    /// time from the same operands and must match the stored edge bitwise
+    /// even after the clock has passed it. Un-clamped past edges are
+    /// query-equivalent to clamped ones for every `not_before ≥ now`.
+    pub(crate) fn add_release_raw(&mut self, time: f64, procs: u32) {
+        self.insert_contrib(time, procs as i64);
+    }
+
+    /// Retracts a release previously recorded at exactly `time` (bitwise)
+    /// — the removal a persistent profile applies when the job actually
+    /// finishes. The caller must pass the post-clamp time it was added at.
+    pub fn remove_release(&mut self, time: f64, procs: u32) {
+        self.remove_contrib(time, procs as i64);
     }
 
     /// Records a planned occupation of `procs` processors on
@@ -71,50 +219,178 @@ impl AvailabilityProfile {
         if end <= start {
             return;
         }
-        self.insert_edge(start, -(procs as i64));
-        self.insert_edge(end, procs as i64);
+        self.insert_contrib(start, -(procs as i64));
+        self.insert_contrib(end, procs as i64);
     }
 
-    /// Merges a delta into the sorted edge list, updating the running
-    /// availability of every later edge.
-    fn insert_edge(&mut self, time: f64, delta: i64) {
+    /// Retracts a usage previously recorded with exactly these (bitwise)
+    /// post-clamp bounds — how a retired or invalidated reservation
+    /// leaves a persistent plan profile.
+    pub fn remove_usage(&mut self, start: f64, end: f64, procs: u32) {
+        if end <= start {
+            return;
+        }
+        self.remove_contrib(start, -(procs as i64));
+        self.remove_contrib(end, procs as i64);
+    }
+
+    /// Index of the bucket an edge at `time` belongs in: the first bucket
+    /// whose last edge is not before `time`, or the last bucket.
+    fn bucket_for(&self, time: f64) -> usize {
         let idx = self
+            .buckets
+            .partition_point(|b| b.last_time().total_cmp(&time).is_lt());
+        idx.min(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Merges one contribution into the timeline.
+    fn insert_contrib(&mut self, time: f64, delta: i64) {
+        if self.buckets.is_empty() {
+            let mut b = self.fresh_bucket();
+            b.edges.push(Edge {
+                time,
+                delta,
+                prefix: 0,
+                refs: 1,
+            });
+            b.refresh();
+            self.buckets.push(b);
+            return;
+        }
+        let bi = self.bucket_for(time);
+        let bucket = &mut self.buckets[bi];
+        let idx = bucket
             .edges
             .partition_point(|e| e.time.total_cmp(&time).is_lt());
-        let insert_at = if self.edges.get(idx).is_some_and(|e| e.time == time) {
-            self.edges[idx].delta += delta;
-            idx
+        if bucket.edges.get(idx).is_some_and(|e| e.time == time) {
+            bucket.edges[idx].delta += delta;
+            bucket.edges[idx].refs += 1;
         } else {
-            let avail_before = if idx == 0 {
-                self.free
-            } else {
-                self.edges[idx - 1].avail
-            };
-            self.edges.insert(
+            bucket.edges.insert(
                 idx,
                 Edge {
                     time,
                     delta,
-                    avail: avail_before,
+                    prefix: 0,
+                    refs: 1,
                 },
             );
-            idx
+        }
+        bucket.refresh();
+        if bucket.edges.len() >= 2 * BUCKET_WIDTH {
+            let tail = bucket.edges.split_off(BUCKET_WIDTH);
+            bucket.refresh();
+            let mut next = Bucket {
+                edges: tail,
+                ..Bucket::default()
+            };
+            next.refresh();
+            self.buckets.insert(bi + 1, next);
+        }
+    }
+
+    /// Retracts one contribution; the matching edge must exist at exactly
+    /// `time`. Edges with no remaining contributions are dropped (they
+    /// must stop being fit candidates), empty buckets with them.
+    fn remove_contrib(&mut self, time: f64, delta: i64) {
+        debug_assert!(!self.buckets.is_empty(), "removal from an empty profile");
+        let bi = self.bucket_for(time);
+        let bucket = &mut self.buckets[bi];
+        let idx = bucket
+            .edges
+            .partition_point(|e| e.time.total_cmp(&time).is_lt());
+        let Some(e) = bucket.edges.get_mut(idx).filter(|e| e.time == time) else {
+            debug_assert!(false, "no edge at t={time} to remove");
+            return;
         };
-        for e in &mut self.edges[insert_at..] {
-            e.avail += delta;
+        e.delta -= delta;
+        e.refs -= 1;
+        if e.refs == 0 {
+            debug_assert_eq!(e.delta, 0, "contribution accounting out of sync");
+            bucket.edges.remove(idx);
+        }
+        if bucket.edges.is_empty() {
+            let b = self.buckets.remove(bi);
+            self.spare = b.edges;
+        } else {
+            bucket.refresh();
         }
     }
 
     /// Availability just after `time` (edges at exactly `time` included).
     pub fn avail_at(&self, time: f64) -> i64 {
-        let idx = self
-            .edges
-            .partition_point(|e| e.time.total_cmp(&time).is_le());
-        if idx == 0 {
-            self.free
-        } else {
-            self.edges[idx - 1].avail
+        let mut base = self.free;
+        for b in &self.buckets {
+            if b.last_time().total_cmp(&time).is_le() {
+                base += b.sum;
+                continue;
+            }
+            let idx = b.edges.partition_point(|e| e.time.total_cmp(&time).is_le());
+            if idx > 0 {
+                base += b.edges[idx - 1].prefix;
+            }
+            return base;
         }
+        base
+    }
+
+    /// First edge strictly after `lower` whose availability meets
+    /// `demand`, with that availability — the next `earliest_fit`
+    /// candidate. Skips whole buckets whose availability range stays
+    /// below demand.
+    ///
+    /// Like [`Self::avail_at`], each call accumulates `base` by walking
+    /// the bucket summaries from the front — a tight scan over ~n/64
+    /// two-word structs, deliberately preferred over maintaining global
+    /// cumulative sums (which would put the suffix update back into
+    /// every insert). A fit blocked by many shortfalls repeats that
+    /// summary walk per shortfall; if that ever shows up in profiles,
+    /// resume the walk from the previous bucket index instead.
+    fn next_candidate_after(&self, lower: f64, demand: i64) -> Option<f64> {
+        let mut base = self.free;
+        for b in &self.buckets {
+            if b.last_time().total_cmp(&lower).is_le() {
+                base += b.sum;
+                continue;
+            }
+            if base + b.max_prefix >= demand {
+                let idx = b
+                    .edges
+                    .partition_point(|e| e.time.total_cmp(&lower).is_le());
+                for e in &b.edges[idx..] {
+                    if base + e.prefix >= demand {
+                        return Some(e.time);
+                    }
+                }
+            }
+            base += b.sum;
+        }
+        None
+    }
+
+    /// First edge strictly after `lower` whose availability falls below
+    /// `demand` — the next shortfall that can block a fit window. Skips
+    /// whole buckets whose availability range stays at or above demand.
+    fn next_shortfall_after(&self, lower: f64, demand: i64) -> Option<f64> {
+        let mut base = self.free;
+        for b in &self.buckets {
+            if b.last_time().total_cmp(&lower).is_le() {
+                base += b.sum;
+                continue;
+            }
+            if base + b.min_prefix < demand {
+                let idx = b
+                    .edges
+                    .partition_point(|e| e.time.total_cmp(&lower).is_le());
+                for e in &b.edges[idx..] {
+                    if base + e.prefix < demand {
+                        return Some(e.time);
+                    }
+                }
+            }
+            base += b.sum;
+        }
+        None
     }
 
     /// The earliest time ≥ `not_before` at which `procs` processors are
@@ -127,38 +403,31 @@ impl AvailabilityProfile {
     /// lies strictly inside `(start, start + duration)`. Returns
     /// `f64::INFINITY` if the demand can never be met (caller bug: demand
     /// exceeds the cluster).
+    ///
+    /// The walk advances two implicit cursors: a blocked candidate jumps
+    /// the search past the shortfall that blocked it (every candidate in
+    /// between is provably blocked by the same shortfall), so each query
+    /// touches a bucket's interior at most once per blocking shortfall.
     pub fn earliest_fit(&self, procs: u32, duration: f64, not_before: f64) -> f64 {
         let not_before = not_before.max(self.now);
         let demand = procs as i64;
 
-        // Shortfall edge times, already sorted (subset of a sorted list).
-        let shortfalls: Vec<f64> = self
-            .edges
-            .iter()
-            .filter(|e| e.avail < demand)
-            .map(|e| e.time)
-            .collect();
-
-        // Whether the window starting at `start` stays feasible: no
-        // shortfall edge strictly inside (start, start + duration).
-        let window_clear = |start: f64| -> bool {
-            let end = start + duration;
-            let next = shortfalls.partition_point(|&t| t.total_cmp(&start).is_le());
-            shortfalls.get(next).is_none_or(|&t| t >= end)
-        };
-
-        if self.avail_at(not_before) >= demand && window_clear(not_before) {
-            return not_before;
-        }
-        let first = self
-            .edges
-            .partition_point(|e| e.time.total_cmp(&not_before).is_le());
-        for e in &self.edges[first..] {
-            if e.avail >= demand && window_clear(e.time) {
-                return e.time;
+        let mut cand = Some(not_before).filter(|&c| self.avail_at(c) >= demand);
+        let mut lower = not_before;
+        loop {
+            let c = match cand.take() {
+                Some(c) => c,
+                None => match self.next_candidate_after(lower, demand) {
+                    Some(c) => c,
+                    None => return f64::INFINITY,
+                },
+            };
+            match self.next_shortfall_after(c, demand) {
+                None => return c,
+                Some(s) if s >= c + duration => return c,
+                Some(s) => lower = s,
             }
         }
-        f64::INFINITY
     }
 
     /// The earliest time ≥ `now` at which `procs` processors are available
@@ -224,6 +493,8 @@ mod tests {
         let mut p = AvailabilityProfile::new(0.0, 4);
         p.add_usage(10.0, 10.0, 4);
         assert_eq!(p.avail_at(10.0), 4);
+        p.remove_usage(10.0, 10.0, 4);
+        assert_eq!(p.edge_count(), 0);
     }
 
     #[test]
@@ -272,6 +543,115 @@ mod tests {
         for t in [
             0.0, 50.0, 99.9, 100.0, 300.0, 349.0, 350.0, 400.0, 409.0, 410.0, 500.0,
         ] {
+            assert_eq!(p.avail_at(t), brute(t), "at t={t}");
+        }
+    }
+
+    #[test]
+    fn removal_undoes_addition_exactly() {
+        let mut p = AvailabilityProfile::new(0.0, 8);
+        p.add_release(100.0, 4);
+        p.add_usage(50.0, 150.0, 6);
+        p.add_usage(50.0, 150.0, 2);
+        p.remove_usage(50.0, 150.0, 6);
+        assert_eq!(p.avail_at(50.0), 6);
+        assert_eq!(p.avail_at(100.0), 10);
+        p.remove_usage(50.0, 150.0, 2);
+        p.remove_release(100.0, 4);
+        assert_eq!(p.edge_count(), 0);
+        for t in [0.0, 50.0, 100.0, 150.0] {
+            assert_eq!(p.avail_at(t), 8, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn removal_keeps_surviving_breakpoints() {
+        // Release +4 and usage-start -4 merge to a zero-delta edge at
+        // t=100. Removing the usage must leave the release's breakpoint;
+        // removing the release too must drop the edge entirely.
+        let mut p = AvailabilityProfile::new(0.0, 4);
+        p.add_release(100.0, 4);
+        p.add_usage(100.0, 200.0, 4);
+        p.remove_usage(100.0, 200.0, 4);
+        assert_eq!(p.avail_at(100.0), 8);
+        assert_eq!(p.edge_count(), 1);
+        p.remove_release(100.0, 4);
+        assert_eq!(p.edge_count(), 0);
+    }
+
+    #[test]
+    fn stale_edges_behave_like_a_clamped_rebuild() {
+        // A release inserted in the future, then the clock moves past it:
+        // queries at or after the new `now` must see it exactly as if the
+        // profile had been rebuilt with the release clamped to `now`.
+        let mut p = AvailabilityProfile::new(0.0, 2);
+        p.add_release(100.0, 4);
+        p.add_release(500.0, 2);
+        p.advance_to(300.0);
+        let mut rebuilt = AvailabilityProfile::new(300.0, 2);
+        rebuilt.add_release(100.0, 4); // clamps to 300
+        rebuilt.add_release(500.0, 2);
+        for t in [300.0, 400.0, 500.0, 600.0] {
+            assert_eq!(p.avail_at(t), rebuilt.avail_at(t), "at t={t}");
+        }
+        assert_eq!(
+            p.earliest_fit(7, 10.0, 300.0),
+            rebuilt.earliest_fit(7, 10.0, 300.0)
+        );
+        assert_eq!(p.earliest_fit(6, 10.0, 300.0), 300.0);
+    }
+
+    #[test]
+    fn baseline_shift_tracks_starts_and_completions() {
+        let mut p = AvailabilityProfile::new(0.0, 8);
+        // A job claims 6 procs now, releasing at t=100.
+        p.shift_baseline(-6);
+        p.add_release(100.0, 6);
+        assert_eq!(p.avail_at(0.0), 2);
+        assert_eq!(p.avail_at(100.0), 8);
+        // It completes exactly on time.
+        p.advance_to(100.0);
+        p.remove_release(100.0, 6);
+        p.shift_baseline(6);
+        assert_eq!(p.avail_at(100.0), 8);
+        assert_eq!(p.edge_count(), 0);
+    }
+
+    #[test]
+    fn reset_reuses_the_profile() {
+        let mut p = AvailabilityProfile::new(0.0, 4);
+        for i in 0..300 {
+            p.add_usage(i as f64, i as f64 + 10.0, 1);
+        }
+        p.reset(50.0, 16);
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p.avail_at(50.0), 16);
+        assert_eq!(p.earliest_fit(16, 10.0, 0.0), 50.0);
+    }
+
+    #[test]
+    fn bucket_splits_preserve_query_results() {
+        // Enough distinct edges to force several splits; compare against
+        // brute force at every edge time.
+        let mut p = AvailabilityProfile::new(0.0, 64);
+        let spec: Vec<(f64, f64, u32)> = (0..400)
+            .map(|i| {
+                let s = ((i * 37) % 1000) as f64;
+                (s, s + 5.0 + (i % 13) as f64, 1 + (i % 5) as u32)
+            })
+            .collect();
+        for &(s, e, c) in &spec {
+            p.add_usage(s, e, c);
+        }
+        let brute = |t: f64| -> i64 {
+            64 - spec
+                .iter()
+                .filter(|&&(s, e, _)| s <= t && t < e)
+                .map(|&(_, _, c)| c as i64)
+                .sum::<i64>()
+        };
+        for i in 0..1030 {
+            let t = i as f64;
             assert_eq!(p.avail_at(t), brute(t), "at t={t}");
         }
     }

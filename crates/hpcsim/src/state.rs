@@ -30,9 +30,12 @@
 //! `tests/event_equivalence.rs`; throughput is compared by the `kernel`
 //! criterion bench.
 
-use crate::cluster::{ClusterSpec, ClusterView, Partition, ReroutePolicy, Router, StaticAffinity};
+use crate::cluster::{
+    ClusterSpec, ClusterView, Partition, ReroutePolicy, Router, RouterPlanCache, StaticAffinity,
+};
+use crate::estimator::RuntimeEstimator;
+use crate::plan::Planner;
 use crate::policy::Policy;
-use crate::profile::AvailabilityProfile;
 use desim::{EventQueue, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -161,47 +164,88 @@ pub trait BackfillSim {
     fn reserved_job(&self) -> Option<&Job> {
         self.queue().first()
     }
+
+    /// Runs one conservative *planning* pass: (re-)derives the reservation
+    /// plan for the current queue and returns the queue positions
+    /// (ascending, head excluded) whose planned start is "now" — the jobs
+    /// the conservative pass should backfill.
+    ///
+    /// The default derivation is from scratch (the seed-pinned semantics);
+    /// engines with a persistent planner override it with incremental
+    /// suffix repair — bitwise the same plan, checked by the planner's
+    /// debug oracle and `tests/proptest_plan.rs`.
+    fn plan_conservative_starts(&mut self, estimator: RuntimeEstimator) -> Vec<usize> {
+        crate::plan::from_scratch_conservative_starts(self, estimator)
+    }
+
+    /// The EASY shadow time and extra-processor count for the reserved
+    /// job under `estimator`, or `None` with an empty queue. Default:
+    /// from scratch; the kernel engine serves it from its persistent
+    /// release profile.
+    fn shadow_extra(&mut self, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
+        crate::plan::from_scratch_shadow_extra(self, estimator)
+    }
 }
 
-macro_rules! impl_backfill_sim {
+macro_rules! forward_backfill_sim {
     ($ty:ty) => {
-        impl BackfillSim for $ty {
-            fn now(&self) -> f64 {
-                <$ty>::now(self)
-            }
-            fn free_procs(&self) -> u32 {
-                <$ty>::free_procs(self)
-            }
-            fn policy(&self) -> Policy {
-                <$ty>::policy(self)
-            }
-            fn queue(&self) -> &[Job] {
-                <$ty>::queue(self)
-            }
-            fn running(&self) -> &[RunningJob] {
-                <$ty>::running(self)
-            }
-            fn advance(&mut self) -> SimEvent {
-                <$ty>::advance(self)
-            }
-            fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
-                <$ty>::backfill(self, queue_idx)
-            }
-            fn completed(&self) -> &[CompletedJob] {
-                <$ty>::completed(self)
-            }
-            fn dropped_jobs(&self) -> usize {
-                <$ty>::dropped_jobs(self)
-            }
-            fn migrations(&self) -> usize {
-                <$ty>::migrations(self)
-            }
+        fn now(&self) -> f64 {
+            <$ty>::now(self)
+        }
+        fn free_procs(&self) -> u32 {
+            <$ty>::free_procs(self)
+        }
+        fn policy(&self) -> Policy {
+            <$ty>::policy(self)
+        }
+        fn queue(&self) -> &[Job] {
+            <$ty>::queue(self)
+        }
+        fn running(&self) -> &[RunningJob] {
+            <$ty>::running(self)
+        }
+        fn advance(&mut self) -> SimEvent {
+            <$ty>::advance(self)
+        }
+        fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
+            <$ty>::backfill(self, queue_idx)
+        }
+        fn completed(&self) -> &[CompletedJob] {
+            <$ty>::completed(self)
+        }
+        fn dropped_jobs(&self) -> usize {
+            <$ty>::dropped_jobs(self)
+        }
+        fn migrations(&self) -> usize {
+            <$ty>::migrations(self)
         }
     };
 }
 
-impl_backfill_sim!(Simulation);
-impl_backfill_sim!(crate::reference::ReferenceSimulation);
+impl BackfillSim for Simulation {
+    forward_backfill_sim!(Simulation);
+
+    fn plan_conservative_starts(&mut self, estimator: RuntimeEstimator) -> Vec<usize> {
+        let p = self.active;
+        self.planner
+            .conservative_starts(&self.parts, p, estimator, self.now)
+    }
+
+    fn shadow_extra(&mut self, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
+        let reserved = *self.parts[self.active].queue.first()?;
+        Some(
+            self.planner
+                .shadow_extra(&self.parts, self.active, estimator, self.now, &reserved),
+        )
+    }
+}
+
+// The seed engine keeps the default from-scratch planning paths: it exists
+// to stay byte-equal to the seed behavior, and the kernel engine's
+// incremental planner is differentially tested against it.
+impl BackfillSim for crate::reference::ReferenceSimulation {
+    forward_backfill_sim!(crate::reference::ReferenceSimulation);
+}
 
 /// A kernel event: what happens at a scheduled instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,6 +292,16 @@ pub struct Simulation {
     /// Total queue migrations performed.
     migrations: usize,
     events: EventQueue<ClusterEvent>,
+    /// The persistent per-partition planning layer (see [`crate::plan`]):
+    /// long-lived availability profiles and reservation plans, updated
+    /// incrementally on every arrival/start/completion/migration instead
+    /// of rebuilt from `running()` at every decision point.
+    planner: Planner,
+    /// Shared scratch for router planning (see
+    /// [`crate::cluster::RouterPlanCache`]): per-partition release
+    /// profiles + policy-sorted reservation chains reused across the
+    /// candidates of a routing/re-routing batch.
+    router_cache: RouterPlanCache,
 }
 
 impl Simulation {
@@ -322,6 +376,8 @@ impl Simulation {
             moves: HashMap::new(),
             migrations: 0,
             events,
+            planner: Planner::new(),
+            router_cache: RouterPlanCache::new(),
         }
     }
 
@@ -486,35 +542,25 @@ impl Simulation {
             return Err(BackfillError::DoesNotFit);
         }
         let delays_reserved = self.would_delay_reserved(&job);
-        self.parts[self.active].queue.remove(queue_idx);
-        self.start_job(self.active, job);
-        self.parts[self.active].opportunity_armed = true;
+        let p = self.active;
+        self.parts[p].queue.remove(queue_idx);
+        self.parts[p].touch();
+        self.planner.on_start(p, queue_idx, &job, self.now);
+        self.start_job(p, job);
+        self.parts[p].opportunity_armed = true;
         Ok(BackfillOutcome { delays_reserved })
     }
 
-    /// Ground-truth availability profile of the active partition (actual
-    /// runtimes of its running jobs).
-    fn actual_profile(&self) -> AvailabilityProfile {
-        let part = &self.parts[self.active];
-        let mut prof = AvailabilityProfile::new(self.now, part.free);
-        for r in &part.running {
-            prof.add_release(r.end().max(self.now), r.job.procs);
-        }
-        prof
-    }
-
     /// Whether starting `job` now would push back the reserved job's
-    /// earliest possible start under ground-truth runtimes.
-    fn would_delay_reserved(&self, job: &Job) -> bool {
-        let Some(reserved) = self.reserved_job() else {
+    /// earliest possible start under ground-truth runtimes — answered by
+    /// the planner's persistent actual-runtime profile (a trial usage is
+    /// applied and exactly retracted).
+    fn would_delay_reserved(&mut self, job: &Job) -> bool {
+        let Some(&reserved) = self.parts[self.active].queue.first() else {
             return false;
         };
-        let prof = self.actual_profile();
-        let shadow_before = prof.earliest_avail(reserved.procs);
-        let mut after = prof;
-        after.add_usage(self.now, self.now + job.runtime, job.procs);
-        let shadow_after = after.earliest_avail(reserved.procs);
-        shadow_after > shadow_before + EPS
+        self.planner
+            .would_delay(&self.parts, self.active, job, reserved.procs, self.now)
     }
 
     /// Pops and applies every event due at the current instant (within the
@@ -547,6 +593,7 @@ impl Simulation {
                             now: self.now,
                             policy: self.policy,
                             parts: &self.parts,
+                            plans: Some(&self.router_cache),
                         },
                     );
                     debug_assert!(
@@ -557,7 +604,8 @@ impl Simulation {
                         self.parts[p].procs()
                     );
                     let scaled = self.parts[p].scale_job(job);
-                    self.parts[p].enqueue(scaled, self.policy, self.now);
+                    let pos = self.parts[p].enqueue(scaled, self.policy, self.now);
+                    self.planner.on_enqueue(p, pos);
                     if let Some(next) = self.arrivals.get(idx + 1) {
                         self.events.schedule(
                             SimTime::new(next.submit).max(self.events.now()),
@@ -565,8 +613,8 @@ impl Simulation {
                         );
                     }
                 }
-                ClusterEvent::Completion { part, job } => {
-                    let part = &mut self.parts[part];
+                ClusterEvent::Completion { part: p, job } => {
+                    let part = &mut self.parts[p];
                     let pos = part
                         .running
                         .iter()
@@ -574,7 +622,9 @@ impl Simulation {
                         .expect("completion event for a job not running");
                     let r = part.running.swap_remove(pos);
                     part.free += r.job.procs;
+                    part.touch();
                     debug_assert!(part.free <= part.procs(), "released more than claimed");
+                    self.planner.on_complete(p, &r, self.now);
                     self.completed.push(CompletedJob {
                         job: r.job,
                         start: r.start,
@@ -620,10 +670,12 @@ impl Simulation {
         // Establish policy order everywhere first, so "queue index 0" is
         // the policy head (the same sort `start_ready_jobs` would apply at
         // this instant — doing it here changes nothing downstream).
-        for part in &mut self.parts {
+        for (p, part) in self.parts.iter_mut().enumerate() {
             if part.needs_sort {
                 self.policy.sort_queue(&mut part.queue, self.now);
                 part.needs_sort = false;
+                part.touch();
+                self.planner.on_resort(p);
             }
         }
         let frozen: Vec<bool> = self.parts.iter().map(Self::has_opportunity).collect();
@@ -646,6 +698,7 @@ impl Simulation {
                     now: self.now,
                     policy: self.policy,
                     parts: &self.parts,
+                    plans: Some(&self.router_cache),
                 };
                 let decision = router.reroute(&reference, &view, p);
                 match decision {
@@ -658,8 +711,11 @@ impl Simulation {
                             self.parts[d.to].procs()
                         );
                         let job = self.parts[p].queue.remove(pos);
+                        self.parts[p].touch();
+                        self.planner.on_dequeue(p, pos);
                         let moved = self.parts[d.to].scale_job(self.parts[p].unscale_job(job));
-                        self.parts[d.to].enqueue(moved, self.policy, self.now);
+                        let to_pos = self.parts[d.to].enqueue(moved, self.policy, self.now);
+                        self.planner.on_enqueue(d.to, to_pos);
                         // Both queues changed: re-arm their opportunities
                         // (state-change semantics, same as a job start).
                         self.parts[p].opportunity_armed = true;
@@ -698,11 +754,14 @@ impl Simulation {
             if part.needs_sort {
                 self.policy.sort_queue(&mut part.queue, self.now);
                 part.needs_sort = false;
+                part.touch();
+                self.planner.on_resort(p);
             }
             while !self.parts[p].queue.is_empty()
                 && self.parts[p].queue[0].procs <= self.parts[p].free
             {
                 let job = self.parts[p].queue.remove(0);
+                self.planner.on_start(p, 0, &job, self.now);
                 self.start_job(p, job);
                 self.parts[p].opportunity_armed = true;
             }
@@ -716,6 +775,7 @@ impl Simulation {
             "start_job overcommits the partition"
         );
         part.free -= job.procs;
+        part.touch();
         part.running.push(RunningJob {
             job,
             start: self.now,
