@@ -179,6 +179,33 @@ fn bench_multi_partition(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_probe_overhead(c: &mut Criterion) {
+    // The zero-cost claim, measured: the same 10k-job run through the
+    // default `NoopProbe` (monomorphized away — must be indistinguishable
+    // from the pre-observability baseline) and through a counters-only
+    // `Recorder`. The Noop/Recorder gap is the price of telemetry; the
+    // Noop/baseline gap must stay ~0 (the CI floor enforces ≤2%).
+    let trace = TracePreset::Lublin1.generate(10_000, TRACE_SEED);
+    let mut group = c.benchmark_group("probe_overhead");
+    for (name, backfill) in [
+        ("easy", Backfill::Easy(RuntimeEstimator::RequestTime)),
+        (
+            "cons",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("noop", name), &trace, |b, t| {
+            b.iter(|| run_scheduler(black_box(t), Policy::Fcfs, backfill))
+        });
+        group.bench_with_input(BenchmarkId::new("recorder", name), &trace, |b, t| {
+            b.iter(|| {
+                run_scheduler_recorded(black_box(t), Policy::Fcfs, backfill, Recorder::default())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_replicated_experiments(c: &mut Criterion) {
     // The workload the kernel unlocks: N independent replications of a
     // whole experiment fanned out by desim's Replicator.
@@ -236,6 +263,7 @@ criterion_group!(
     bench_conservative_kernel_vs_seed,
     bench_multi_partition,
     bench_migration,
+    bench_probe_overhead,
     bench_replicated_experiments,
     bench_full_sizes,
 );

@@ -11,13 +11,22 @@
 //! cargo run -p bench --bin scenario -- run examples/scenarios/table3_fcfs.json
 //! cargo run -p bench --bin scenario -- run spec.json --out my_report
 //! cargo run -p bench --bin scenario -- run spec.json --stdout
+//! cargo run -p bench --bin scenario -- trace examples/scenarios/trace_demo.json
 //! cargo run -p bench --bin scenario -- examples [dir]   # (re)emit example specs
 //! ```
 //!
 //! `run` writes the uniform `RunReport` (or report list, for seeded
 //! specs) as pretty JSON under `results/` named after the spec file; the
 //! output is fully deterministic, so committed reports can be compared
-//! byte-for-byte (see `tests/scenario_reproduce.rs`).
+//! byte-for-byte (see `tests/scenario_reproduce.rs`). Everything
+//! human-facing (tables, progress, warnings) goes to **stderr**: with
+//! `--stdout`, stdout carries exactly one JSON document and nothing
+//! else, so the output can be piped into `jq` or another tool.
+//!
+//! `trace` executes a kernel spec with the span-tracing recorder and
+//! writes the phase spans as Chrome-trace JSON (load it in
+//! `chrome://tracing` or Perfetto). Exits nonzero if the run produced no
+//! spans — the CI trace smoke treats an empty trace as a broken probe.
 
 use bench::{report_table, write_reports, TRACE_SEED};
 use hpcsim::prelude::*;
@@ -82,17 +91,44 @@ fn example_specs() -> Vec<(&'static str, ScenarioSpec)> {
     .windows(3, 128, TRACE_SEED)
     .build();
 
+    // A spec that exercises every traced simulation phase in one run:
+    // conservative backfilling (conservative pass + backfill scan) on a
+    // 2-partition cluster with decision-point re-routing (reroute pass),
+    // at a size where the phase structure is visible in a profiler.
+    let trace_demo = ScenarioSpec::builder(TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts: 2,
+        jobs: 10_000,
+        seed: TRACE_SEED,
+    })
+    .platform(
+        Platform::from_layout(
+            &swf::table2_partitions(TracePreset::Lublin1, 2),
+            RouterSpec::LeastLoaded,
+        )
+        .rerouted(ReroutePolicy::AtDecisionPoints {
+            max_moves_per_job: 3,
+            min_gain_secs: 60.0,
+        }),
+    )
+    .policy(Policy::Fcfs)
+    .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+    .telemetry(true)
+    .build();
+
     vec![
         ("table3_fcfs", table3_fcfs),
         ("multi_partition_2p", multi_partition_2p),
         ("replicated_windows", replicated_windows),
         ("rl_smoke", rl_smoke),
+        ("trace_demo", trace_demo),
     ]
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario run <spec.json> [--out NAME] [--stdout]\n       scenario examples [dir]"
+        "usage: scenario run <spec.json> [--out NAME] [--stdout]\n       \
+         scenario trace <spec.json> [--out FILE]\n       scenario examples [dir]"
     );
     std::process::exit(2);
 }
@@ -217,6 +253,53 @@ fn main() {
                     write_reports(&out, &reports);
                 }
             }
+        }
+        Some("trace") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let spec = match ScenarioSpec::load(path) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let (report, recorder) = match hpcsim::scenario::run_recorded(&spec) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let spans = recorder.spans().len();
+            if spans == 0 {
+                eprintln!(
+                    "error: the run produced no spans — the probe is disconnected \
+                     (this is a bug, not an empty workload)"
+                );
+                std::process::exit(1);
+            }
+            let telemetry = report
+                .telemetry
+                .as_ref()
+                .expect("recorded runs always attach telemetry");
+            eprintln!(
+                "{}: {} jobs, {} events, {spans} spans across the simulation phases",
+                report.label, report.jobs, telemetry.events
+            );
+            let default_name = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "scenario".into());
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1).cloned())
+                .unwrap_or_else(|| format!("results/{default_name}_trace.json"));
+            if let Some(dir) = std::path::Path::new(&out).parent() {
+                std::fs::create_dir_all(dir).expect("can create the trace output dir");
+            }
+            std::fs::write(&out, recorder.chrome_trace_json()).expect("can write the trace file");
+            eprintln!("wrote {out} (open in chrome://tracing or Perfetto)");
         }
         Some("examples") => {
             let dir = std::path::PathBuf::from(

@@ -35,12 +35,18 @@
 //! * `--floor J` exits nonzero if any measured kernel row falls below `J`
 //!   jobs/sec — the CI perf smoke that keeps quadratic rebuilds from
 //!   silently returning.
+//! * `--telemetry` threads a [`Recorder`] probe through every timed run
+//!   (so `--floor` then gates the *instrumented* throughput — the CI
+//!   probe-overhead smoke runs the same floor with and without this
+//!   flag), prints the deterministic counters per size, and merges the
+//!   rows into `results/telemetry_scale.json` — the heap-depth and
+//!   bucket-scan distributions the calendar-queue roadmap item needs.
 
 use bench::{results_dir, write_json, TRACE_SEED};
 use hpcsim::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
-use swf::{TracePreset, TraceSource};
+use swf::{Trace, TracePreset, TraceSource};
 
 #[derive(Serialize)]
 struct Row {
@@ -53,6 +59,14 @@ struct Row {
     seed_ms: Option<f64>,
     seed_jobs_per_sec: Option<f64>,
     speedup: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct TelemetryRow {
+    trace: String,
+    jobs: usize,
+    backfill: String,
+    telemetry: Telemetry,
 }
 
 #[derive(Serialize)]
@@ -87,6 +101,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let migration = args.iter().any(|a| a == "--migration");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let backfill_filter = arg_value(&args, "--backfill").map(|s| s.to_ascii_lowercase());
     let jobs_override: Option<Vec<usize>> = arg_value(&args, "--jobs").map(|list| {
         list.split(',')
@@ -106,11 +121,14 @@ fn main() {
         .unwrap_or_default();
     let preset = TracePreset::Lublin1;
     let mut rows = Vec::new();
+    let mut telemetry_rows = Vec::new();
 
     // A backfill-filtered probe never refreshes bench_kernel.json (it
     // would drop the other backfill's committed rows); seed-baseline
-    // timing only serves that file, so filtered runs skip it too.
-    let filtered = backfill_filter.is_some();
+    // timing only serves that file, so filtered runs skip it too. A
+    // telemetry probe times the *instrumented* kernel path, so its rows
+    // must never clobber the committed uninstrumented grid either.
+    let filtered = backfill_filter.is_some() || telemetry;
     // A migration-only invocation (no explicit size grid) measures just
     // the migration scenarios: it must not rewrite the committed
     // bench_kernel.json grid with the small default sizes.
@@ -168,11 +186,32 @@ fn main() {
             };
             let kernel_spec = spec(Engine::Kernel);
             let seed_spec = spec(Engine::SeedNaive);
-            let k = time(reps, || {
-                std::hint::black_box(
-                    hpcsim::scenario::execute(&trace, &kernel_spec).expect("spec runs"),
-                );
-            });
+            let k = if telemetry {
+                time(reps, || {
+                    std::hint::black_box(
+                        hpcsim::scenario::execute_recorded(
+                            &trace,
+                            &kernel_spec,
+                            Recorder::default(),
+                        )
+                        .expect("spec runs"),
+                    );
+                })
+            } else {
+                time(reps, || {
+                    std::hint::black_box(
+                        hpcsim::scenario::execute(&trace, &kernel_spec).expect("spec runs"),
+                    );
+                })
+            };
+            if telemetry {
+                telemetry_rows.push(collect_telemetry(
+                    &trace,
+                    &kernel_spec,
+                    preset.name(),
+                    label,
+                ));
+            }
             let s = (seed_feasible && !filtered).then(|| {
                 time(reps.min(3), || {
                     std::hint::black_box(
@@ -249,6 +288,10 @@ fn main() {
         eprintln!("filtered probe: skipping the bench_kernel.json refresh");
     }
 
+    if !telemetry_rows.is_empty() {
+        write_telemetry_rows(&telemetry_rows);
+    }
+
     if migration {
         run_migration_rows(&phase, &backfills);
     }
@@ -264,12 +307,99 @@ fn main() {
             .iter()
             .map(|r| r.kernel_jobs_per_sec)
             .fold(f64::INFINITY, f64::min);
-        if worst < floor {
+        if !floor_passes(worst, floor) {
             eprintln!("PERF REGRESSION: slowest kernel row {worst:.0} jobs/s < floor {floor:.0}");
             std::process::exit(1);
         }
         println!("perf floor ok: slowest kernel row {worst:.0} jobs/s ≥ floor {floor:.0}");
     }
+}
+
+/// The `--floor` acceptance predicate, explicit about its boundary: a row
+/// **exactly at** the floor passes (`>=`), and a NaN measurement fails —
+/// the negated-`<` formulation this replaces silently passed NaN, which
+/// would have turned a broken measurement into a green CI gate.
+fn floor_passes(worst_jobs_per_sec: f64, floor: f64) -> bool {
+    worst_jobs_per_sec >= floor
+}
+
+/// One recorded (counters-only) run of `spec` over `trace`, reduced to a
+/// committed-artifact row. The schedule realized under the recorder is
+/// bitwise the uninstrumented one; only the telemetry is kept.
+fn collect_telemetry(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    trace_label: &str,
+    backfill: &str,
+) -> TelemetryRow {
+    let (_, rec) = hpcsim::scenario::execute_recorded(trace, spec, Recorder::default())
+        .expect("kernel spec runs recorded");
+    let t = rec.telemetry().clone();
+    eprintln!(
+        "{:>7} jobs {backfill}  telemetry: {} events (heap peak {} mean {:.1}), \
+         backfill {}/{} hits, {} repairs, {} fit calls / {} buckets",
+        trace.len(),
+        t.events,
+        t.heap_depth_peak,
+        t.heap_depth_mean(),
+        t.backfill_hits,
+        t.backfill_attempts,
+        t.plan_repairs.iter().map(|r| r.count).sum::<u64>(),
+        t.earliest_fit_calls,
+        t.earliest_fit_buckets_scanned,
+    );
+    TelemetryRow {
+        trace: trace_label.to_string(),
+        jobs: trace.len(),
+        backfill: backfill.to_string(),
+        telemetry: t,
+    }
+}
+
+/// Merges freshly measured telemetry rows into
+/// `results/telemetry_scale.json` by (trace, jobs, backfill) key: a
+/// partial probe (e.g. the CI 10k smoke) replaces only the cells it
+/// re-measured, so the committed 100k/1M distributions survive. The
+/// counters are deterministic, so a re-measured cell is byte-identical.
+fn write_telemetry_rows(rows: &[TelemetryRow]) {
+    fn key(row: &serde_json::Value) -> (String, u64, String) {
+        let field = |k: &str| -> serde_json::Value {
+            let serde_json::Value::Object(fields) = row else {
+                return serde_json::Value::Null;
+            };
+            fields
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(serde_json::Value::Null)
+        };
+        let as_str = |v: serde_json::Value| match v {
+            serde_json::Value::String(s) => s,
+            other => serde_json::to_string(&other).unwrap_or_default(),
+        };
+        let jobs = match field("jobs") {
+            serde_json::Value::Number(n) => n.as_f64() as u64,
+            _ => 0,
+        };
+        (as_str(field("trace")), jobs, as_str(field("backfill")))
+    }
+    let path = results_dir().join("telemetry_scale.json");
+    let mut merged: Vec<serde_json::Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Vec<serde_json::Value>>(&s).ok())
+        .unwrap_or_default();
+    let fresh: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            let json = serde_json::to_string(r).expect("row serializes");
+            serde_json::from_str(&json).expect("row round-trips")
+        })
+        .collect();
+    let fresh_keys: Vec<_> = fresh.iter().map(key).collect();
+    merged.retain(|r| !fresh_keys.contains(&key(r)));
+    merged.extend(fresh);
+    merged.sort_by_key(key);
+    write_json("telemetry_scale", &merged);
 }
 
 /// Times the decision-point migration scenarios (the `migration` bin's
@@ -368,4 +498,22 @@ fn run_migration_rows(phase: &str, backfills: &[(&str, Backfill)]) {
         )
     });
     write_json("bench_migration_perf", &merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::floor_passes;
+
+    #[test]
+    fn floor_boundary_is_inclusive_and_nan_fails() {
+        // Exactly at the floor passes; infinitesimally below fails.
+        assert!(floor_passes(60_000.0, 60_000.0));
+        assert!(!floor_passes(59_999.9, 60_000.0));
+        assert!(floor_passes(60_000.1, 60_000.0));
+        // A NaN measurement is a broken probe, never a green gate.
+        assert!(!floor_passes(f64::NAN, 60_000.0));
+        // Degenerate-but-defined edges.
+        assert!(floor_passes(f64::INFINITY, 60_000.0));
+        assert!(!floor_passes(f64::NEG_INFINITY, 60_000.0));
+    }
 }

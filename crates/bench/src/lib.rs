@@ -56,10 +56,13 @@ pub fn write_reports(name: &str, reports: &[RunReport]) {
 
 /// Prints reports as a table: canonical labels as row names (derived from
 /// each spec — bins never format their own), one column per selected
-/// metric of the first report.
+/// metric of the first report. Tables are **diagnostics** and go to
+/// stderr: stdout is reserved for machine-readable output (`scenario run
+/// … --stdout` pipes JSON), so a human-facing row must never interleave
+/// with it.
 pub fn report_table(title: &str, reports: &[RunReport]) {
     let Some(first) = reports.first() else {
-        println!("\n## {title}\n(no rows)");
+        eprintln!("\n## {title}\n(no rows)");
         return;
     };
     let mut header: Vec<&str> = vec!["scenario", "jobs"];
@@ -135,9 +138,10 @@ pub fn train_or_load_agent(preset: TracePreset, base: Policy, scale: &Scale) -> 
     agent
 }
 
-/// Renders a row-major table with a header.
+/// Renders a row-major table with a header — on stderr, like every other
+/// diagnostic (see [`report_table`]).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
+    eprintln!("\n## {title}\n");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -154,16 +158,16 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
+    eprintln!(
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!(
+    eprintln!(
         "{}",
         "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
     );
     for row in rows {
-        println!("{}", fmt_row(row));
+        eprintln!("{}", fmt_row(row));
     }
 }
 

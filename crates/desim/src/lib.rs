@@ -20,6 +20,9 @@
 //!   opportunities to heuristics and the RL agent).
 //! * [`Replicator`] — N independent replications with decorrelated
 //!   per-replication seeds, fanned out across OS threads.
+//! * [`KernelProbe`] — run-loop instrumentation: `run_with`/`step_with`
+//!   report each executed event's time and the heap depth to a probe;
+//!   the default [`NoopKernelProbe`] monomorphizes to the plain loop.
 //!
 //! # Determinism
 //!
@@ -52,11 +55,13 @@
 //! assert_eq!(sim.state().seen, 11); // t = 0, 1, …, 10
 //! ```
 
+mod probe;
 mod queue;
 mod replicate;
 mod sim;
 mod time;
 
+pub use probe::{EventCounter, KernelProbe, NoopKernelProbe};
 pub use queue::EventQueue;
 pub use replicate::{replication_seed, Replicator};
 pub use sim::{Event, SimState, Simulation};

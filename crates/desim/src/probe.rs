@@ -1,0 +1,114 @@
+//! Kernel-level instrumentation hook.
+//!
+//! [`KernelProbe`] observes the run loop itself: one call per executed
+//! event, carrying the execution time and the depth of the future-event
+//! list *after* the pop. [`Simulation::run_with`] and
+//! [`Simulation::step_with`](crate::Simulation::step_with) thread a probe
+//! through the loop; the plain `run`/`step` entry points pass
+//! [`NoopKernelProbe`], whose empty inline methods monomorphize away — the
+//! uninstrumented loop compiles to exactly the pre-probe code.
+//!
+//! The hook deliberately stays this small: higher-level simulators (the
+//! `hpcsim` decision-point engine) own richer probes over their domain
+//! events; the kernel only knows times and heap depths.
+
+use crate::time::SimTime;
+
+/// Observer of the kernel run loop. All methods default to empty inline
+/// bodies, so an unused hook costs nothing after monomorphization.
+pub trait KernelProbe {
+    /// Called after each executed event with its execution time and the
+    /// number of events still pending.
+    #[inline]
+    fn on_execute(&mut self, _time: SimTime, _pending: usize) {}
+}
+
+/// The do-nothing probe: `run`/`step` use it, and generic drivers can
+/// default to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopKernelProbe;
+
+impl KernelProbe for NoopKernelProbe {}
+
+/// A minimal recording probe: event count plus peak and cumulative
+/// heap depth (mean depth = `depth_sum / events`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounter {
+    /// Events executed.
+    pub events: u64,
+    /// Largest pending-event count observed after any pop.
+    pub peak_depth: u64,
+    /// Sum of pending-event counts over all pops.
+    pub depth_sum: u64,
+}
+
+impl EventCounter {
+    /// Mean pending-event count per executed event (0 if nothing ran).
+    pub fn mean_depth(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.events as f64
+        }
+    }
+}
+
+impl KernelProbe for EventCounter {
+    #[inline]
+    fn on_execute(&mut self, _time: SimTime, pending: usize) {
+        self.events += 1;
+        self.peak_depth = self.peak_depth.max(pending as u64);
+        self.depth_sum += pending as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::sim::{Event, SimState, Simulation};
+
+    struct Chain(usize);
+
+    impl SimState for Chain {}
+
+    struct Hop;
+
+    impl Event<Chain> for Hop {
+        fn execute(self, s: &mut Chain, q: &mut EventQueue<Self>) {
+            if s.0 > 0 {
+                s.0 -= 1;
+                q.schedule_in(1.0, Hop);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_sees_every_event_and_tracks_depth() {
+        // Three events pre-scheduled, no follow-ups: the probe observes
+        // the heap draining 2 → 1 → 0 after the pops.
+        let mut sim = Simulation::new(Chain(0));
+        for t in [1.0, 2.0, 3.0] {
+            sim.queue_mut().schedule(crate::SimTime::new(t), Hop);
+        }
+        let mut probe = EventCounter::default();
+        let executed = sim.run_with(&mut probe);
+        assert_eq!(executed, 3);
+        assert_eq!(probe.events, 3);
+        assert_eq!(probe.peak_depth, 2);
+        assert_eq!(probe.depth_sum, 3);
+        assert_eq!(probe.mean_depth(), 1.0);
+    }
+
+    #[test]
+    fn run_with_noop_matches_plain_run() {
+        let mut a = Simulation::new(Chain(7));
+        a.queue_mut().schedule(crate::SimTime::ZERO, Hop);
+        let mut b = Simulation::new(Chain(7));
+        b.queue_mut().schedule(crate::SimTime::ZERO, Hop);
+        let plain = a.run();
+        let probed = b.run_with(&mut NoopKernelProbe);
+        assert_eq!(plain, probed);
+        assert_eq!(a.now(), b.now());
+    }
+}

@@ -1,5 +1,6 @@
 //! The execution contract and run loop.
 
+use crate::probe::{KernelProbe, NoopKernelProbe};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -76,7 +77,15 @@ impl<S: SimState, E: Event<S>> Simulation<S, E> {
 
     /// Executes the next event, if any. Returns its execution time.
     pub fn step(&mut self) -> Option<SimTime> {
+        self.step_with(&mut NoopKernelProbe)
+    }
+
+    /// [`Simulation::step`] with a [`KernelProbe`] observing the pop:
+    /// the probe sees the execution time and the pending count after the
+    /// pop (before the event schedules follow-ups).
+    pub fn step_with<P: KernelProbe>(&mut self, probe: &mut P) -> Option<SimTime> {
         let (time, event) = self.queue.pop()?;
+        probe.on_execute(time, self.queue.len());
         event.execute(&mut self.state, &mut self.queue);
         Some(time)
     }
@@ -84,6 +93,13 @@ impl<S: SimState, E: Event<S>> Simulation<S, E> {
     /// Runs until the state reports completion or the queue runs dry.
     /// Returns the number of events executed.
     pub fn run(&mut self) -> usize {
+        self.run_with(&mut NoopKernelProbe)
+    }
+
+    /// [`Simulation::run`] with a [`KernelProbe`] observing every executed
+    /// event. `run` itself passes [`NoopKernelProbe`], whose empty inline
+    /// hooks compile away — the plain loop is unchanged.
+    pub fn run_with<P: KernelProbe>(&mut self, probe: &mut P) -> usize {
         let mut executed = 0;
         loop {
             if let Some(next) = self.queue.peek_time() {
@@ -91,7 +107,7 @@ impl<S: SimState, E: Event<S>> Simulation<S, E> {
                     return executed;
                 }
             }
-            if self.step().is_none() {
+            if self.step_with(probe).is_none() {
                 return executed;
             }
             executed += 1;

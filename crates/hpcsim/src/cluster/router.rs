@@ -27,10 +27,11 @@
 
 use super::partition::Partition;
 use crate::estimator::RuntimeEstimator;
+use crate::observe::{ProfileStats, RouterStats};
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use swf::Job;
 
 /// When (if ever) the meta-scheduler revisits a waiting job's partition.
@@ -105,12 +106,38 @@ pub struct ClusterView<'a> {
 #[derive(Debug, Clone, Default)]
 pub struct RouterPlanCache {
     parts: RefCell<Vec<PartRouterPlan>>,
+    /// Passive reuse/rebuild counters (see [`crate::observe`]); only the
+    /// shared-plan path increments them, so debug builds (whose oracle
+    /// calls the scratch path directly) count the same as release.
+    stats: Cell<RouterStats>,
 }
 
 impl RouterPlanCache {
     /// An empty cache; entries materialize on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A snapshot of the cache's passive counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats.get()
+    }
+
+    /// Sums the passive profile counters of every cached per-partition
+    /// plan (the cache's profiles accumulate across rebuilds — `reset`
+    /// keeps stats — so this is the cache's whole history).
+    pub fn profile_stats(&self) -> ProfileStats {
+        let mut total = ProfileStats::default();
+        for entry in self.parts.borrow().iter() {
+            total.absorb(&entry.profile.stats());
+        }
+        total
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut RouterStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 }
 
@@ -329,6 +356,7 @@ impl EarliestStart {
     /// identical (cross-asserted in debug builds).
     pub fn estimated_start(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
         if let Some(cache) = view.plans {
+            cache.bump(|s| s.candidate_evals += 1);
             if let Some(t) = self.estimated_start_shared(job, view, i, cache) {
                 debug_assert_eq!(
                     t.to_bits(),
@@ -338,6 +366,7 @@ impl EarliestStart {
                 );
                 return t;
             }
+            cache.bump(|s| s.scratch_fallbacks += 1);
         }
         self.estimated_start_scratch(job, view, i)
     }
@@ -366,6 +395,9 @@ impl EarliestStart {
             || entry.policy != view.policy
         {
             entry.rebuild(p, view.now, view.policy, self.estimator);
+            cache.bump(|s| s.plan_rebuilds += 1);
+        } else {
+            cache.bump(|s| s.plan_reuses += 1);
         }
         let scaled = p.scale_job(*job);
         // The candidate's rank: how many queued jobs outrank it. Its own

@@ -14,6 +14,7 @@
 //! start is *now* are started.
 
 use crate::estimator::RuntimeEstimator;
+use crate::observe::Phase;
 use crate::state::BackfillSim;
 
 /// Runs one conservative backfilling pass at the current opportunity.
@@ -24,7 +25,10 @@ pub fn conservative_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimato
     // backfill removes one job ahead of every later position, so the live
     // index is the planned position minus the starts so far — no rescans
     // of the queue per started job.
+    sim.phase_begin(Phase::ConservativePass);
     let starts = sim.plan_conservative_starts(estimator);
+    sim.phase_end(Phase::ConservativePass);
+    sim.phase_begin(Phase::BackfillScan);
     let mut started = 0;
     for pos in starts {
         let idx = pos - started;
@@ -33,6 +37,7 @@ pub fn conservative_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimato
             started += 1;
         }
     }
+    sim.phase_end(Phase::BackfillScan);
     started
 }
 

@@ -42,10 +42,12 @@ pub fn easy_pass_with_order<S: BackfillSim>(
     order: Policy,
 ) -> usize {
     let now = sim.now();
+    sim.phase_begin(crate::observe::Phase::BackfillScan);
     // Shadow time and extra processors of the reserved job, from the
     // engine's release profile (the kernel engine keeps it persistent —
     // see `crate::plan` — the reference engine rebuilds from scratch).
     let Some((shadow, mut extra)) = sim.shadow_extra(estimator) else {
+        sim.phase_end(crate::observe::Phase::BackfillScan);
         return 0;
     };
 
@@ -81,6 +83,7 @@ pub fn easy_pass_with_order<S: BackfillSim>(
         }
         backfilled += 1;
     }
+    sim.phase_end(crate::observe::Phase::BackfillScan);
     backfilled
 }
 

@@ -48,6 +48,7 @@ pub mod conservative;
 pub mod easy;
 pub mod estimator;
 pub mod metrics;
+pub mod observe;
 pub mod plan;
 pub mod policy;
 pub mod profile;
@@ -63,15 +64,17 @@ pub use cluster::{
 };
 pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
+pub use observe::{NoopProbe, Phase, Probe, Recorder, Telemetry};
 pub use policy::Policy;
 pub use runner::{
-    run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, Backfill, ScheduleResult,
+    run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, run_scheduler_on_rerouted_recorded,
+    run_scheduler_recorded, Backfill, ScheduleResult,
 };
 pub use scenario::{
     AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport, ScenarioBuilder,
     ScenarioError, ScenarioSpec, SchedulerSpec,
 };
-pub use state::{BackfillSim, SimEvent, Simulation};
+pub use state::{BackfillSim, ProbedSimulation, SimEvent, Simulation};
 
 /// Convenient glob import for simulator users.
 pub mod prelude {
@@ -81,9 +84,11 @@ pub mod prelude {
     };
     pub use crate::estimator::RuntimeEstimator;
     pub use crate::metrics::Metrics;
+    pub use crate::observe::{NoopProbe, Probe, Recorder, Telemetry};
     pub use crate::policy::Policy;
     pub use crate::runner::{
-        run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, Backfill, ScheduleResult,
+        run_scheduler, run_scheduler_on, run_scheduler_on_rerouted,
+        run_scheduler_on_rerouted_recorded, run_scheduler_recorded, Backfill, ScheduleResult,
     };
     pub use crate::scenario::{
         self, AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport,

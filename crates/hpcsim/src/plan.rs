@@ -49,6 +49,7 @@
 
 use crate::cluster::Partition;
 use crate::estimator::RuntimeEstimator;
+use crate::observe::{PlanStats, ProfileStats, RepairCause};
 use crate::profile::AvailabilityProfile;
 use crate::state::BackfillSim;
 use swf::Job;
@@ -84,6 +85,9 @@ struct ConsPlan {
     plan: Vec<PlanEntry>,
     /// First queue position whose reservation must be re-derived.
     dirty_from: usize,
+    /// Most disruptive invalidation cause accumulated since the last
+    /// repair pass; the pass attributes its whole suffix repair to it.
+    pending_cause: Option<RepairCause>,
 }
 
 impl ConsPlan {
@@ -100,11 +104,21 @@ impl ConsPlan {
         self.dirty_from = k;
     }
 
+    /// Accumulates an invalidation cause; between two passes the most
+    /// disruptive one wins ([`RepairCause`] orders by disruption).
+    fn note(&mut self, cause: RepairCause) {
+        self.pending_cause = Some(match self.pending_cause {
+            Some(prev) => prev.max(cause),
+            None => cause,
+        });
+    }
+
     /// The queue's order changed wholesale (a policy re-sort): nothing
     /// about the positional alignment survives.
     fn resorted(&mut self) {
         self.invalidate_from(0);
         self.plan.clear();
+        self.note(RepairCause::Resort);
     }
 }
 
@@ -159,11 +173,39 @@ pub(crate) struct Planner {
     /// Estimated planning state, keyed by the estimator of the first
     /// consumer; a consult under a different estimator rebuilds it.
     est: Option<EstState>,
+    /// Passive suffix-repair accounting (see [`crate::observe`]).
+    stats: PlanStats,
 }
 
 impl Planner {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A snapshot of the planner's suffix-repair accounting.
+    pub fn stats(&self) -> PlanStats {
+        self.stats.clone()
+    }
+
+    /// Sums the passive profile counters of every persistent profile the
+    /// planner owns (ground truth, estimated releases, conservative
+    /// combined). Debug-oracle scratch profiles never land here.
+    pub fn profile_stats(&self) -> ProfileStats {
+        let mut total = ProfileStats::default();
+        if let Some(actual) = &self.actual {
+            for prof in actual {
+                total.absorb(&prof.stats());
+            }
+        }
+        if let Some(est) = &self.est {
+            for pp in &est.parts {
+                total.absorb(&pp.releases.stats());
+                if let Some(cons) = &pp.cons {
+                    total.absorb(&cons.combined.stats());
+                }
+            }
+        }
+        total
     }
 
     /// A job entered partition `p`'s queue at `pos` (`None`: appended with
@@ -173,6 +215,7 @@ impl Planner {
         match pos {
             Some(k) => {
                 cons.invalidate_from(k);
+                cons.note(RepairCause::Arrival);
                 let at = k.min(cons.plan.len());
                 cons.plan.insert(at, UNPLANNED);
             }
@@ -184,6 +227,7 @@ impl Planner {
     pub fn on_dequeue(&mut self, p: usize, pos: usize) {
         let Some(cons) = self.cons_mut(p) else { return };
         cons.invalidate_from(pos);
+        cons.note(RepairCause::Migration);
         if pos < cons.plan.len() {
             cons.plan.remove(pos);
         }
@@ -229,6 +273,7 @@ impl Planner {
                 // plan predates): later reservations saw a different
                 // profile than a rebuild would — replan them.
                 cons.invalidate_from(pos);
+                cons.note(RepairCause::OffPlanStart);
                 cons.plan.remove(pos);
             }
         } else if pos < cons.plan.len() {
@@ -257,6 +302,7 @@ impl Planner {
             // the plan assumed — a from-scratch pass would re-derive every
             // reservation, so the whole partition replans.
             cons.invalidate_from(0);
+            cons.note(RepairCause::EarlyCompletion);
         }
     }
 
@@ -286,10 +332,17 @@ impl Planner {
         let part = &parts[p];
         let pp = &mut self.est.as_mut().expect("just ensured").parts[p];
         pp.releases.advance_to(now);
-        let cons = pp.cons.get_or_insert_with(|| ConsPlan {
-            combined: pp.releases.clone(),
-            plan: Vec::new(),
-            dirty_from: 0,
+        let cons = pp.cons.get_or_insert_with(|| {
+            // The clone would carry the release profile's op history into
+            // a second harvested profile — wipe it so ops count once.
+            let mut combined = pp.releases.clone();
+            combined.clear_stats();
+            ConsPlan {
+                combined,
+                plan: Vec::new(),
+                dirty_from: 0,
+                pending_cause: None,
+            }
         });
         cons.combined.advance_to(now);
         debug_assert_eq!(cons.combined.baseline(), part.free() as i64);
@@ -306,7 +359,16 @@ impl Planner {
             .position(|e| e.start < now)
         {
             cons.invalidate_from(k);
+            cons.note(RepairCause::Stale);
         }
+        let repair_len = part.queue().len() - cons.dirty_from;
+        if repair_len > 0 {
+            // A freshly materialized plan has no noted cause; its first
+            // full derivation is attributed to arrivals.
+            let cause = cons.pending_cause.unwrap_or(RepairCause::Arrival);
+            self.stats.record_repair(cause, repair_len);
+        }
+        cons.pending_cause = None;
         for j in cons.dirty_from..part.queue().len() {
             let job = &part.queue()[j];
             let e = estimator.estimate(job);

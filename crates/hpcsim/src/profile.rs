@@ -48,6 +48,9 @@
 //! implementation against a retained naive reference) and the equivalence
 //! suite pin down.
 
+use crate::observe::ProfileStats;
+use std::cell::RefCell;
+
 /// Target bucket width. Buckets split once they reach `2 * BUCKET_WIDTH`
 /// edges; they are never re-merged (a bucket that empties is removed).
 const BUCKET_WIDTH: usize = 64;
@@ -67,6 +70,10 @@ pub struct AvailabilityProfile {
     /// Retired edge storage, reused when a new bucket is needed — the
     /// allocation-reuse half of `reset`.
     spare: Vec<Edge>,
+    /// Passive operation counters (see [`crate::observe`]). `RefCell`
+    /// because `earliest_fit` takes `&self`; mutating paths use
+    /// `get_mut`, so only queries pay a borrow flag.
+    stats: RefCell<ProfileStats>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -124,7 +131,21 @@ impl AvailabilityProfile {
             free: free as i64,
             buckets: Vec::new(),
             spare: Vec::new(),
+            stats: RefCell::new(ProfileStats::default()),
         }
+    }
+
+    /// A snapshot of the profile's passive operation counters. `reset`
+    /// keeps them cumulative (a reused scratch profile reports its whole
+    /// history); [`AvailabilityProfile::clear_stats`] zeroes them.
+    pub fn stats(&self) -> ProfileStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Zeroes the passive counters — called when a profile is cloned into
+    /// a new role so the clone does not re-report its source's history.
+    pub fn clear_stats(&mut self) {
+        self.stats.get_mut().clear();
     }
 
     /// Empties the profile and rebases it at `now` with `free` baseline
@@ -245,6 +266,7 @@ impl AvailabilityProfile {
 
     /// Merges one contribution into the timeline.
     fn insert_contrib(&mut self, time: f64, delta: i64) {
+        self.stats.get_mut().edge_inserts += 1;
         if self.buckets.is_empty() {
             let mut b = self.fresh_bucket();
             b.edges.push(Edge {
@@ -293,6 +315,7 @@ impl AvailabilityProfile {
     /// `time`. Edges with no remaining contributions are dropped (they
     /// must stop being fit candidates), empty buckets with them.
     fn remove_contrib(&mut self, time: f64, delta: i64) {
+        self.stats.get_mut().edge_removes += 1;
         debug_assert!(!self.buckets.is_empty(), "removal from an empty profile");
         let bi = self.bucket_for(time);
         let bucket = &mut self.buckets[bi];
@@ -346,9 +369,10 @@ impl AvailabilityProfile {
     /// every insert). A fit blocked by many shortfalls repeats that
     /// summary walk per shortfall; if that ever shows up in profiles,
     /// resume the walk from the previous bucket index instead.
-    fn next_candidate_after(&self, lower: f64, demand: i64) -> Option<f64> {
+    fn next_candidate_after(&self, lower: f64, demand: i64, steps: &mut u64) -> Option<f64> {
         let mut base = self.free;
         for b in &self.buckets {
+            *steps += 1;
             if b.last_time().total_cmp(&lower).is_le() {
                 base += b.sum;
                 continue;
@@ -371,9 +395,10 @@ impl AvailabilityProfile {
     /// First edge strictly after `lower` whose availability falls below
     /// `demand` — the next shortfall that can block a fit window. Skips
     /// whole buckets whose availability range stays at or above demand.
-    fn next_shortfall_after(&self, lower: f64, demand: i64) -> Option<f64> {
+    fn next_shortfall_after(&self, lower: f64, demand: i64, steps: &mut u64) -> Option<f64> {
         let mut base = self.free;
         for b in &self.buckets {
+            *steps += 1;
             if b.last_time().total_cmp(&lower).is_le() {
                 base += b.sum;
                 continue;
@@ -412,22 +437,28 @@ impl AvailabilityProfile {
         let not_before = not_before.max(self.now);
         let demand = procs as i64;
 
+        let mut steps = 0u64;
         let mut cand = Some(not_before).filter(|&c| self.avail_at(c) >= demand);
         let mut lower = not_before;
-        loop {
+        let fit = loop {
             let c = match cand.take() {
                 Some(c) => c,
-                None => match self.next_candidate_after(lower, demand) {
+                None => match self.next_candidate_after(lower, demand, &mut steps) {
                     Some(c) => c,
-                    None => return f64::INFINITY,
+                    None => break f64::INFINITY,
                 },
             };
-            match self.next_shortfall_after(c, demand) {
-                None => return c,
-                Some(s) if s >= c + duration => return c,
+            match self.next_shortfall_after(c, demand, &mut steps) {
+                None => break c,
+                Some(s) if s >= c + duration => break c,
                 Some(s) => lower = s,
             }
-        }
+        };
+        let mut stats = self.stats.borrow_mut();
+        stats.fit_calls += 1;
+        stats.buckets_scanned += steps;
+        stats.scan_hist.record(steps);
+        fit
     }
 
     /// The earliest time ≥ `now` at which `procs` processors are available
@@ -627,6 +658,24 @@ mod tests {
         assert_eq!(p.edge_count(), 0);
         assert_eq!(p.avail_at(50.0), 16);
         assert_eq!(p.earliest_fit(16, 10.0, 0.0), 50.0);
+    }
+
+    #[test]
+    fn passive_stats_count_ops_and_scans() {
+        let mut p = AvailabilityProfile::new(0.0, 8);
+        p.add_usage(50.0, 150.0, 6); // two edges
+        p.earliest_fit(4, 100.0, 0.0);
+        p.remove_usage(50.0, 150.0, 6);
+        let s = p.stats();
+        assert_eq!(s.edge_inserts, 2);
+        assert_eq!(s.edge_removes, 2);
+        assert_eq!(s.fit_calls, 1);
+        assert_eq!(s.scan_hist.total(), 1);
+        // Cloning copies the history; clearing starts a fresh role.
+        let mut q = p.clone();
+        q.clear_stats();
+        assert_eq!(q.stats(), crate::observe::ProfileStats::default());
+        assert_eq!(p.stats(), s);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! High-level one-call scheduling runs: trace × policy × backfilling.
 
-use crate::cluster::{ClusterSpec, ReroutePolicy, Router};
+use crate::cluster::{ClusterSpec, ReroutePolicy, Router, StaticAffinity};
 use crate::conservative::conservative_pass;
 use crate::easy::easy_pass;
 use crate::estimator::RuntimeEstimator;
 use crate::metrics::Metrics;
+use crate::observe::Recorder;
 use crate::policy::Policy;
-use crate::state::{CompletedJob, SimEvent, Simulation};
+use crate::state::{CompletedJob, ProbedSimulation, SimEvent, Simulation};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use swf::Trace;
@@ -62,10 +63,28 @@ pub struct ScheduleResult {
 /// Schedules `trace` to completion under `policy` + `backfill` and returns
 /// the realized schedule. Deterministic. Runs on the `desim` event kernel.
 pub fn run_scheduler(trace: &Trace, policy: Policy, backfill: Backfill) -> ScheduleResult {
-    drive_to_completion(
-        Simulation::new(trace, policy),
-        trace.cluster_procs(),
+    let mut sim = Simulation::new(trace, policy);
+    drive_to_completion(&mut sim, trace.cluster_procs(), backfill)
+}
+
+/// [`run_scheduler`] with a [`Recorder`] probe threaded through the run:
+/// same schedule bitwise, plus the collected telemetry (counters,
+/// histograms, and — if the recorder was built with
+/// [`Recorder::with_spans`] — a span trace of the simulation phases).
+pub fn run_scheduler_recorded(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    recorder: Recorder,
+) -> (ScheduleResult, Recorder) {
+    run_scheduler_on_rerouted_recorded(
+        trace,
+        policy,
         backfill,
+        &ClusterSpec::homogeneous(trace.cluster_procs()),
+        Arc::new(StaticAffinity),
+        ReroutePolicy::AtSubmission,
+        recorder,
     )
 }
 
@@ -106,11 +125,33 @@ pub fn run_scheduler_on_rerouted(
     reroute: ReroutePolicy,
 ) -> ScheduleResult {
     let total = spec.total_procs();
-    drive_to_completion(
-        Simulation::with_cluster_rerouted(trace, policy, spec.clone(), router, reroute),
-        total,
-        backfill,
-    )
+    let mut sim = Simulation::with_cluster_rerouted(trace, policy, spec.clone(), router, reroute);
+    drive_to_completion(&mut sim, total, backfill)
+}
+
+/// [`run_scheduler_on_rerouted`] with a [`Recorder`] probe — the fully
+/// general recorded run every telemetry consumer funnels into.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheduler_on_rerouted_recorded(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    spec: &ClusterSpec,
+    router: Arc<dyn Router>,
+    reroute: ReroutePolicy,
+    recorder: Recorder,
+) -> (ScheduleResult, Recorder) {
+    let total = spec.total_procs();
+    let mut sim = ProbedSimulation::with_cluster_rerouted_probed(
+        trace,
+        policy,
+        spec.clone(),
+        router,
+        reroute,
+        recorder,
+    );
+    let result = drive_to_completion(&mut sim, total, backfill);
+    (result, sim.into_probe())
 }
 
 /// [`run_scheduler`] on the preserved seed stepping engine
@@ -122,17 +163,14 @@ pub fn run_scheduler_reference(
     policy: Policy,
     backfill: Backfill,
 ) -> ScheduleResult {
-    drive_to_completion(
-        crate::reference::ReferenceSimulation::new(trace, policy),
-        trace.cluster_procs(),
-        backfill,
-    )
+    let mut sim = crate::reference::ReferenceSimulation::new(trace, policy);
+    drive_to_completion(&mut sim, trace.cluster_procs(), backfill)
 }
 
 /// The shared driver loop: run any [`BackfillSim`] to completion, applying
 /// the selected heuristic at every decision point.
 fn drive_to_completion<S: crate::state::BackfillSim>(
-    mut sim: S,
+    sim: &mut S,
     cluster_procs: u32,
     backfill: Backfill,
 ) -> ScheduleResult {
@@ -140,13 +178,13 @@ fn drive_to_completion<S: crate::state::BackfillSim>(
         match backfill {
             Backfill::None => {}
             Backfill::Easy(est) => {
-                easy_pass(&mut sim, est);
+                easy_pass(sim, est);
             }
             Backfill::EasyOrdered(est, order) => {
-                crate::easy::easy_pass_with_order(&mut sim, est, order);
+                crate::easy::easy_pass_with_order(sim, est, order);
             }
             Backfill::Conservative(est) => {
-                conservative_pass(&mut sim, est);
+                conservative_pass(sim, est);
             }
         }
     }

@@ -55,8 +55,12 @@ use crate::cluster::{
 };
 use crate::estimator::RuntimeEstimator;
 use crate::metrics::Metrics;
+use crate::observe::{Recorder, Telemetry};
 use crate::policy::Policy;
-use crate::runner::{run_scheduler, run_scheduler_reference, Backfill, ScheduleResult};
+use crate::runner::{
+    run_scheduler, run_scheduler_on_rerouted_recorded, run_scheduler_recorded,
+    run_scheduler_reference, Backfill, ScheduleResult,
+};
 use crate::state::CompletedJob;
 use desim::Replicator;
 use rand::rngs::SmallRng;
@@ -344,7 +348,7 @@ impl MetricKind {
 }
 
 /// One cell of the experiment grid, as serializable data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Optional label override; [`Self::label`] derives one when absent.
     pub name: Option<String>,
@@ -367,6 +371,65 @@ pub struct ScenarioSpec {
     /// Whether the report carries the full per-job schedule
     /// (whole-trace heuristic runs only).
     pub record_schedule: bool,
+    /// Whether the run collects deterministic telemetry counters (see
+    /// [`crate::observe`]) into [`RunReport::telemetry`]. Kernel engine
+    /// only; the schedule itself is bitwise unaffected.
+    pub telemetry: bool,
+}
+
+// Hand-written serde (like [`Platform`]'s): `telemetry` is omitted when
+// false and defaulted when absent, so every spec file committed before
+// the observability layer landed keeps parsing, and telemetry-off specs
+// keep serializing to the identical bytes the reproduce pins compare
+// against.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("trace".to_string(), self.trace.to_value()),
+            ("platform".to_string(), self.platform.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            ("scheduler".to_string(), self.scheduler.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("seeds".to_string(), self.seeds.to_value()),
+            ("metrics".to_string(), self.metrics.to_value()),
+            (
+                "record_schedule".to_string(),
+                self.record_schedule.to_value(),
+            ),
+        ];
+        if self.telemetry {
+            entries.push(("telemetry".to_string(), self.telemetry.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let has_telemetry = matches!(
+            v,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "telemetry")
+        );
+        Ok(ScenarioSpec {
+            name: serde::field(v, "name")?,
+            trace: serde::field(v, "trace")?,
+            platform: serde::field(v, "platform")?,
+            policy: serde::field(v, "policy")?,
+            scheduler: serde::field(v, "scheduler")?,
+            engine: serde::field(v, "engine")?,
+            protocol: serde::field(v, "protocol")?,
+            seeds: serde::field(v, "seeds")?,
+            metrics: serde::field(v, "metrics")?,
+            record_schedule: serde::field(v, "record_schedule")?,
+            telemetry: if has_telemetry {
+                serde::field(v, "telemetry")?
+            } else {
+                false
+            },
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -386,6 +449,7 @@ impl ScenarioSpec {
                 seeds: Vec::new(),
                 metrics: Vec::new(),
                 record_schedule: false,
+                telemetry: false,
             },
         }
     }
@@ -541,6 +605,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Collects deterministic telemetry counters into the report (kernel
+    /// engine only).
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.spec.telemetry = telemetry;
+        self
+    }
+
     /// Finishes the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -581,11 +652,15 @@ pub struct RunReport {
     /// The spec that produced this report, embedded for provenance: the
     /// report file alone regenerates the run.
     pub spec: ScenarioSpec,
+    /// Deterministic run telemetry (counters + histograms), present only
+    /// when the spec asked for it ([`ScenarioSpec::telemetry`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 // Hand-written serde (like [`Platform`]'s): `dropped_jobs` is omitted
-// when 0 and defaulted when absent, so reports written before the field
-// existed keep parsing and drop-free reports keep their committed bytes.
+// when 0 and defaulted when absent, and `telemetry` is omitted when
+// `None`, so reports written before either field existed keep parsing
+// and telemetry-free reports keep their committed bytes.
 impl Serialize for RunReport {
     fn to_value(&self) -> serde::Value {
         let mut entries = vec![
@@ -600,21 +675,26 @@ impl Serialize for RunReport {
         entries.push(("selected".to_string(), self.selected.to_value()));
         entries.push(("schedule".to_string(), self.schedule.to_value()));
         entries.push(("spec".to_string(), self.spec.to_value()));
+        if let Some(t) = &self.telemetry {
+            entries.push(("telemetry".to_string(), t.to_value()));
+        }
         serde::Value::Object(entries)
     }
 }
 
 impl Deserialize for RunReport {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        let has_dropped = matches!(
-            v,
-            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "dropped_jobs")
-        );
+        let has = |name: &str| {
+            matches!(
+                v,
+                serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == name)
+            )
+        };
         Ok(RunReport {
             label: serde::field(v, "label")?,
             seed: serde::field(v, "seed")?,
             jobs: serde::field(v, "jobs")?,
-            dropped_jobs: if has_dropped {
+            dropped_jobs: if has("dropped_jobs") {
                 serde::field(v, "dropped_jobs")?
             } else {
                 0
@@ -623,6 +703,11 @@ impl Deserialize for RunReport {
             selected: serde::field(v, "selected")?,
             schedule: serde::field(v, "schedule")?,
             spec: serde::field(v, "spec")?,
+            telemetry: if has("telemetry") {
+                Some(serde::field(v, "telemetry")?)
+            } else {
+                None
+            },
         })
     }
 }
@@ -659,6 +744,8 @@ pub enum ScenarioError {
     NeedsAgent,
     /// The seed engines only model flat machines.
     ReferenceNeedsFlat,
+    /// Telemetry collection is only instrumented on the kernel engine.
+    TelemetryNeedsKernel,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -674,6 +761,11 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::ReferenceNeedsFlat => write!(
                 f,
                 "the seed reference engines only model flat (single-partition, speed-1) machines"
+            ),
+            ScenarioError::TelemetryNeedsKernel => write!(
+                f,
+                "telemetry collection requires the kernel engine (the probe hooks are not \
+                 threaded through the preserved seed engines)"
             ),
         }
     }
@@ -739,6 +831,7 @@ pub fn make_report(
         selected,
         schedule,
         spec: spec.clone(),
+        telemetry: None,
     }
 }
 
@@ -789,6 +882,23 @@ pub fn execute(trace: &Trace, spec: &ScenarioSpec) -> Result<ScheduleResult, Sce
     run_once(trace, spec, backfill)
 }
 
+/// [`execute`] with a [`Recorder`] probe threaded through the run: same
+/// schedule bitwise, plus the collected telemetry. Kernel engine only
+/// (the reference engines are not instrumented) — this is what
+/// `speed_probe --telemetry` times, so the probe's overhead is measured
+/// on exactly the path `execute` takes.
+pub fn execute_recorded(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    recorder: Recorder,
+) -> Result<(ScheduleResult, Recorder), ScenarioError> {
+    let backfill = match &spec.scheduler {
+        SchedulerSpec::Heuristic(b) => *b,
+        SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
+    };
+    run_once_recorded(trace, spec, backfill, recorder)
+}
+
 /// Executes one trace (or window) on the spec's engine and platform.
 fn run_once(
     trace: &Trace,
@@ -815,6 +925,35 @@ fn run_once(
     }
 }
 
+/// [`run_once`] with a [`Recorder`] probe threaded through the kernel
+/// engine: same schedule bitwise, plus the run's telemetry. Only the
+/// kernel engine is instrumented.
+fn run_once_recorded(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    backfill: Backfill,
+    recorder: Recorder,
+) -> Result<(ScheduleResult, Recorder), ScenarioError> {
+    match (spec.engine, &spec.platform.cluster) {
+        (Engine::Kernel, None) => Ok(run_scheduler_recorded(
+            trace,
+            spec.policy,
+            backfill,
+            recorder,
+        )),
+        (Engine::Kernel, Some(cluster)) => Ok(run_scheduler_on_rerouted_recorded(
+            trace,
+            spec.policy,
+            backfill,
+            cluster,
+            spec.platform.router.build(),
+            spec.platform.reroute,
+            recorder,
+        )),
+        (Engine::Reference | Engine::SeedNaive, _) => Err(ScenarioError::TelemetryNeedsKernel),
+    }
+}
+
 fn run_with_seed(spec: &ScenarioSpec, seed: Option<u64>) -> Result<RunReport, ScenarioError> {
     let (trace, protocol) = materialize(spec, seed)?;
     run_protocol(spec, &trace, protocol, seed)
@@ -833,9 +972,16 @@ fn run_protocol(
     };
     match protocol {
         Protocol::FullTrace => {
-            let r = run_once(trace, spec, backfill)?;
+            let (r, telemetry) = if spec.telemetry {
+                let (r, rec) = run_once_recorded(trace, spec, backfill, Recorder::default())?;
+                (r, Some(rec.into_telemetry()))
+            } else {
+                (run_once(trace, spec, backfill)?, None)
+            };
             let schedule = spec.record_schedule.then_some(r.completed);
-            Ok(make_report(spec, seed, r.metrics, r.dropped_jobs, schedule))
+            let mut report = make_report(spec, seed, r.metrics, r.dropped_jobs, schedule);
+            report.telemetry = telemetry;
+            Ok(report)
         }
         Protocol::Windows {
             samples,
@@ -843,19 +989,24 @@ fn run_protocol(
             seed: wseed,
         } => {
             let windows = sample_windows(trace, samples, window_len, wseed);
+            let mut telemetry = spec.telemetry.then(Telemetry::default);
             let per = windows
                 .iter()
-                .map(|w| run_once(w, spec, backfill).map(|r| (r.metrics, r.dropped_jobs)))
-                .collect::<Result<Vec<_>, _>>()?;
+                .map(|w| {
+                    if let Some(total) = &mut telemetry {
+                        let (r, rec) = run_once_recorded(w, spec, backfill, Recorder::default())?;
+                        total.merge(rec.telemetry());
+                        Ok((r.metrics, r.dropped_jobs))
+                    } else {
+                        run_once(w, spec, backfill).map(|r| (r.metrics, r.dropped_jobs))
+                    }
+                })
+                .collect::<Result<Vec<_>, ScenarioError>>()?;
             let dropped = per.iter().map(|(_, d)| d).sum();
             let metrics: Vec<Metrics> = per.into_iter().map(|(m, _)| m).collect();
-            Ok(make_report(
-                spec,
-                seed,
-                mean_metrics(&metrics),
-                dropped,
-                None,
-            ))
+            let mut report = make_report(spec, seed, mean_metrics(&metrics), dropped, None);
+            report.telemetry = telemetry;
+            Ok(report)
         }
     }
 }
@@ -870,6 +1021,33 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
 /// what the seed re-seeds).
 pub fn run_seeded(spec: &ScenarioSpec, seed: u64) -> Result<RunReport, ScenarioError> {
     run_with_seed(spec, Some(seed))
+}
+
+/// Executes one spec with a span-tracing [`Recorder`] and returns both
+/// the report (telemetry attached regardless of the spec's `telemetry`
+/// flag) and the recorder, whose wall-clock spans export as Chrome-trace
+/// JSON ([`Recorder::chrome_trace_json`]) — the `scenario trace`
+/// subcommand. Kernel engine, whole-trace protocol only: span streams
+/// from independently-clocked window runs would not compose into one
+/// coherent timeline.
+pub fn run_recorded(spec: &ScenarioSpec) -> Result<(RunReport, Recorder), ScenarioError> {
+    let (trace, protocol) = materialize(spec, None)?;
+    if protocol != Protocol::FullTrace {
+        return Err(ScenarioError::Spec(
+            "span tracing requires the whole-trace protocol (Windows runs have \
+             independently-clocked samples)"
+                .into(),
+        ));
+    }
+    let backfill = match &spec.scheduler {
+        SchedulerSpec::Heuristic(b) => *b,
+        SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
+    };
+    let (r, rec) = run_once_recorded(&trace, spec, backfill, Recorder::with_spans())?;
+    let schedule = spec.record_schedule.then_some(r.completed);
+    let mut report = make_report(spec, None, r.metrics, r.dropped_jobs, schedule);
+    report.telemetry = Some(rec.telemetry().clone());
+    Ok((report, rec))
 }
 
 /// Fans the spec's `seeds` out across threads with [`desim::Replicator`]

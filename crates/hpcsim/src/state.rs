@@ -34,6 +34,7 @@ use crate::cluster::{
     ClusterSpec, ClusterView, Partition, ReroutePolicy, Router, RouterPlanCache, StaticAffinity,
 };
 use crate::estimator::RuntimeEstimator;
+use crate::observe::{NoopProbe, Phase, Probe};
 use crate::plan::Planner;
 use crate::policy::Policy;
 use desim::{EventQueue, SimTime};
@@ -185,6 +186,14 @@ pub trait BackfillSim {
     fn shadow_extra(&mut self, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
         crate::plan::from_scratch_shadow_extra(self, estimator)
     }
+
+    /// Marks the start of an instrumentable scheduling phase. Engines
+    /// without a probe ignore it; [`ProbedSimulation`] forwards to its
+    /// [`Probe`] so the conservative/EASY passes show up in span traces.
+    fn phase_begin(&mut self, _phase: crate::observe::Phase) {}
+
+    /// Marks the end of the phase opened by [`BackfillSim::phase_begin`].
+    fn phase_end(&mut self, _phase: crate::observe::Phase) {}
 }
 
 macro_rules! forward_backfill_sim {
@@ -222,8 +231,8 @@ macro_rules! forward_backfill_sim {
     };
 }
 
-impl BackfillSim for Simulation {
-    forward_backfill_sim!(Simulation);
+impl<P: Probe> BackfillSim for ProbedSimulation<P> {
+    forward_backfill_sim!(Self);
 
     fn plan_conservative_starts(&mut self, estimator: RuntimeEstimator) -> Vec<usize> {
         let p = self.active;
@@ -237,6 +246,18 @@ impl BackfillSim for Simulation {
             self.planner
                 .shadow_extra(&self.parts, self.active, estimator, self.now, &reserved),
         )
+    }
+
+    fn phase_begin(&mut self, phase: Phase) {
+        if P::ENABLED {
+            self.probe.span_begin(phase);
+        }
+    }
+
+    fn phase_end(&mut self, phase: Phase) {
+        if P::ENABLED {
+            self.probe.span_end(phase);
+        }
     }
 }
 
@@ -270,8 +291,16 @@ enum ClusterEvent {
 /// through the unchanged [`BackfillSim`] protocol. [`Simulation::new`]
 /// builds the degenerate one-partition spec, which realizes
 /// bitwise-identical schedules to the pre-cluster flat engine.
+///
+/// The engine is generic over a [`Probe`] — the observability hook of
+/// [`crate::observe`]. [`Simulation`] is the [`NoopProbe`] instantiation:
+/// every hook monomorphizes to an empty inline body, so the
+/// uninstrumented engine compiles to exactly the pre-probe code. A
+/// [`crate::observe::Recorder`] (via [`ProbedSimulation::with_probe`] or
+/// the runner's `*_recorded` entry points) collects counters, histograms
+/// and span traces instead.
 #[derive(Debug, Clone)]
-pub struct Simulation {
+pub struct ProbedSimulation<P: Probe = NoopProbe> {
     policy: Policy,
     spec: ClusterSpec,
     router: Arc<dyn Router>,
@@ -302,9 +331,16 @@ pub struct Simulation {
     /// profiles + policy-sorted reservation chains reused across the
     /// candidates of a routing/re-routing batch.
     router_cache: RouterPlanCache,
+    /// The observability hook; [`NoopProbe`] costs nothing.
+    probe: P,
 }
 
-impl Simulation {
+/// The uninstrumented simulation — the [`NoopProbe`] instantiation of
+/// [`ProbedSimulation`], bitwise-equal in behavior and (after
+/// monomorphization) in machine code to the pre-probe engine.
+pub type Simulation = ProbedSimulation<NoopProbe>;
+
+impl<P: Probe + Default> ProbedSimulation<P> {
     /// Starts a fresh simulation of `trace` under `policy` on the
     /// degenerate homogeneous cluster (one partition, reference speed).
     pub fn new(trace: &Trace, policy: Policy) -> Self {
@@ -344,6 +380,22 @@ impl Simulation {
         router: Arc<dyn Router>,
         reroute: ReroutePolicy,
     ) -> Self {
+        Self::with_cluster_rerouted_probed(trace, policy, spec, router, reroute, P::default())
+    }
+}
+
+impl<P: Probe> ProbedSimulation<P> {
+    /// [`Simulation::with_cluster_rerouted`] with an explicit probe
+    /// instance — the fully general constructor every other one funnels
+    /// into.
+    pub fn with_cluster_rerouted_probed(
+        trace: &Trace,
+        policy: Policy,
+        spec: ClusterSpec,
+        router: Arc<dyn Router>,
+        reroute: ReroutePolicy,
+        probe: P,
+    ) -> Self {
         let widest = spec.max_partition_procs();
         let (arrivals, dropped): (Vec<Job>, Vec<Job>) = trace
             .jobs()
@@ -378,7 +430,32 @@ impl Simulation {
             events,
             planner: Planner::new(),
             router_cache: RouterPlanCache::new(),
+            probe,
         }
+    }
+
+    /// Starts a probed simulation on the degenerate homogeneous cluster —
+    /// [`Simulation::new`] with an explicit probe instance.
+    pub fn with_probe(trace: &Trace, policy: Policy, probe: P) -> Self {
+        Self::with_cluster_rerouted_probed(
+            trace,
+            policy,
+            ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(StaticAffinity),
+            ReroutePolicy::AtSubmission,
+            probe,
+        )
+    }
+
+    /// The probe, for reading collected telemetry mid-run.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the simulation and hands back its probe (the usual way to
+    /// extract a [`crate::observe::Recorder`] after `Done`).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Current simulation time, seconds.
@@ -480,6 +557,7 @@ impl Simulation {
             if let Some(p) = self.next_opportunity() {
                 self.parts[p].opportunity_armed = false;
                 self.active = p;
+                self.probe.on_queue_depth(self.parts[p].queue.len());
                 return SimEvent::BackfillOpportunity;
             }
             // Advance the clock to the next event; the loop head then
@@ -491,6 +569,7 @@ impl Simulation {
                     .iter()
                     .all(|p| p.queue.is_empty() && p.running.is_empty()));
                 self.active = 0;
+                self.harvest_stats();
                 return SimEvent::Done;
             };
             debug_assert!(
@@ -532,16 +611,23 @@ impl Simulation {
     pub fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
         let part = &self.parts[self.active];
         if queue_idx >= part.queue.len() {
+            self.probe.on_backfill(false);
             return Err(BackfillError::BadIndex);
         }
         if queue_idx == 0 {
+            self.probe.on_backfill(false);
             return Err(BackfillError::ReservedJob);
         }
         let job = part.queue[queue_idx];
         if job.procs > part.free {
+            self.probe.on_backfill(false);
             return Err(BackfillError::DoesNotFit);
         }
         let delays_reserved = self.would_delay_reserved(&job);
+        self.probe.on_backfill(true);
+        if delays_reserved {
+            self.probe.on_backfill_would_delay();
+        }
         let p = self.active;
         self.parts[p].queue.remove(queue_idx);
         self.parts[p].touch();
@@ -581,8 +667,12 @@ impl Simulation {
     fn apply_due_events(&mut self) -> usize {
         let mut applied = 0;
         let deadline = SimTime::new(self.now + EPS);
+        if P::ENABLED {
+            self.probe.span_begin(Phase::ArrivalBatch);
+        }
         while let Some((_, event)) = self.events.pop_until(deadline) {
             applied += 1;
+            self.probe.on_event(self.events.len());
             match event {
                 ClusterEvent::Arrival(idx) => {
                     let job = self.arrivals[idx];
@@ -632,6 +722,15 @@ impl Simulation {
                 }
             }
         }
+        if P::ENABLED {
+            if applied > 0 {
+                self.probe.span_end(Phase::ArrivalBatch);
+            } else {
+                // Nothing was due: don't clutter the trace with
+                // zero-length batches.
+                self.probe.span_cancel(Phase::ArrivalBatch);
+            }
+        }
         applied
     }
 
@@ -667,6 +766,9 @@ impl Simulation {
         if self.parts.len() < 2 || max_moves_per_job == 0 {
             return;
         }
+        if P::ENABLED {
+            self.probe.span_begin(Phase::ReroutePass);
+        }
         // Establish policy order everywhere first, so "queue index 0" is
         // the policy head (the same sort `start_ready_jobs` would apply at
         // this instant — doing it here changes nothing downstream).
@@ -701,6 +803,10 @@ impl Simulation {
                     plans: Some(&self.router_cache),
                 };
                 let decision = router.reroute(&reference, &view, p);
+                self.probe.on_migration_candidate();
+                if decision.is_some() {
+                    self.probe.on_migration_proposed();
+                }
                 match decision {
                     Some(d) if d.gain >= min_gain_secs && !frozen[d.to] && d.to != p => {
                         debug_assert!(
@@ -722,11 +828,15 @@ impl Simulation {
                         self.parts[d.to].opportunity_armed = true;
                         *self.moves.entry(job.id).or_insert(0) += 1;
                         self.migrations += 1;
+                        self.probe.on_migration_accepted();
                         // The vec shifted left — re-examine this position.
                     }
                     _ => pos += 1,
                 }
             }
+        }
+        if P::ENABLED {
+            self.probe.span_end(Phase::ReroutePass);
         }
     }
 
@@ -794,6 +904,20 @@ impl Simulation {
     /// fits the partition's free processors.
     fn next_opportunity(&self) -> Option<usize> {
         self.parts.iter().position(Self::has_opportunity)
+    }
+
+    /// Hands the passive counters of the deep layers (planner profiles,
+    /// suffix-repair accounting, router plan cache) to the probe. Runs at
+    /// `Done`; the set-semantics hooks make repeated harvests idempotent.
+    fn harvest_stats(&mut self) {
+        if !P::ENABLED {
+            return;
+        }
+        let mut prof = self.planner.profile_stats();
+        prof.absorb(&self.router_cache.profile_stats());
+        self.probe.set_profile_stats(prof);
+        self.probe.set_plan_stats(self.planner.stats());
+        self.probe.set_router_stats(self.router_cache.stats());
     }
 }
 

@@ -61,6 +61,23 @@ fn assert_equivalent(trace: &Trace, policy: Policy, backfill: Backfill) {
         schedule_of(&naive.completed),
         "naive baseline diverged: {policy} {backfill:?}"
     );
+    // The instrumented kernel run (live Recorder probe) must be bitwise
+    // the NoopProbe run — telemetry observes, never steers — and its
+    // counters must be identical when the same run repeats (they feed a
+    // byte-pinned artifact, so any nondeterminism is a bug).
+    let (recorded, rec) = run_scheduler_recorded(trace, policy, backfill, Recorder::default());
+    assert_eq!(
+        schedule_of(&kernel.completed),
+        schedule_of(&recorded.completed),
+        "recorder probe perturbed the schedule: {policy} {backfill:?}"
+    );
+    assert_eq!(kernel.metrics, recorded.metrics);
+    let (_, rec2) = run_scheduler_recorded(trace, policy, backfill, Recorder::default());
+    assert_eq!(
+        rec.telemetry(),
+        rec2.telemetry(),
+        "telemetry counters are nondeterministic: {policy} {backfill:?}"
+    );
 }
 
 /// A random but well-formed workload on a small cluster, shaped to create

@@ -200,13 +200,14 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             proptest::collection::vec(any::<u64>(), 0..8),
             proptest::collection::vec(arb_metric(), 0..5),
             any::<bool>(),
+            any::<bool>(),
         ),
     )
         .prop_map(
             |(
                 (name, trace, platform),
                 (policy, scheduler, engine),
-                (protocol, seeds, metrics, record_schedule),
+                (protocol, seeds, metrics, record_schedule, telemetry),
             )| ScenarioSpec {
                 name,
                 trace,
@@ -218,6 +219,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 seeds,
                 metrics,
                 record_schedule,
+                telemetry,
             },
         )
 }

@@ -9,6 +9,7 @@
 
 use hpcsim::prelude::*;
 use hpcsim::state::CompletedJob;
+use hpcsim::Phase;
 use std::sync::Arc;
 use swf::{TracePreset, TraceSource};
 
@@ -279,6 +280,134 @@ fn every_engine_realizes_the_same_flat_schedule() {
             reports[0].metrics.mean_bounded_slowdown
         );
     }
+}
+
+#[test]
+fn telemetry_flag_does_not_perturb_schedule_or_committed_bytes() {
+    // `telemetry: true` must change only the report's telemetry section:
+    // same metrics bits, same schedule, and the telemetry-off report's
+    // JSON must not mention the field at all (the committed byte pins
+    // predate it).
+    for backfill in [
+        Backfill::Easy(RuntimeEstimator::RequestTime),
+        Backfill::Conservative(RuntimeEstimator::RequestTime),
+    ] {
+        let build = |telemetry| {
+            ScenarioSpec::builder(source())
+                .backfill(backfill)
+                .telemetry(telemetry)
+                .record_schedule(true)
+                .build()
+        };
+        let plain = hpcsim::scenario::run(&build(false)).unwrap();
+        let observed = hpcsim::scenario::run(&build(true)).unwrap();
+        assert_eq!(plain.metrics, observed.metrics, "{backfill:?}");
+        assert_eq!(
+            schedule_of(plain.schedule.as_ref().unwrap()),
+            schedule_of(observed.schedule.as_ref().unwrap()),
+            "telemetry collection perturbed the schedule: {backfill:?}"
+        );
+        assert!(plain.telemetry.is_none());
+        assert!(
+            !plain.to_json_pretty().contains("\"telemetry\""),
+            "a telemetry-off report must serialize without the field"
+        );
+        let t = observed.telemetry.as_ref().expect("opted in");
+        assert!(t.events > 0, "{backfill:?} collected no events");
+        // Round-trip: the report with telemetry parses back equal.
+        let back = RunReport::from_json(&observed.to_json_pretty()).unwrap();
+        assert_eq!(back, observed);
+    }
+}
+
+#[test]
+fn windows_telemetry_is_the_merge_of_per_window_counters() {
+    // Under the Windows protocol the report's telemetry must be exactly
+    // the per-window counters summed (peaks maxed) — checked here against
+    // a manual window loop over the recorded runner.
+    let trace = source().materialize().unwrap();
+    let (samples, window_len, wseed) = (4, 96, 77);
+    let spec = ScenarioSpec::builder(source())
+        .windows(samples, window_len, wseed)
+        .telemetry(true)
+        .build();
+    let report = hpcsim::scenario::run(&spec).unwrap();
+    let t = report
+        .telemetry
+        .expect("windows runs still collect counters");
+
+    let windows = hpcsim::scenario::sample_windows(&trace, samples, window_len, wseed);
+    let mut expected = Telemetry::default();
+    for w in &windows {
+        let (_, rec) = run_scheduler_recorded(
+            w,
+            Policy::Fcfs,
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            Recorder::default(),
+        );
+        expected.merge(rec.telemetry());
+    }
+    assert_eq!(t, expected);
+}
+
+#[test]
+fn run_recorded_matches_run_and_traces_every_phase() {
+    // The span-tracing entry point must realize the identical report as
+    // `run` (modulo the attached telemetry) and cover all four simulation
+    // phases on a migration-enabled conservative spec.
+    let parts = 2;
+    let w = swf::partitioned_preset(TracePreset::Lublin1, parts, JOBS, SEED);
+    let spec = ScenarioSpec::builder(TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts,
+        jobs: JOBS,
+        seed: SEED,
+    })
+    .cluster(ClusterSpec::from_layout(&w.layout), RouterSpec::LeastLoaded)
+    .reroute(ReroutePolicy::AtDecisionPoints {
+        max_moves_per_job: 3,
+        min_gain_secs: 60.0,
+    })
+    .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+    .record_schedule(true)
+    .build();
+    let plain = hpcsim::scenario::run(&spec).unwrap();
+    let (recorded, recorder) = hpcsim::scenario::run_recorded(&spec).unwrap();
+    assert_eq!(plain.metrics, recorded.metrics);
+    assert_eq!(
+        schedule_of(plain.schedule.as_ref().unwrap()),
+        schedule_of(recorded.schedule.as_ref().unwrap())
+    );
+    let spans = recorder.spans();
+    assert!(!spans.is_empty());
+    for phase in [
+        Phase::ArrivalBatch,
+        Phase::ReroutePass,
+        Phase::ConservativePass,
+        Phase::BackfillScan,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.phase == phase),
+            "no {} span recorded",
+            phase.name()
+        );
+    }
+    // The Chrome-trace export is one well-formed JSON object carrying
+    // one complete ("ph": "X") event per span.
+    let json = recorder.chrome_trace_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("trace JSON parses");
+    let serde_json::Value::Object(entries) = parsed else {
+        panic!("chrome trace root must be a JSON object");
+    };
+    let events = entries
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("trace has a traceEvents array");
+    let serde_json::Value::Array(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert_eq!(events.len(), spans.len());
 }
 
 #[test]
