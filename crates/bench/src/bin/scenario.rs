@@ -12,6 +12,9 @@
 //! cargo run -p bench --bin scenario -- run spec.json --out my_report
 //! cargo run -p bench --bin scenario -- run spec.json --stdout
 //! cargo run -p bench --bin scenario -- trace examples/scenarios/trace_demo.json
+//! cargo run -p bench --bin scenario -- explain examples/scenarios/audit_demo.json --job 17
+//! cargo run -p bench --bin scenario -- audit examples/scenarios/audit_demo.json --out log.json
+//! cargo run -p bench --bin scenario -- audit-diff a_audit.json b_audit.json
 //! cargo run -p bench --bin scenario -- examples [dir]   # (re)emit example specs
 //! ```
 //!
@@ -27,6 +30,15 @@
 //! writes the phase spans as Chrome-trace JSON (load it in
 //! `chrome://tracing` or Perfetto). Exits nonzero if the run produced no
 //! spans — the CI trace smoke treats an empty trace as a broken probe.
+//!
+//! `explain` executes a kernel spec with the decision-forensics audit
+//! probe and prints a human-readable narrative of the run (or of one
+//! job's lifecycle with `--job ID`) to stdout. `audit` writes the full
+//! audit log — typed per-job records, wait-cause attribution, Gantt
+//! timeline — as JSON. `audit-diff` compares two exported logs and
+//! reports the **first divergent record** (exit 1), the debugging tool
+//! for the sharded-simulation and calendar-queue roadmap items; identical
+//! logs exit 0.
 
 use bench::{report_table, write_reports, TRACE_SEED};
 use hpcsim::prelude::*;
@@ -116,21 +128,116 @@ fn example_specs() -> Vec<(&'static str, ScenarioSpec)> {
     .telemetry(true)
     .build();
 
+    // A compact decision-forensics spec: conservative backfilling on a
+    // 2-partition cluster with decision-point migration, so the audit log
+    // exhibits every record kind the explain/audit-diff CI smokes read —
+    // submissions with router candidates, reservation starts, skip
+    // reasons, plan repairs and migrations.
+    let audit_demo = ScenarioSpec::builder(TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts: 2,
+        jobs: 800,
+        seed: TRACE_SEED,
+    })
+    .platform(
+        Platform::from_layout(
+            &swf::table2_partitions(TracePreset::Lublin1, 2),
+            RouterSpec::LeastLoaded,
+        )
+        .rerouted(ReroutePolicy::AtDecisionPoints {
+            max_moves_per_job: 3,
+            min_gain_secs: 60.0,
+        }),
+    )
+    .policy(Policy::Fcfs)
+    .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+    .audit(true)
+    .build();
+
     vec![
         ("table3_fcfs", table3_fcfs),
         ("multi_partition_2p", multi_partition_2p),
         ("replicated_windows", replicated_windows),
         ("rl_smoke", rl_smoke),
         ("trace_demo", trace_demo),
+        ("audit_demo", audit_demo),
     ]
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenario run <spec.json> [--out NAME] [--stdout]\n       \
-         scenario trace <spec.json> [--out FILE]\n       scenario examples [dir]"
+         scenario trace <spec.json> [--out FILE]\n       \
+         scenario explain <spec.json> [--job ID]\n       \
+         scenario audit <spec.json> [--out FILE]\n       \
+         scenario audit-diff <a_audit.json> <b_audit.json>\n       \
+         scenario examples [dir]"
     );
     std::process::exit(2);
+}
+
+/// Loads a spec file or exits with the parse/read error — the shared
+/// entry gate of every spec-consuming subcommand.
+fn load_spec_or_exit(path: &str) -> ScenarioSpec {
+    match ScenarioSpec::load(path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs a spec under the audit probe or exits with the error (agent
+/// specs, non-kernel engines and windows protocols cannot be audited).
+fn run_audited_or_exit(spec: &ScenarioSpec) -> (RunReport, hpcsim::AuditLog) {
+    match hpcsim::scenario::run_audited(spec) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The default `results/<stem>_<suffix>.json` output path for a spec.
+fn derived_out(path: &str, suffix: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scenario".into());
+    format!("results/{stem}_{suffix}.json")
+}
+
+/// The `"records"` array of an exported audit log, re-serialized one
+/// JSON string per record for order-sensitive comparison.
+fn audit_records_or_exit(path: &str) -> Vec<String> {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let value: serde::Value = match serde_json::from_str(&json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = match &value {
+        serde::Value::Object(entries) => entries.iter().find(|(k, _)| k == "records"),
+        _ => None,
+    };
+    let Some((_, serde::Value::Array(records))) = records else {
+        eprintln!("error: {path} has no \"records\" array — not an audit log export?");
+        std::process::exit(1);
+    };
+    records
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("record re-serializes"))
+        .collect()
 }
 
 /// An agent spec with a seed list: one `rlbf::train` per seed
@@ -182,13 +289,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = match ScenarioSpec::load(path) {
-                Ok(spec) => spec,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                }
-            };
+            let spec = load_spec_or_exit(path);
             let reports: Vec<RunReport> = if spec.seeds.is_empty() {
                 match run_one(&spec) {
                     Ok(r) => vec![r],
@@ -256,13 +357,7 @@ fn main() {
         }
         Some("trace") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = match ScenarioSpec::load(path) {
-                Ok(spec) => spec,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                }
-            };
+            let spec = load_spec_or_exit(path);
             let (report, recorder) = match hpcsim::scenario::run_recorded(&spec) {
                 Ok(pair) => pair,
                 Err(e) => {
@@ -286,20 +381,87 @@ fn main() {
                 "{}: {} jobs, {} events, {spans} spans across the simulation phases",
                 report.label, report.jobs, telemetry.events
             );
-            let default_name = std::path::Path::new(path)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "scenario".into());
             let out = args
                 .iter()
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1).cloned())
-                .unwrap_or_else(|| format!("results/{default_name}_trace.json"));
+                .unwrap_or_else(|| derived_out(path, "trace"));
             if let Some(dir) = std::path::Path::new(&out).parent() {
                 std::fs::create_dir_all(dir).expect("can create the trace output dir");
             }
             std::fs::write(&out, recorder.chrome_trace_json()).expect("can write the trace file");
             eprintln!("wrote {out} (open in chrome://tracing or Perfetto)");
+        }
+        Some("explain") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let spec = load_spec_or_exit(path);
+            let job = args.iter().position(|a| a == "--job").map(|i| {
+                args.get(i + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --job takes a numeric job id");
+                        std::process::exit(1);
+                    })
+            });
+            let (report, log) = run_audited_or_exit(&spec);
+            eprintln!(
+                "{}: {} jobs, {} audit records",
+                report.label,
+                report.jobs,
+                log.records.len()
+            );
+            // The narrative is the product of this subcommand: stdout.
+            print!("{}", log.explain(job));
+        }
+        Some("audit") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let spec = load_spec_or_exit(path);
+            let (report, log) = run_audited_or_exit(&spec);
+            eprintln!(
+                "{}: {} jobs, {} audit records",
+                report.label,
+                report.jobs,
+                log.records.len()
+            );
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1).cloned())
+                .unwrap_or_else(|| derived_out(path, "audit"));
+            if let Some(dir) = std::path::Path::new(&out).parent() {
+                std::fs::create_dir_all(dir).expect("can create the audit output dir");
+            }
+            std::fs::write(&out, log.to_json_pretty()).expect("can write the audit log");
+            eprintln!("wrote {out}");
+        }
+        Some("audit-diff") => {
+            let a_path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let b_path = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let a = audit_records_or_exit(a_path);
+            let b = audit_records_or_exit(b_path);
+            let divergent = (0..a.len().min(b.len())).find(|&i| a[i] != b[i]);
+            match divergent {
+                Some(i) => {
+                    eprintln!("logs diverge at record {i}:");
+                    eprintln!("  {a_path}: {}", a[i]);
+                    eprintln!("  {b_path}: {}", b[i]);
+                    std::process::exit(1);
+                }
+                None if a.len() != b.len() => {
+                    let i = a.len().min(b.len());
+                    let (longer, extra) = if a.len() > b.len() {
+                        (a_path, &a[i])
+                    } else {
+                        (b_path, &b[i])
+                    };
+                    eprintln!("logs agree on the first {i} records, then {longer} continues:");
+                    eprintln!("  {longer}: {extra}");
+                    std::process::exit(1);
+                }
+                None => {
+                    println!("no divergence ({} records)", a.len());
+                }
+            }
         }
         Some("examples") => {
             let dir = std::path::PathBuf::from(

@@ -83,6 +83,31 @@ pub fn easy_pass_with_order<S: BackfillSim>(
         }
         backfilled += 1;
     }
+    // Forensics: once no candidate fits, classify why each remaining job
+    // was skipped this pass. Only runs under an auditing probe.
+    if sim.audit_enabled() {
+        let free = sim.free_procs();
+        let skips: Vec<(usize, crate::observe::audit::SkipReason)> = sim
+            .queue()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, j)| {
+                let reason = if j.procs > free {
+                    crate::observe::audit::SkipReason::InsufficientProcs
+                } else {
+                    // Fits the free procs but would end after the shadow
+                    // while exceeding the extra — it would delay the
+                    // reserved job's shadow start.
+                    crate::observe::audit::SkipReason::ShadowViolation
+                };
+                (i, reason)
+            })
+            .collect();
+        for (idx, reason) in skips {
+            sim.audit_backfill_skip(idx, reason);
+        }
+    }
     sim.phase_end(crate::observe::Phase::BackfillScan);
     backfilled
 }

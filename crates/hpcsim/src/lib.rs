@@ -64,11 +64,15 @@ pub use cluster::{
 };
 pub use estimator::RuntimeEstimator;
 pub use metrics::Metrics;
+pub use observe::audit::{
+    AuditLog, AuditProbe, AuditRecord, SkipReason, StartKind, WaitAttribution, WaitBreakdown,
+    WaitCause,
+};
 pub use observe::{NoopProbe, Phase, Probe, Recorder, Telemetry};
 pub use policy::Policy;
 pub use runner::{
-    run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, run_scheduler_on_rerouted_recorded,
-    run_scheduler_recorded, Backfill, ScheduleResult,
+    run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, run_scheduler_on_rerouted_probed,
+    run_scheduler_on_rerouted_recorded, run_scheduler_recorded, Backfill, ScheduleResult,
 };
 pub use scenario::{
     AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport, ScenarioBuilder,
@@ -84,11 +88,16 @@ pub mod prelude {
     };
     pub use crate::estimator::RuntimeEstimator;
     pub use crate::metrics::Metrics;
+    pub use crate::observe::audit::{
+        AuditLog, AuditProbe, AuditRecord, SkipReason, StartKind, WaitAttribution, WaitBreakdown,
+        WaitCause,
+    };
     pub use crate::observe::{NoopProbe, Probe, Recorder, Telemetry};
     pub use crate::policy::Policy;
     pub use crate::runner::{
         run_scheduler, run_scheduler_on, run_scheduler_on_rerouted,
-        run_scheduler_on_rerouted_recorded, run_scheduler_recorded, Backfill, ScheduleResult,
+        run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_recorded,
+        run_scheduler_recorded, Backfill, ScheduleResult,
     };
     pub use crate::scenario::{
         self, AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport,

@@ -27,8 +27,20 @@
 //! ([`ProfileStats`], [`PlanStats`], [`RouterStats`]) that are always on
 //! (a handful of integer adds on already-expensive paths) and harvested
 //! into the probe once, when the simulation completes.
+//!
+//! The [`audit`] submodule builds the third output on the same trait: a
+//! typed, wall-clock-free per-job decision log ([`audit::AuditLog`])
+//! recorded by [`audit::AuditProbe`] through the lifecycle hooks below
+//! (`on_job_submitted` … `on_job_completed`). Like the counters, the
+//! lifecycle hooks default to empty `#[inline]` bodies, so the
+//! `NoopProbe` simulation still monomorphizes to the pre-probe code.
 
+pub mod audit;
+
+use crate::cluster::Partition;
+use audit::{SkipReason, StartKind};
 use std::time::Instant;
+use swf::Job;
 
 /// A phase of one decision-point iteration, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -315,6 +327,52 @@ pub trait Probe: std::fmt::Debug + Clone {
     /// engine brackets speculatively and cancels empty batches).
     #[inline]
     fn span_cancel(&mut self, _phase: Phase) {}
+
+    /// Whether the engine should pay for audit-only work (candidate-score
+    /// collection at submission, backfill skip scans, settle passes).
+    /// Separate from `ENABLED` so a telemetry [`Recorder`] does not drag
+    /// the audit machinery along; only [`audit::AuditProbe`] returns true.
+    #[inline]
+    fn audit_on(&self) -> bool {
+        false
+    }
+
+    /// A job was routed and enqueued at submission. `candidates` holds the
+    /// router's estimated start per fitting partition (empty when the
+    /// probe is not auditing); `chosen` is the partition it joined.
+    #[inline]
+    fn on_job_submitted(&mut self, _t: f64, _job: &Job, _chosen: usize, _cands: &[(usize, f64)]) {}
+
+    /// A job fit no partition and was set aside before the run.
+    #[inline]
+    fn on_job_dropped(&mut self, _job: &Job) {}
+
+    /// A queued job was passed over by a backfill scan for `reason`.
+    #[inline]
+    fn on_backfill_skipped(&mut self, _t: f64, _part: usize, _job_id: usize, _reason: SkipReason) {}
+
+    /// A conservative pass repaired `entries` reservation-plan entries,
+    /// attributed to the dominant invalidation `cause`.
+    #[inline]
+    fn on_plan_repaired(&mut self, _t: f64, _part: usize, _cause: RepairCause, _entries: usize) {}
+
+    /// A queued job migrated between partitions with estimated `gain`.
+    #[inline]
+    fn on_migrated(&mut self, _t: f64, _job_id: usize, _from: usize, _to: usize, _gain: f64) {}
+
+    /// A job left the queue and began executing.
+    #[inline]
+    fn on_job_started(&mut self, _t: f64, _part: usize, _job: &Job, _kind: StartKind) {}
+
+    /// A running job released its processors.
+    #[inline]
+    fn on_job_completed(&mut self, _t: f64, _part: usize, _job: &Job, _start: f64) {}
+
+    /// The event loop settled: all due events applied, ready jobs
+    /// started. Audit probes reclassify waiting jobs here. Only called
+    /// when [`Probe::audit_on`] is true.
+    #[inline]
+    fn on_settle(&mut self, _now: f64, _parts: &[Partition]) {}
 
     /// End-of-run harvest of the summed persistent-profile stats.
     /// Idempotent set semantics: a later call replaces the value.

@@ -175,6 +175,11 @@ pub(crate) struct Planner {
     est: Option<EstState>,
     /// Passive suffix-repair accounting (see [`crate::observe`]).
     stats: PlanStats,
+    /// The repair performed by the most recent [`Planner::conservative_starts`]
+    /// call, for the audit log's `plan_repaired` records; `None` when the
+    /// last pass repaired nothing. Overwritten every pass, consumed by
+    /// [`Planner::take_last_repair`].
+    last_repair: Option<(RepairCause, usize)>,
 }
 
 impl Planner {
@@ -185,6 +190,12 @@ impl Planner {
     /// A snapshot of the planner's suffix-repair accounting.
     pub fn stats(&self) -> PlanStats {
         self.stats.clone()
+    }
+
+    /// The (cause, entries) repair of the most recent conservative pass,
+    /// if it repaired anything. Consuming — a second call returns `None`.
+    pub fn take_last_repair(&mut self) -> Option<(RepairCause, usize)> {
+        self.last_repair.take()
     }
 
     /// Sums the passive profile counters of every persistent profile the
@@ -367,6 +378,9 @@ impl Planner {
             // full derivation is attributed to arrivals.
             let cause = cons.pending_cause.unwrap_or(RepairCause::Arrival);
             self.stats.record_repair(cause, repair_len);
+            self.last_repair = Some((cause, repair_len));
+        } else {
+            self.last_repair = None;
         }
         cons.pending_cause = None;
         for j in cons.dirty_from..part.queue().len() {

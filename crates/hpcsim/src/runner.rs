@@ -141,6 +141,24 @@ pub fn run_scheduler_on_rerouted_recorded(
     reroute: ReroutePolicy,
     recorder: Recorder,
 ) -> (ScheduleResult, Recorder) {
+    run_scheduler_on_rerouted_probed(trace, policy, backfill, spec, router, reroute, recorder)
+}
+
+/// [`run_scheduler_on_rerouted`] threaded through an arbitrary
+/// [`crate::observe::Probe`] — the fully general instrumented run. With a
+/// [`Recorder`] this is telemetry collection; with an
+/// [`crate::observe::audit::AuditProbe`] it is decision forensics. The
+/// realized schedule is bitwise identical to the unprobed run either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheduler_on_rerouted_probed<P: crate::observe::Probe>(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    spec: &ClusterSpec,
+    router: Arc<dyn Router>,
+    reroute: ReroutePolicy,
+    probe: P,
+) -> (ScheduleResult, P) {
     let total = spec.total_procs();
     let mut sim = ProbedSimulation::with_cluster_rerouted_probed(
         trace,
@@ -148,7 +166,7 @@ pub fn run_scheduler_on_rerouted_recorded(
         spec.clone(),
         router,
         reroute,
-        recorder,
+        probe,
     );
     let result = drive_to_completion(&mut sim, total, backfill);
     (result, sim.into_probe())

@@ -55,11 +55,12 @@ use crate::cluster::{
 };
 use crate::estimator::RuntimeEstimator;
 use crate::metrics::Metrics;
+use crate::observe::audit::{AuditLog, AuditProbe, WaitAttribution};
 use crate::observe::{Recorder, Telemetry};
 use crate::policy::Policy;
 use crate::runner::{
-    run_scheduler, run_scheduler_on_rerouted_recorded, run_scheduler_recorded,
-    run_scheduler_reference, Backfill, ScheduleResult,
+    run_scheduler, run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_recorded,
+    run_scheduler_recorded, run_scheduler_reference, Backfill, ScheduleResult,
 };
 use crate::state::CompletedJob;
 use desim::Replicator;
@@ -375,13 +376,18 @@ pub struct ScenarioSpec {
     /// [`crate::observe`]) into [`RunReport::telemetry`]. Kernel engine
     /// only; the schedule itself is bitwise unaffected.
     pub telemetry: bool,
+    /// Whether the run collects the decision-forensics audit log (see
+    /// [`crate::observe::audit`]) and attaches its aggregate wait-cause
+    /// attribution to [`RunReport::attribution`]. Kernel engine only; the
+    /// schedule itself is bitwise unaffected.
+    pub audit: bool,
 }
 
-// Hand-written serde (like [`Platform`]'s): `telemetry` is omitted when
-// false and defaulted when absent, so every spec file committed before
-// the observability layer landed keeps parsing, and telemetry-off specs
-// keep serializing to the identical bytes the reproduce pins compare
-// against.
+// Hand-written serde (like [`Platform`]'s): `telemetry` and `audit` are
+// omitted when false and defaulted when absent, so every spec file
+// committed before the observability layers landed keeps parsing, and
+// telemetry-/audit-off specs keep serializing to the identical bytes the
+// reproduce pins compare against.
 impl Serialize for ScenarioSpec {
     fn to_value(&self) -> serde::Value {
         let mut entries = vec![
@@ -402,6 +408,9 @@ impl Serialize for ScenarioSpec {
         if self.telemetry {
             entries.push(("telemetry".to_string(), self.telemetry.to_value()));
         }
+        if self.audit {
+            entries.push(("audit".to_string(), self.audit.to_value()));
+        }
         serde::Value::Object(entries)
     }
 }
@@ -411,6 +420,10 @@ impl Deserialize for ScenarioSpec {
         let has_telemetry = matches!(
             v,
             serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "telemetry")
+        );
+        let has_audit = matches!(
+            v,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "audit")
         );
         Ok(ScenarioSpec {
             name: serde::field(v, "name")?,
@@ -425,6 +438,11 @@ impl Deserialize for ScenarioSpec {
             record_schedule: serde::field(v, "record_schedule")?,
             telemetry: if has_telemetry {
                 serde::field(v, "telemetry")?
+            } else {
+                false
+            },
+            audit: if has_audit {
+                serde::field(v, "audit")?
             } else {
                 false
             },
@@ -450,6 +468,7 @@ impl ScenarioSpec {
                 metrics: Vec::new(),
                 record_schedule: false,
                 telemetry: false,
+                audit: false,
             },
         }
     }
@@ -612,6 +631,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Collects the decision-forensics audit log and attaches its
+    /// aggregate wait-cause attribution to the report (kernel engine
+    /// only).
+    pub fn audit(mut self, audit: bool) -> Self {
+        self.spec.audit = audit;
+        self
+    }
+
     /// Finishes the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -655,12 +682,18 @@ pub struct RunReport {
     /// Deterministic run telemetry (counters + histograms), present only
     /// when the spec asked for it ([`ScenarioSpec::telemetry`]).
     pub telemetry: Option<Telemetry>,
+    /// Aggregate wait-cause attribution from the decision-forensics audit
+    /// log, present only when the spec asked for it
+    /// ([`ScenarioSpec::audit`]). Summed across windows under
+    /// [`Protocol::Windows`].
+    pub attribution: Option<WaitAttribution>,
 }
 
 // Hand-written serde (like [`Platform`]'s): `dropped_jobs` is omitted
-// when 0 and defaulted when absent, and `telemetry` is omitted when
-// `None`, so reports written before either field existed keep parsing
-// and telemetry-free reports keep their committed bytes.
+// when 0 and defaulted when absent, and `telemetry` / `attribution` are
+// omitted when `None`, so reports written before these fields existed
+// keep parsing and telemetry-/audit-free reports keep their committed
+// bytes.
 impl Serialize for RunReport {
     fn to_value(&self) -> serde::Value {
         let mut entries = vec![
@@ -677,6 +710,9 @@ impl Serialize for RunReport {
         entries.push(("spec".to_string(), self.spec.to_value()));
         if let Some(t) = &self.telemetry {
             entries.push(("telemetry".to_string(), t.to_value()));
+        }
+        if let Some(a) = &self.attribution {
+            entries.push(("attribution".to_string(), a.to_value()));
         }
         serde::Value::Object(entries)
     }
@@ -705,6 +741,11 @@ impl Deserialize for RunReport {
             spec: serde::field(v, "spec")?,
             telemetry: if has("telemetry") {
                 Some(serde::field(v, "telemetry")?)
+            } else {
+                None
+            },
+            attribution: if has("attribution") {
+                Some(serde::field(v, "attribution")?)
             } else {
                 None
             },
@@ -746,6 +787,9 @@ pub enum ScenarioError {
     ReferenceNeedsFlat,
     /// Telemetry collection is only instrumented on the kernel engine.
     TelemetryNeedsKernel,
+    /// The decision-forensics audit hooks are only threaded through the
+    /// kernel engine.
+    AuditNeedsKernel,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -766,6 +810,11 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "telemetry collection requires the kernel engine (the probe hooks are not \
                  threaded through the preserved seed engines)"
+            ),
+            ScenarioError::AuditNeedsKernel => write!(
+                f,
+                "audit collection requires the kernel engine (the decision-forensics hooks \
+                 are not threaded through the preserved seed engines)"
             ),
         }
     }
@@ -832,6 +881,7 @@ pub fn make_report(
         schedule,
         spec: spec.clone(),
         telemetry: None,
+        attribution: None,
     }
 }
 
@@ -954,6 +1004,40 @@ fn run_once_recorded(
     }
 }
 
+/// [`run_once`] with an [`AuditProbe`] threaded through the kernel
+/// engine: same schedule bitwise, plus the run's decision-forensics log
+/// (and the probe's embedded telemetry). Only the kernel engine is
+/// instrumented. Flat platforms run through the degenerate homogeneous
+/// cluster, which realizes the identical schedule (pinned by the
+/// equivalence suite).
+fn run_once_audited(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    backfill: Backfill,
+) -> Result<(ScheduleResult, AuditProbe), ScenarioError> {
+    match (spec.engine, &spec.platform.cluster) {
+        (Engine::Kernel, None) => Ok(run_scheduler_on_rerouted_probed(
+            trace,
+            spec.policy,
+            backfill,
+            &ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(StaticAffinity),
+            ReroutePolicy::AtSubmission,
+            AuditProbe::new(),
+        )),
+        (Engine::Kernel, Some(cluster)) => Ok(run_scheduler_on_rerouted_probed(
+            trace,
+            spec.policy,
+            backfill,
+            cluster,
+            spec.platform.router.build(),
+            spec.platform.reroute,
+            AuditProbe::new(),
+        )),
+        (Engine::Reference | Engine::SeedNaive, _) => Err(ScenarioError::AuditNeedsKernel),
+    }
+}
+
 fn run_with_seed(spec: &ScenarioSpec, seed: Option<u64>) -> Result<RunReport, ScenarioError> {
     let (trace, protocol) = materialize(spec, seed)?;
     run_protocol(spec, &trace, protocol, seed)
@@ -972,15 +1056,22 @@ fn run_protocol(
     };
     match protocol {
         Protocol::FullTrace => {
-            let (r, telemetry) = if spec.telemetry {
+            let (r, telemetry, attribution) = if spec.audit {
+                // The audit probe embeds a telemetry recorder, so one
+                // instrumented run serves both report fields.
+                let (r, probe) = run_once_audited(trace, spec, backfill)?;
+                let (log, tel) = probe.into_log_and_telemetry();
+                (r, spec.telemetry.then_some(tel), Some(log.attribution()))
+            } else if spec.telemetry {
                 let (r, rec) = run_once_recorded(trace, spec, backfill, Recorder::default())?;
-                (r, Some(rec.into_telemetry()))
+                (r, Some(rec.into_telemetry()), None)
             } else {
-                (run_once(trace, spec, backfill)?, None)
+                (run_once(trace, spec, backfill)?, None, None)
             };
             let schedule = spec.record_schedule.then_some(r.completed);
             let mut report = make_report(spec, seed, r.metrics, r.dropped_jobs, schedule);
             report.telemetry = telemetry;
+            report.attribution = attribution;
             Ok(report)
         }
         Protocol::Windows {
@@ -990,10 +1081,19 @@ fn run_protocol(
         } => {
             let windows = sample_windows(trace, samples, window_len, wseed);
             let mut telemetry = spec.telemetry.then(Telemetry::default);
+            let mut attribution = spec.audit.then(WaitAttribution::default);
             let per = windows
                 .iter()
                 .map(|w| {
-                    if let Some(total) = &mut telemetry {
+                    if let Some(attr) = &mut attribution {
+                        let (r, probe) = run_once_audited(w, spec, backfill)?;
+                        let (log, tel) = probe.into_log_and_telemetry();
+                        attr.merge(&log.attribution());
+                        if let Some(total) = &mut telemetry {
+                            total.merge(&tel);
+                        }
+                        Ok((r.metrics, r.dropped_jobs))
+                    } else if let Some(total) = &mut telemetry {
                         let (r, rec) = run_once_recorded(w, spec, backfill, Recorder::default())?;
                         total.merge(rec.telemetry());
                         Ok((r.metrics, r.dropped_jobs))
@@ -1006,6 +1106,7 @@ fn run_protocol(
             let metrics: Vec<Metrics> = per.into_iter().map(|(m, _)| m).collect();
             let mut report = make_report(spec, seed, mean_metrics(&metrics), dropped, None);
             report.telemetry = telemetry;
+            report.attribution = attribution;
             Ok(report)
         }
     }
@@ -1048,6 +1149,34 @@ pub fn run_recorded(spec: &ScenarioSpec) -> Result<(RunReport, Recorder), Scenar
     let mut report = make_report(spec, None, r.metrics, r.dropped_jobs, schedule);
     report.telemetry = Some(rec.telemetry().clone());
     Ok((report, rec))
+}
+
+/// Executes one spec with an [`AuditProbe`] and returns both the report
+/// (attribution attached regardless of the spec's `audit` flag) and the
+/// full decision-forensics [`AuditLog`] — the `scenario explain` /
+/// `scenario audit` subcommands. Kernel engine, whole-trace protocol
+/// only: record streams from independently-clocked window runs would not
+/// compose into one coherent log.
+pub fn run_audited(spec: &ScenarioSpec) -> Result<(RunReport, AuditLog), ScenarioError> {
+    let (trace, protocol) = materialize(spec, None)?;
+    if protocol != Protocol::FullTrace {
+        return Err(ScenarioError::Spec(
+            "audit export requires the whole-trace protocol (Windows runs have \
+             independently-clocked samples)"
+                .into(),
+        ));
+    }
+    let backfill = match &spec.scheduler {
+        SchedulerSpec::Heuristic(b) => *b,
+        SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
+    };
+    let (r, probe) = run_once_audited(&trace, spec, backfill)?;
+    let (log, telemetry) = probe.into_log_and_telemetry();
+    let schedule = spec.record_schedule.then_some(r.completed);
+    let mut report = make_report(spec, None, r.metrics, r.dropped_jobs, schedule);
+    report.telemetry = spec.telemetry.then_some(telemetry);
+    report.attribution = Some(log.attribution());
+    Ok((report, log))
 }
 
 /// Fans the spec's `seeds` out across threads with [`desim::Replicator`]
@@ -1298,6 +1427,66 @@ mod tests {
         let json = legacy.to_json_pretty();
         assert!(!json.contains("dropped_jobs"), "0 must serialize omitted");
         assert_eq!(RunReport::from_json(&json).unwrap().dropped_jobs, 0);
+    }
+
+    #[test]
+    fn audit_flag_round_trips_and_is_omitted_when_off() {
+        let spec = lublin_spec(50).audit(true).build();
+        let json = spec.to_json_pretty();
+        assert!(json.contains("\"audit\": true"));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+        // Audit-off specs keep their committed bytes: the field vanishes.
+        let off = lublin_spec(50).build();
+        assert!(!off.to_json_pretty().contains("audit"));
+        assert!(!run(&off).unwrap().to_json_pretty().contains("attribution"));
+    }
+
+    #[test]
+    fn audited_run_realizes_the_same_schedule_and_attribution_sums() {
+        let audited = run(&lublin_spec(300).audit(true).build()).unwrap();
+        let plain = run(&lublin_spec(300).build()).unwrap();
+        assert_eq!(audited.metrics, plain.metrics);
+        let attr = audited.attribution.as_ref().expect("attribution attached");
+        assert_eq!(attr.jobs as usize, audited.jobs);
+        assert!(
+            (attr.components_sum() - attr.total_wait).abs() <= 1e-6 * attr.total_wait.max(1.0),
+            "components {} vs total {}",
+            attr.components_sum(),
+            attr.total_wait
+        );
+        // The attribution table survives the committed-report round trip.
+        let back = RunReport::from_json(&audited.to_json_pretty()).unwrap();
+        assert_eq!(back, audited);
+    }
+
+    #[test]
+    fn windows_protocol_merges_attribution_across_windows() {
+        let report = run(&lublin_spec(400).windows(3, 64, 11).audit(true).build()).unwrap();
+        let attr = report.attribution.as_ref().expect("attribution attached");
+        assert_eq!(attr.jobs as usize, report.jobs);
+        assert!((attr.components_sum() - attr.total_wait).abs() <= 1e-6 * attr.total_wait.max(1.0));
+    }
+
+    #[test]
+    fn audit_requires_the_kernel_engine() {
+        let spec = lublin_spec(50)
+            .engine(Engine::Reference)
+            .audit(true)
+            .build();
+        assert_eq!(run(&spec), Err(ScenarioError::AuditNeedsKernel));
+    }
+
+    #[test]
+    fn run_audited_returns_a_log_consistent_with_the_report() {
+        let spec = lublin_spec(200).build();
+        let (report, log) = run_audited(&spec).unwrap();
+        assert_eq!(report.attribution, Some(log.attribution()));
+        assert_eq!(log.job_waits.len(), report.jobs);
+        // Same spec, same log, bitwise: the forensics layer is
+        // deterministic.
+        let (_, log2) = run_audited(&spec).unwrap();
+        assert_eq!(log.first_divergence(&log2), None);
+        assert_eq!(log, log2);
     }
 
     #[test]

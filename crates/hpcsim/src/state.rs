@@ -34,6 +34,7 @@ use crate::cluster::{
     ClusterSpec, ClusterView, Partition, ReroutePolicy, Router, RouterPlanCache, StaticAffinity,
 };
 use crate::estimator::RuntimeEstimator;
+use crate::observe::audit::{SkipReason, StartKind};
 use crate::observe::{NoopProbe, Phase, Probe};
 use crate::plan::Planner;
 use crate::policy::Policy;
@@ -194,6 +195,22 @@ pub trait BackfillSim {
 
     /// Marks the end of the phase opened by [`BackfillSim::phase_begin`].
     fn phase_end(&mut self, _phase: crate::observe::Phase) {}
+
+    /// Whether decision forensics are being collected — the EASY and
+    /// conservative passes only pay for their skip-reason scans when this
+    /// is true. Default (and [`NoopProbe`]): no.
+    fn audit_enabled(&self) -> bool {
+        false
+    }
+
+    /// Reports that the current backfill scan passed over the queued job
+    /// at `queue_idx` for `reason`. No-op without an auditing probe.
+    fn audit_backfill_skip(&mut self, _queue_idx: usize, _reason: SkipReason) {}
+
+    /// Marks the next successful [`BackfillSim::backfill`] call as the
+    /// start of a planned conservative reservation, so the audit log
+    /// distinguishes on-plan starts from opportunistic backfills.
+    fn audit_mark_reservation_start(&mut self) {}
 }
 
 macro_rules! forward_backfill_sim {
@@ -236,8 +253,15 @@ impl<P: Probe> BackfillSim for ProbedSimulation<P> {
 
     fn plan_conservative_starts(&mut self, estimator: RuntimeEstimator) -> Vec<usize> {
         let p = self.active;
-        self.planner
-            .conservative_starts(&self.parts, p, estimator, self.now)
+        let starts = self
+            .planner
+            .conservative_starts(&self.parts, p, estimator, self.now);
+        if P::ENABLED {
+            if let Some((cause, entries)) = self.planner.take_last_repair() {
+                self.probe.on_plan_repaired(self.now, p, cause, entries);
+            }
+        }
+        starts
     }
 
     fn shadow_extra(&mut self, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
@@ -258,6 +282,24 @@ impl<P: Probe> BackfillSim for ProbedSimulation<P> {
         if P::ENABLED {
             self.probe.span_end(phase);
         }
+    }
+
+    fn audit_enabled(&self) -> bool {
+        P::ENABLED && self.probe.audit_on()
+    }
+
+    fn audit_backfill_skip(&mut self, queue_idx: usize, reason: SkipReason) {
+        if P::ENABLED {
+            if let Some(job) = self.parts[self.active].queue.get(queue_idx) {
+                let id = job.id;
+                self.probe
+                    .on_backfill_skipped(self.now, self.active, id, reason);
+            }
+        }
+    }
+
+    fn audit_mark_reservation_start(&mut self) {
+        self.audit_next_reservation = true;
     }
 }
 
@@ -333,6 +375,10 @@ pub struct ProbedSimulation<P: Probe = NoopProbe> {
     router_cache: RouterPlanCache,
     /// The observability hook; [`NoopProbe`] costs nothing.
     probe: P,
+    /// Set by [`BackfillSim::audit_mark_reservation_start`]; the next
+    /// successful [`Self::backfill`] consumes it to label its start
+    /// [`StartKind::Reservation`] instead of [`StartKind::Backfill`].
+    audit_next_reservation: bool,
 }
 
 /// The uninstrumented simulation — the [`NoopProbe`] instantiation of
@@ -414,7 +460,7 @@ impl<P: Probe> ProbedSimulation<P> {
             .iter()
             .map(|p| Partition::new(p.clone()))
             .collect();
-        Self {
+        let mut sim = Self {
             policy,
             spec,
             router,
@@ -431,7 +477,15 @@ impl<P: Probe> ProbedSimulation<P> {
             planner: Planner::new(),
             router_cache: RouterPlanCache::new(),
             probe,
+            audit_next_reservation: false,
+        };
+        if P::ENABLED && sim.probe.audit_on() {
+            for i in 0..sim.dropped.len() {
+                let j = sim.dropped[i];
+                sim.probe.on_job_dropped(&j);
+            }
         }
+        sim
     }
 
     /// Starts a probed simulation on the degenerate homogeneous cluster —
@@ -554,6 +608,11 @@ impl<P: Probe> ProbedSimulation<P> {
                 self.reroute_pass();
             }
             self.start_ready_jobs();
+            if P::ENABLED && self.probe.audit_on() {
+                // The instant is settled: every waiting job's wait-cause
+                // class is re-derived from the queues as they now stand.
+                self.probe.on_settle(self.now, &self.parts);
+            }
             if let Some(p) = self.next_opportunity() {
                 self.parts[p].opportunity_armed = false;
                 self.active = p;
@@ -609,6 +668,8 @@ impl<P: Probe> ProbedSimulation<P> {
     /// earliest start (computed from *actual* runtimes — the simulator
     /// knows the truth even though schedulers only see estimates).
     pub fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
+        // The reservation mark applies to this call only, error or not.
+        let next_reservation = std::mem::take(&mut self.audit_next_reservation);
         let part = &self.parts[self.active];
         if queue_idx >= part.queue.len() {
             self.probe.on_backfill(false);
@@ -632,6 +693,14 @@ impl<P: Probe> ProbedSimulation<P> {
         self.parts[p].queue.remove(queue_idx);
         self.parts[p].touch();
         self.planner.on_start(p, queue_idx, &job, self.now);
+        if P::ENABLED && self.probe.audit_on() {
+            let kind = if next_reservation {
+                StartKind::Reservation
+            } else {
+                StartKind::Backfill
+            };
+            self.probe.on_job_started(self.now, p, &job, kind);
+        }
         self.start_job(p, job);
         self.parts[p].opportunity_armed = true;
         Ok(BackfillOutcome { delays_reserved })
@@ -693,6 +762,25 @@ impl<P: Probe> ProbedSimulation<P> {
                         p,
                         self.parts[p].procs()
                     );
+                    if P::ENABLED && self.probe.audit_on() {
+                        // The routing evidence: the same estimated-start
+                        // geometry `EarliestStart` routes by, one estimate
+                        // per fitting partition (shared-cache reads are
+                        // schedule-neutral, so the realized schedule is
+                        // unchanged by collecting them).
+                        let est = crate::cluster::EarliestStart::default();
+                        let view = ClusterView {
+                            now: self.now,
+                            policy: self.policy,
+                            parts: &self.parts,
+                            plans: Some(&self.router_cache),
+                        };
+                        let cands: Vec<(usize, f64)> = view
+                            .fitting(&job)
+                            .map(|i| (i, est.estimated_start(&job, &view, i)))
+                            .collect();
+                        self.probe.on_job_submitted(self.now, &job, p, &cands);
+                    }
                     let scaled = self.parts[p].scale_job(job);
                     let pos = self.parts[p].enqueue(scaled, self.policy, self.now);
                     self.planner.on_enqueue(p, pos);
@@ -715,6 +803,9 @@ impl<P: Probe> ProbedSimulation<P> {
                     part.touch();
                     debug_assert!(part.free <= part.procs(), "released more than claimed");
                     self.planner.on_complete(p, &r, self.now);
+                    if P::ENABLED && self.probe.audit_on() {
+                        self.probe.on_job_completed(self.now, p, &r.job, r.start);
+                    }
                     self.completed.push(CompletedJob {
                         job: r.job,
                         start: r.start,
@@ -829,6 +920,9 @@ impl<P: Probe> ProbedSimulation<P> {
                         *self.moves.entry(job.id).or_insert(0) += 1;
                         self.migrations += 1;
                         self.probe.on_migration_accepted();
+                        if P::ENABLED && self.probe.audit_on() {
+                            self.probe.on_migrated(self.now, job.id, p, d.to, d.gain);
+                        }
                         // The vec shifted left — re-examine this position.
                     }
                     _ => pos += 1,
@@ -872,6 +966,10 @@ impl<P: Probe> ProbedSimulation<P> {
             {
                 let job = self.parts[p].queue.remove(0);
                 self.planner.on_start(p, 0, &job, self.now);
+                if P::ENABLED && self.probe.audit_on() {
+                    self.probe
+                        .on_job_started(self.now, p, &job, StartKind::Head);
+                }
                 self.start_job(p, job);
                 self.parts[p].opportunity_armed = true;
             }

@@ -201,13 +201,14 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             proptest::collection::vec(arb_metric(), 0..5),
             any::<bool>(),
             any::<bool>(),
+            any::<bool>(),
         ),
     )
         .prop_map(
             |(
                 (name, trace, platform),
                 (policy, scheduler, engine),
-                (protocol, seeds, metrics, record_schedule, telemetry),
+                (protocol, seeds, metrics, record_schedule, telemetry, audit),
             )| ScenarioSpec {
                 name,
                 trace,
@@ -220,6 +221,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 metrics,
                 record_schedule,
                 telemetry,
+                audit,
             },
         )
 }

@@ -87,6 +87,23 @@ fn table3_fcfs_report_reproduces_byte_identically() {
 }
 
 #[test]
+fn audit_demo_report_reproduces_byte_identically() {
+    // The decision-forensics snapshot: the report embeds the aggregate
+    // wait-cause attribution, so this pin enforces that the audit layer
+    // is a pure function of the engine's decision structure — a diff
+    // here means the kernel *decides differently*, even when the
+    // schedule pins stay green.
+    let spec = ScenarioSpec::from_json(&read("examples/scenarios/audit_demo.json")).unwrap();
+    assert!(spec.audit, "the demo spec must opt into auditing");
+    let committed = read("results/audit_demo.json");
+    let regenerated = scenario::run(&spec).expect("spec runs").to_json_pretty();
+    assert_eq!(
+        regenerated, committed,
+        "results/audit_demo.json is not the byte-exact report of its committed spec"
+    );
+}
+
+#[test]
 fn table3_policies_fcfs_row_matches_the_committed_report() {
     let committed = RunReport::from_json(&read("results/table3_fcfs.json")).unwrap();
     let table: Vec<RunReport> =
