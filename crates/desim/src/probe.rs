@@ -17,6 +17,13 @@ use crate::time::SimTime;
 /// Observer of the kernel run loop. All methods default to empty inline
 /// bodies, so an unused hook costs nothing after monomorphization.
 pub trait KernelProbe {
+    /// Whether this probe records anything. The run loop gates every hook
+    /// call on it (`if P::ENABLED { … }`), so a `false` probe's argument
+    /// expressions are never even evaluated — the same zero-cost contract
+    /// as `hpcsim::observe::Probe::ENABLED`, enforced by simlint's
+    /// probe-gating rule.
+    const ENABLED: bool = true;
+
     /// Called after each executed event with its execution time and the
     /// number of events still pending.
     #[inline]
@@ -28,7 +35,9 @@ pub trait KernelProbe {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopKernelProbe;
 
-impl KernelProbe for NoopKernelProbe {}
+impl KernelProbe for NoopKernelProbe {
+    const ENABLED: bool = false;
+}
 
 /// A minimal recording probe: event count plus peak and cumulative
 /// heap depth (mean depth = `depth_sum / events`).

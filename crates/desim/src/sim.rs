@@ -85,7 +85,9 @@ impl<S: SimState, E: Event<S>> Simulation<S, E> {
     /// pop (before the event schedules follow-ups).
     pub fn step_with<P: KernelProbe>(&mut self, probe: &mut P) -> Option<SimTime> {
         let (time, event) = self.queue.pop()?;
-        probe.on_execute(time, self.queue.len());
+        if P::ENABLED {
+            probe.on_execute(time, self.queue.len());
+        }
         event.execute(&mut self.state, &mut self.queue);
         Some(time)
     }

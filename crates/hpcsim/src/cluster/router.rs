@@ -442,7 +442,7 @@ impl EarliestStart {
             .iter()
             .filter(|q| q.id != job.id)
             .copied()
-            .collect();
+            .collect(); // simlint: allow(hot-alloc) — from-scratch fallback; runs only when no RouterPlanCache is shared
         view.policy.sort_queue(&mut queued, view.now);
         let ahead = queued.partition_point(|q| {
             view.policy
@@ -496,14 +496,12 @@ impl Router for EarliestStart {
     }
 
     fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize {
-        // One estimate per partition, not per comparison — the profile
-        // construction is the expensive part of this hot path.
-        let starts: Vec<(usize, f64)> = view
-            .fitting(job)
+        // One estimate per partition, computed inside the map so `min_by`
+        // compares cached values — the profile construction is the
+        // expensive part of this hot path, and streaming the pairs keeps
+        // the pass allocation-free.
+        view.fitting(job)
             .map(|i| (i, self.estimated_start(job, view, i)))
-            .collect();
-        starts
-            .into_iter()
             .min_by(|&(a, sa), &(b, sb)| {
                 sa.total_cmp(&sb)
                     .then(view.parts[b].speed().total_cmp(&view.parts[a].speed()))

@@ -61,7 +61,7 @@ pub fn conservative_pass<S: BackfillSim>(sim: &mut S, estimator: RuntimeEstimato
                 };
                 (i, reason)
             })
-            .collect();
+            .collect(); // simlint: allow(hot-alloc) — audit-only skip labels; the collect runs only when audit_enabled()
         for (idx, reason) in skips {
             sim.audit_backfill_skip(idx, reason);
         }

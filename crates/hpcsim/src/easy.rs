@@ -103,7 +103,7 @@ pub fn easy_pass_with_order<S: BackfillSim>(
                 };
                 (i, reason)
             })
-            .collect();
+            .collect(); // simlint: allow(hot-alloc) — audit-only skip labels; the collect runs only when audit_enabled()
         for (idx, reason) in skips {
             sim.audit_backfill_skip(idx, reason);
         }

@@ -346,11 +346,11 @@ impl Planner {
         let cons = pp.cons.get_or_insert_with(|| {
             // The clone would carry the release profile's op history into
             // a second harvested profile — wipe it so ops count once.
-            let mut combined = pp.releases.clone();
+            let mut combined = pp.releases.clone(); // simlint: allow(hot-alloc) — one-time ConsPlan build; amortized away by incremental suffix repair
             combined.clear_stats();
             ConsPlan {
                 combined,
-                plan: Vec::new(),
+                plan: Vec::new(), // simlint: allow(hot-alloc) — Vec::new allocates nothing; the plan grows during the cold rebuild
                 dirty_from: 0,
                 pending_cause: None,
             }
@@ -405,7 +405,7 @@ impl Planner {
             .skip(1)
             .filter(|(_, e)| e.start <= now + EPS)
             .map(|(i, _)| i)
-            .collect()
+            .collect() // simlint: allow(hot-alloc) — the due-starts action set is an owned Vec by BackfillSim contract
     }
 
     /// The EASY shadow time and extra-processor count for partition `p`'s
@@ -462,7 +462,7 @@ impl Planner {
                     }
                     prof
                 })
-                .collect()
+                .collect() // simlint: allow(hot-alloc) — one-time ground-truth profile build, cached for the whole run
         });
         let prof = &mut actual[p];
         prof.advance_to(now);

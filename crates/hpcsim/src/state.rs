@@ -39,7 +39,7 @@ use crate::observe::{NoopProbe, Phase, Probe};
 use crate::plan::Planner;
 use crate::policy::Policy;
 use desim::{EventQueue, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use swf::{Job, Trace};
 
@@ -358,10 +358,17 @@ pub struct ProbedSimulation<P: Probe = NoopProbe> {
     /// trace jobs `Metrics` would otherwise silently under-count).
     dropped: Vec<Job>,
     /// Per-job migration counts under [`ReroutePolicy::AtDecisionPoints`]
-    /// (empty under the default at-submission routing).
-    moves: HashMap<usize, u32>,
+    /// (empty under the default at-submission routing). A `BTreeMap` so
+    /// the container is order-deterministic by construction — access is
+    /// keyed today, but the re-route pass must stay bitwise reproducible
+    /// even if someone iterates it tomorrow.
+    moves: BTreeMap<usize, u32>,
     /// Total queue migrations performed.
     migrations: usize,
+    /// Reusable per-partition freeze flags for [`Self::reroute_pass`] —
+    /// taken at pass entry, returned at exit, so the pass allocates only
+    /// on first use (hot-path/alloc discipline).
+    frozen_scratch: Vec<bool>,
     events: EventQueue<ClusterEvent>,
     /// The persistent per-partition planning layer (see [`crate::plan`]):
     /// long-lived availability profiles and reservation plans, updated
@@ -471,7 +478,8 @@ impl<P: Probe> ProbedSimulation<P> {
             arrivals,
             completed: Vec::new(),
             dropped,
-            moves: HashMap::new(),
+            moves: BTreeMap::new(),
+            frozen_scratch: Vec::new(),
             migrations: 0,
             events,
             planner: Planner::new(),
@@ -616,7 +624,9 @@ impl<P: Probe> ProbedSimulation<P> {
             if let Some(p) = self.next_opportunity() {
                 self.parts[p].opportunity_armed = false;
                 self.active = p;
-                self.probe.on_queue_depth(self.parts[p].queue.len());
+                if P::ENABLED {
+                    self.probe.on_queue_depth(self.parts[p].queue.len());
+                }
                 return SimEvent::BackfillOpportunity;
             }
             // Advance the clock to the next event; the loop head then
@@ -658,7 +668,7 @@ impl<P: Probe> ProbedSimulation<P> {
             .skip(1)
             .filter(|(_, j)| j.procs <= part.free)
             .map(|(i, _)| i)
-            .collect()
+            .collect() // simlint: allow(hot-alloc) — RL action-space API returns an owned Vec once per opportunity
     }
 
     /// Starts the active partition's queued job at `queue_idx` immediately
@@ -672,22 +682,30 @@ impl<P: Probe> ProbedSimulation<P> {
         let next_reservation = std::mem::take(&mut self.audit_next_reservation);
         let part = &self.parts[self.active];
         if queue_idx >= part.queue.len() {
-            self.probe.on_backfill(false);
+            if P::ENABLED {
+                self.probe.on_backfill(false);
+            }
             return Err(BackfillError::BadIndex);
         }
         if queue_idx == 0 {
-            self.probe.on_backfill(false);
+            if P::ENABLED {
+                self.probe.on_backfill(false);
+            }
             return Err(BackfillError::ReservedJob);
         }
         let job = part.queue[queue_idx];
         if job.procs > part.free {
-            self.probe.on_backfill(false);
+            if P::ENABLED {
+                self.probe.on_backfill(false);
+            }
             return Err(BackfillError::DoesNotFit);
         }
         let delays_reserved = self.would_delay_reserved(&job);
-        self.probe.on_backfill(true);
-        if delays_reserved {
-            self.probe.on_backfill_would_delay();
+        if P::ENABLED {
+            self.probe.on_backfill(true);
+            if delays_reserved {
+                self.probe.on_backfill_would_delay();
+            }
         }
         let p = self.active;
         self.parts[p].queue.remove(queue_idx);
@@ -741,7 +759,9 @@ impl<P: Probe> ProbedSimulation<P> {
         }
         while let Some((_, event)) = self.events.pop_until(deadline) {
             applied += 1;
-            self.probe.on_event(self.events.len());
+            if P::ENABLED {
+                self.probe.on_event(self.events.len());
+            }
             match event {
                 ClusterEvent::Arrival(idx) => {
                     let job = self.arrivals[idx];
@@ -778,7 +798,7 @@ impl<P: Probe> ProbedSimulation<P> {
                         let cands: Vec<(usize, f64)> = view
                             .fitting(&job)
                             .map(|i| (i, est.estimated_start(&job, &view, i)))
-                            .collect();
+                            .collect(); // simlint: allow(hot-alloc) — audit-only routing candidates; gated on audit_on()
                         self.probe.on_job_submitted(self.now, &job, p, &cands);
                     }
                     let scaled = self.parts[p].scale_job(job);
@@ -871,7 +891,9 @@ impl<P: Probe> ProbedSimulation<P> {
                 self.planner.on_resort(p);
             }
         }
-        let frozen: Vec<bool> = self.parts.iter().map(Self::has_opportunity).collect();
+        let mut frozen = std::mem::take(&mut self.frozen_scratch);
+        frozen.clear();
+        frozen.extend(self.parts.iter().map(Self::has_opportunity));
         let router = Arc::clone(&self.router);
         for p in 0..self.parts.len() {
             if frozen[p] {
@@ -894,9 +916,11 @@ impl<P: Probe> ProbedSimulation<P> {
                     plans: Some(&self.router_cache),
                 };
                 let decision = router.reroute(&reference, &view, p);
-                self.probe.on_migration_candidate();
-                if decision.is_some() {
-                    self.probe.on_migration_proposed();
+                if P::ENABLED {
+                    self.probe.on_migration_candidate();
+                    if decision.is_some() {
+                        self.probe.on_migration_proposed();
+                    }
                 }
                 match decision {
                     Some(d) if d.gain >= min_gain_secs && !frozen[d.to] && d.to != p => {
@@ -919,9 +943,11 @@ impl<P: Probe> ProbedSimulation<P> {
                         self.parts[d.to].opportunity_armed = true;
                         *self.moves.entry(job.id).or_insert(0) += 1;
                         self.migrations += 1;
-                        self.probe.on_migration_accepted();
-                        if P::ENABLED && self.probe.audit_on() {
-                            self.probe.on_migrated(self.now, job.id, p, d.to, d.gain);
+                        if P::ENABLED {
+                            self.probe.on_migration_accepted();
+                            if self.probe.audit_on() {
+                                self.probe.on_migrated(self.now, job.id, p, d.to, d.gain);
+                            }
                         }
                         // The vec shifted left — re-examine this position.
                     }
@@ -929,6 +955,7 @@ impl<P: Probe> ProbedSimulation<P> {
                 }
             }
         }
+        self.frozen_scratch = frozen;
         if P::ENABLED {
             self.probe.span_end(Phase::ReroutePass);
         }

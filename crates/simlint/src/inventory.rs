@@ -1,0 +1,187 @@
+//! The hot-path allocation ratchet.
+//!
+//! `results/hot_alloc_inventory.json` is the committed, machine-readable
+//! inventory of every *allowed* allocation inside a registered hot
+//! function, keyed by `(file, function, pattern)` with an occurrence
+//! count and the reason from its allow comment. The check fails when the
+//! code and the inventory disagree in either direction:
+//!
+//! - an allowed allocation not in the inventory → the inventory is stale
+//!   (someone added an allow without re-blessing);
+//! - an inventory entry with no matching allocation → also stale (the
+//!   allocation was fixed; the inventory must shrink to match, so the
+//!   ratchet only ever tightens by deliberate, reviewed re-blessing).
+//!
+//! Un-allowed hot-path allocations never reach this module — they are
+//! hard violations reported by the engine directly. Re-bless with
+//! `SIMLINT_BLESS=1 cargo run -p simlint -- check` (or `--bless`).
+
+use crate::json::{self, n, obj, s, Value};
+use crate::report::Finding;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub const INVENTORY_REL: &str = "results/hot_alloc_inventory.json";
+
+/// One allowed allocation site as the engine found it in the source.
+#[derive(Debug, Clone)]
+pub struct AllowedHit {
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    pub pattern: &'static str,
+    pub reason: String,
+}
+
+type Key = (String, String, String); // (file, function, pattern)
+
+/// Groups allowed hits into inventory form: key → (count, reasons).
+fn group(hits: &[AllowedHit]) -> BTreeMap<Key, (u64, Vec<String>)> {
+    let mut out: BTreeMap<Key, (u64, Vec<String>)> = BTreeMap::new();
+    for h in hits {
+        let e = out
+            .entry((h.file.clone(), h.function.clone(), h.pattern.to_string()))
+            .or_default();
+        e.0 += 1;
+        if !h.reason.is_empty() && !e.1.contains(&h.reason) {
+            e.1.push(h.reason.clone());
+        }
+    }
+    out
+}
+
+/// Compares the allowed hits against the committed inventory.
+pub fn check(root: &Path, hits: &[AllowedHit]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let current = group(hits);
+
+    let baseline = match std::fs::read_to_string(root.join(INVENTORY_REL)) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                out.push(Finding::new(
+                    "hot-alloc",
+                    INVENTORY_REL,
+                    0,
+                    None,
+                    format!("inventory unreadable ({e}); re-bless with SIMLINT_BLESS=1"),
+                ));
+                return out;
+            }
+        },
+        Err(_) => {
+            // No inventory and nothing to inventory is the vacuous-clean
+            // state (fresh checkouts of repos without hot-path allows).
+            if !hits.is_empty() {
+                out.push(Finding::new(
+                    "hot-alloc",
+                    INVENTORY_REL,
+                    0,
+                    None,
+                    format!(
+                        "inventory missing ({} allowed hot-path allocation(s) found); \
+                         create it with SIMLINT_BLESS=1",
+                        hits.len()
+                    ),
+                ));
+            }
+            return out;
+        }
+    };
+
+    for (key, (count, _)) in &current {
+        let (file, function, pattern) = key;
+        match baseline.get(key) {
+            None => {
+                let line = hits
+                    .iter()
+                    .find(|h| h.file == *file && h.function == *function)
+                    .map(|h| h.line)
+                    .unwrap_or(0);
+                out.push(Finding::new(
+                    "hot-alloc",
+                    file,
+                    line,
+                    Some(function),
+                    format!(
+                        "allowed {pattern} in `{function}` is not in the committed inventory; \
+                         re-bless with SIMLINT_BLESS=1 so the ratchet stays honest"
+                    ),
+                ));
+            }
+            Some(base_count) if base_count != count => {
+                out.push(Finding::new(
+                    "hot-alloc",
+                    file,
+                    0,
+                    Some(function),
+                    format!(
+                        "inventory says {base_count}× {pattern} in `{function}` but the code \
+                         has {count}×; re-bless with SIMLINT_BLESS=1"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    for (key, base_count) in &baseline {
+        let (file, function, pattern) = key;
+        if !current.contains_key(key) {
+            out.push(Finding::new(
+                "hot-alloc",
+                INVENTORY_REL,
+                0,
+                None,
+                format!(
+                    "stale inventory entry: {base_count}× {pattern} in `{function}` \
+                     ({file}) no longer exists — shrink the inventory with SIMLINT_BLESS=1"
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Rewrites the inventory from the current allowed hits.
+pub fn bless(root: &Path, hits: &[AllowedHit]) -> std::io::Result<()> {
+    let entries: Vec<Value> = group(hits)
+        .into_iter()
+        .map(|((file, function, pattern), (count, reasons))| {
+            obj(vec![
+                ("file", s(&file)),
+                ("function", s(&function)),
+                ("pattern", s(&pattern)),
+                ("count", n(count)),
+                ("reason", s(&reasons.join("; "))),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![("version", n(1)), ("entries", Value::Arr(entries))]);
+    std::fs::write(root.join(INVENTORY_REL), json::to_string_pretty(&doc))
+}
+
+fn parse_baseline(text: &str) -> Result<BTreeMap<Key, u64>, String> {
+    let doc = json::parse(text)?;
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("missing `entries` array")?;
+    let mut out = BTreeMap::new();
+    for e in entries {
+        let field = |k: &str| {
+            e.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing `{k}`"))
+        };
+        let key = (field("file")?, field("function")?, field("pattern")?);
+        let count = e
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or("entry missing `count`")?;
+        out.insert(key, count);
+    }
+    Ok(out)
+}

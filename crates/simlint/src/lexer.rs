@@ -1,0 +1,395 @@
+//! A small, self-contained Rust lexer.
+//!
+//! simlint's rules reason over token sequences, never over raw text, so a
+//! `HashMap` inside a string literal or a `.clone()` in a doc comment can
+//! never trip a rule. The lexer therefore has to get exactly one thing
+//! right: the boundaries of comments, string literals (including raw and
+//! byte strings), char literals and lifetimes. Everything else is
+//! delivered as plain identifier / number / punctuation tokens with line
+//! numbers.
+//!
+//! There is deliberately no `syn`/proc-macro stack here — the vendored
+//! dependency set has none, and the rules only need lexical structure plus
+//! brace scoping (built on top of these tokens by [`crate::source`]).
+
+/// What a token is. Comments are lexed (their boundaries matter and line
+/// comments carry `simlint:` directives) but are stored out-of-band by
+/// [`crate::source::SourceFile`], so rule patterns match code only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// `// ...` — text excludes the slashes.
+    LineComment,
+    /// `/* ... */`, nested.
+    BlockComment,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A lifetime such as `'a` (including `'_` and `'static`).
+    Lifetime,
+    /// A numeric literal (integers, floats, any radix, with suffixes).
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals simply run
+/// to end-of-file (the rules then see one oversized token, which is the
+/// safe direction — nothing after it can be misread as code).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokKind::Punct(c), c.to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, String::new(), line);
+    }
+
+    /// A cooked string starting at the current `"`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// A raw string starting at the current `r` (hashes and quote follow).
+    fn raw_string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // past `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.pos += 1;
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// `'x'` / `'\n'` → char literal; `'a` / `'_` → lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            // An escape is always a char literal.
+            Some('\\') => {
+                self.pos += 2; // past `'\`
+                while let Some(c) = self.peek(0) {
+                    self.pos += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            // `'c'` with a direct closing quote is a char literal; anything
+            // else (`'a`, `'static`, `'_`) is a lifetime.
+            Some(c) if self.peek(2) == Some('\'') && c != '\'' => {
+                self.pos += 3;
+                self.push(TokKind::Char, String::new(), line);
+            }
+            _ => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                self.push(TokKind::Lifetime, text, line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.pos += 1;
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `5.clone()` does not.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// An identifier — or, when the identifier is a literal prefix (`r`,
+    /// `b`, `br`) directly followed by its quote, the prefixed literal.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"' | '#')) if self.raw_quote_follows() => {
+                self.pos = start + text.len() - 1; // rewind onto the `r`
+                self.raw_string();
+            }
+            ("b", Some('"')) => self.string(),
+            ("b", Some('\'')) => {
+                // Byte-char literal: `b'x'` / `b'\n'`.
+                self.char_or_lifetime();
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokKind::Char;
+                }
+            }
+            _ => self.push(TokKind::Ident, text, self.line),
+        }
+    }
+
+    /// After an `r`/`br` prefix: is the rest really `#*"`? (Distinguishes
+    /// `r#"…"#` from the raw identifier `r#keyword` and from `r # token`.)
+    fn raw_quote_follows(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("let x = a.b;\nfoo()");
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[2].is_punct('='));
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn comments_swallow_code_patterns() {
+        let toks = lex("// HashMap.iter()\n/* .clone()\n .collect() */ x");
+        assert_eq!(
+            kinds("// HashMap.iter()\n/* c */ x"),
+            vec![TokKind::LineComment, TokKind::BlockComment, TokKind::Ident]
+        );
+        // The only code token is `x`, on line 3.
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        assert_eq!(code.len(), 1);
+        assert_eq!(code[0].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            kinds("/* a /* b */ c */ y"),
+            vec![TokKind::BlockComment, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            kinds(r#"f("has .clone() and \" quote")"#),
+            vec![
+                TokKind::Ident,
+                TokKind::Punct('('),
+                TokKind::Str,
+                TokKind::Punct(')')
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(
+            kinds(r###"let s = r#"raw " with .iter()"#;"###),
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct('='),
+                TokKind::Str,
+                TokKind::Punct(';')
+            ]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokKind::Str]);
+        assert_eq!(kinds("b'x'"), vec![TokKind::Char]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds(r"'\n'"), vec![TokKind::Char]);
+        let toks = lex("&'a str + 'static");
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(toks[1].text, "a");
+        assert_eq!(toks.last().unwrap().kind, TokKind::Lifetime);
+        assert_eq!(toks.last().unwrap().text, "static");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = lex("1.5 + 5.clone()");
+        assert_eq!(toks[0].kind, TokKind::Num);
+        assert_eq!(toks[0].text, "1.5");
+        assert_eq!(toks[2].kind, TokKind::Num);
+        assert_eq!(toks[2].text, "5");
+        assert!(toks[4].is_ident("clone"));
+    }
+
+    #[test]
+    fn line_comment_text_is_preserved() {
+        let toks = lex("x // simlint: allow(hot-alloc) — scratch reuse");
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert!(toks[1].text.contains("allow(hot-alloc)"));
+    }
+}

@@ -1,0 +1,222 @@
+//! simlint — project-invariant static analysis for the simulation kernel.
+//!
+//! The test suite defends this repo's invariants *dynamically*; simlint
+//! states the statable ones at the source level and checks them in CI,
+//! before anything runs:
+//!
+//! | rule            | invariant                                              |
+//! |-----------------|--------------------------------------------------------|
+//! | `wall-clock`    | kernel code never reads the wall clock                 |
+//! | `unordered-iter`| kernel code never iterates hash-ordered collections    |
+//! | `hot-alloc`     | hot functions don't allocate (ratcheted inventory)     |
+//! | `probe-gating`  | probe hooks sit behind `P::ENABLED`                    |
+//! | `pin-coverage`  | result pins are referenced; scenario JSON parses       |
+//!
+//! Escapes are inline: `// simlint: allow(<rule>) — <reason>` on the
+//! offending line or the line above. `hot-alloc` allows additionally
+//! feed the committed ratchet baseline (`results/hot_alloc_inventory.json`,
+//! re-blessed via `SIMLINT_BLESS=1`). Everything is dependency-free and
+//! built on a small hand-rolled Rust lexer — see `src/lexer.rs` for why.
+
+pub mod inventory;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use inventory::AllowedHit;
+use report::{Finding, Report};
+use source::SourceFile;
+use std::path::Path;
+
+/// What one source file contributes to a run.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations (allow directives already applied).
+    pub findings: Vec<Finding>,
+    /// Allowed hot-path allocations, destined for the ratchet.
+    pub allowed_hot: Vec<AllowedHit>,
+}
+
+/// Which rules a kernel source file is subject to, decided by path.
+struct RuleScope {
+    wall_clock: bool,
+    unordered_iter: bool,
+    hot_alloc: bool,
+    probe_gating: bool,
+}
+
+fn scope_for(rel_path: &str) -> Option<RuleScope> {
+    let kernel =
+        rel_path.starts_with("crates/desim/src/") || rel_path.starts_with("crates/hpcsim/src/");
+    if !kernel || !rel_path.ends_with(".rs") {
+        return None;
+    }
+    // The observe layer is the sanctioned measurement boundary: it may
+    // read the wall clock, it allocates only when recording is on, and it
+    // is where probe hooks terminate.
+    let observe = rel_path.contains("observe");
+    // Probe trait definitions (and their no-op impls) are the callee side
+    // of the gating contract, not call sites.
+    let probe_def = rel_path.ends_with("/probe.rs");
+    // The reference simulation is the deliberately-naïve from-scratch
+    // oracle the equivalence suite compares against; the audit layer is
+    // cold by construction (guarded by `audit_enabled`). Holding either
+    // to hot-path allocation discipline would optimize the yardstick.
+    let cold = observe || rel_path.contains("audit") || rel_path.ends_with("/reference.rs");
+    Some(RuleScope {
+        wall_clock: !observe,
+        unordered_iter: true,
+        hot_alloc: !cold,
+        probe_gating: !observe && !probe_def,
+    })
+}
+
+/// Checks one in-memory source file (the unit fixtures and the repo walk
+/// both funnel through here). `rel_path` decides rule applicability.
+pub fn check_source(rel_path: &str, content: &str) -> FileOutcome {
+    let mut out = FileOutcome::default();
+    let Some(scope) = scope_for(rel_path) else {
+        return out;
+    };
+    let sf = SourceFile::parse(rel_path, content);
+
+    let apply = |findings: Vec<Finding>, out: &mut FileOutcome| {
+        for f in findings {
+            if sf.allow_for(&f.rule, f.line).is_none() {
+                out.findings.push(f);
+            }
+        }
+    };
+
+    if scope.wall_clock {
+        apply(rules::wall_clock::check(&sf), &mut out);
+    }
+    if scope.unordered_iter {
+        apply(rules::unordered_iter::check(&sf), &mut out);
+    }
+    if scope.probe_gating {
+        apply(rules::probe_gating::check(&sf), &mut out);
+    }
+    if scope.hot_alloc {
+        for hit in rules::hot_alloc::hits(&sf) {
+            match sf.allow_for(rules::hot_alloc::RULE, hit.line) {
+                Some(d) if d.reason.is_empty() => {
+                    out.findings.push(Finding::new(
+                        rules::hot_alloc::RULE,
+                        rel_path,
+                        hit.line,
+                        Some(&hit.function),
+                        format!(
+                            "allow(hot-alloc) needs a reason — the inventory records *why* \
+                             {} in `{}` is acceptable",
+                            hit.pattern, hit.function
+                        ),
+                    ));
+                }
+                Some(d) => out.allowed_hot.push(AllowedHit {
+                    file: rel_path.to_string(),
+                    line: hit.line,
+                    function: hit.function,
+                    pattern: hit.pattern,
+                    reason: d.reason.clone(),
+                }),
+                None => out.findings.push(
+                    rules::hot_alloc::check(&sf)
+                        .into_iter()
+                        .find(|f| {
+                            f.line == hit.line && f.function.as_deref() == Some(&hit.function)
+                        })
+                        .unwrap_or_else(|| {
+                            Finding::new(
+                                rules::hot_alloc::RULE,
+                                rel_path,
+                                hit.line,
+                                Some(&hit.function),
+                                format!(
+                                    "{} allocates inside hot fn `{}`",
+                                    hit.pattern, hit.function
+                                ),
+                            )
+                        }),
+                ),
+            }
+        }
+    }
+
+    // A directive nothing consumed is itself a defect: stale allows hide
+    // future violations on their line.
+    for d in &sf.allows {
+        if !d.used.get() {
+            out.findings.push(Finding::new(
+                "unused-allow",
+                rel_path,
+                d.line,
+                None,
+                format!(
+                    "allow({}) matches no finding on this or the next line; delete it",
+                    d.rule
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Walks the kernel crates and runs every rule; `bless` rewrites the
+/// hot-alloc inventory instead of diffing against it.
+pub fn check_repo(root: &Path, bless: bool) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut allowed_hot: Vec<AllowedHit> = Vec::new();
+
+    let mut files = Vec::new();
+    for crate_dir in ["crates/desim/src", "crates/hpcsim/src"] {
+        walk_rs(&root.join(crate_dir), &mut files);
+    }
+    files.sort();
+
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)?;
+        let mut outcome = check_source(&rel, &content);
+        report.findings.append(&mut outcome.findings);
+        allowed_hot.append(&mut outcome.allowed_hot);
+        report.files_checked += 1;
+    }
+
+    report.inventoried = allowed_hot.len();
+    if bless {
+        inventory::bless(root, &allowed_hot)?;
+    } else {
+        report
+            .findings
+            .append(&mut inventory::check(root, &allowed_hot));
+    }
+
+    report
+        .findings
+        .append(&mut rules::pin_coverage::check(root));
+
+    report.findings.sort();
+    Ok(report)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! CLI: `simlint check [--root DIR] [--format text|json] [--out FILE]
+//! [--bless]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. `--bless` (or
+//! `SIMLINT_BLESS=1`) rewrites `results/hot_alloc_inventory.json` from
+//! the current allow comments instead of diffing against it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: simlint check [--root DIR] [--format text|json] [--out FILE] [--bless]
+
+  --root DIR      repo root to check (default: current directory)
+  --format FMT    diagnostics format: text (default) or json
+  --out FILE      also write the JSON report to FILE (any --format)
+  --bless         rewrite results/hot_alloc_inventory.json from the
+                  current allow comments (also: SIMLINT_BLESS=1)
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return Err("missing subcommand".into());
+    };
+    if cmd != "check" {
+        return Err(format!("unknown subcommand {cmd:?}"));
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut bless = std::env::var("SIMLINT_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--format" => {
+                format = args.next().ok_or("--format needs a value")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format {format:?}"));
+                }
+            }
+            "--out" => out_file = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--bless" => bless = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = simlint::check_repo(&root, bless)
+        .map_err(|e| format!("while checking {}: {e}", root.display()))?;
+
+    if let Some(path) = &out_file {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("while writing {}: {e}", path.display()))?;
+    }
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+    if bless {
+        eprintln!(
+            "simlint: blessed {} with {} entr{}",
+            simlint::inventory::INVENTORY_REL,
+            report.inventoried,
+            if report.inventoried == 1 { "y" } else { "ies" },
+        );
+    }
+    Ok(report.is_clean())
+}

@@ -1,0 +1,110 @@
+//! Findings and the two output formats (human text, machine JSON).
+
+use crate::json::{n, obj, s, Value};
+
+/// One diagnostic. `line` is 1-based; 0 means "whole file" (used by
+/// pin-coverage, which reasons about files rather than source lines).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub function: Option<String>,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &str,
+        file: &str,
+        line: u32,
+        function: Option<&str>,
+        message: String,
+    ) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            function: function.map(str::to_string),
+            message,
+        }
+    }
+}
+
+/// Result of a whole-repo (or fixture) run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+    /// Allowed hot-path allocations that matched the committed inventory
+    /// (informational; they are the ratchet's blessed set).
+    pub inventoried: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `file:line: [rule] message (in fn)` — one finding per line, sorted.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut sorted = self.findings.clone();
+        sorted.sort();
+        for f in &sorted {
+            let loc = if f.line == 0 {
+                f.file.clone()
+            } else {
+                format!("{}:{}", f.file, f.line)
+            };
+            let in_fn = f
+                .function
+                .as_deref()
+                .map(|name| format!(" (in fn {name})"))
+                .unwrap_or_default();
+            out.push_str(&format!("{loc}: [{}] {}{in_fn}\n", f.rule, f.message));
+        }
+        out.push_str(&format!(
+            "simlint: {} finding(s) across {} file(s); {} inventoried hot-path allocation(s)\n",
+            self.findings.len(),
+            self.files_checked,
+            self.inventoried,
+        ));
+        out
+    }
+
+    /// Stable JSON: `{"version":1,"findings":[…],"summary":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut sorted = self.findings.clone();
+        sorted.sort();
+        let findings = sorted
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("file", s(&f.file)),
+                    ("line", n(u64::from(f.line))),
+                    ("rule", s(&f.rule)),
+                    (
+                        "function",
+                        f.function.as_deref().map(s).unwrap_or(Value::Null),
+                    ),
+                    ("message", s(&f.message)),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("version", n(1)),
+            ("findings", Value::Arr(findings)),
+            (
+                "summary",
+                obj(vec![
+                    ("total", n(self.findings.len() as u64)),
+                    ("files_checked", n(self.files_checked as u64)),
+                    ("inventoried", n(self.inventoried as u64)),
+                    ("clean", Value::Bool(self.is_clean())),
+                ]),
+            ),
+        ]);
+        crate::json::to_string_pretty(&doc)
+    }
+}

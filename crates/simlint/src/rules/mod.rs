@@ -1,0 +1,36 @@
+//! The rule set. Each rule takes an analyzed [`SourceFile`] and returns
+//! raw findings; the engine in [`crate::lib`] applies allow directives and
+//! the hot-path ratchet on top.
+//!
+//! Which files a rule sees is decided by path in [`crate::check_source`]
+//! (and documented per rule) — rules themselves only look at tokens.
+
+pub mod hot_alloc;
+pub mod pin_coverage;
+pub mod probe_gating;
+pub mod unordered_iter;
+pub mod wall_clock;
+
+use crate::source::CodeTok;
+
+/// True when the code token at `i` starts `.name(` — a method call on
+/// some receiver (path-form `Type::name(...)` does not match).
+pub(crate) fn is_method_call(code: &[CodeTok], i: usize, name: &str) -> bool {
+    i > 0
+        && code[i - 1].tok.is_punct('.')
+        && code[i].tok.is_ident(name)
+        && code.get(i + 1).is_some_and(|t| {
+            // Plain call or turbofish: `.collect()` / `.collect::<V>()`.
+            t.tok.is_punct('(') || t.tok.is_punct(':')
+        })
+}
+
+/// True when tokens at `i..` spell the path call `A::b(` (allowing the
+/// two-colon separator the lexer emits as two `:` puncts).
+pub(crate) fn is_path_call(code: &[CodeTok], i: usize, ty: &str, method: &str) -> bool {
+    code[i].tok.is_ident(ty)
+        && code.get(i + 1).is_some_and(|t| t.tok.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.tok.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.tok.is_ident(method))
+        && code.get(i + 4).is_some_and(|t| t.tok.is_punct('('))
+}

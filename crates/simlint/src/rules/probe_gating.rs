@@ -1,0 +1,60 @@
+//! probe/gating — probe hook calls must sit behind `P::ENABLED`.
+//!
+//! The observability layer's zero-cost claim rests on every hook call
+//! being guarded so the optimizer can delete the whole branch when
+//! `ENABLED` is `false`. A bare `self.probe.on_x(…)` still evaluates its
+//! arguments — and argument expressions are exactly where accidental
+//! work (formatting, collecting, cloning) creeps in. This rule flags any
+//! `….probe.<method>(…)` call whose token is not inside an
+//! `ENABLED`-gated scope (block guard, early-return guard, or
+//! same-statement mention — see [`crate::source`]).
+//!
+//! Files that *define* probes (`probe.rs`, the `observe` layer) are
+//! excluded by path in the engine: the trait impls there are the sink the
+//! gated calls flow into.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "probe-gating";
+
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    let code = &sf.code;
+    let mut out = Vec::new();
+    for (i, ct) in code.iter().enumerate() {
+        if !ct.tok.is_ident("probe") {
+            continue;
+        }
+        // Match `probe . <method> (` — receiver prefixes (`self .`) don't
+        // matter; what matters is a call through a probe handle.
+        let Some(m) = code.get(i + 2) else { continue };
+        if !(code[i + 1].tok.is_punct('.')
+            && m.tok.kind == crate::lexer::TokKind::Ident
+            && code.get(i + 3).is_some_and(|t| t.tok.is_punct('(')))
+        {
+            continue;
+        }
+        if m.in_cfg_test || m.enabled_gated {
+            continue;
+        }
+        // Consuming finalizers (`into_telemetry`, `into_log_and_telemetry`)
+        // take the probe by value once at teardown — they are how results
+        // leave an *instrumented* run, not per-event hooks, and only exist
+        // on probes that are enabled by construction.
+        if m.tok.text.starts_with("into_") {
+            continue;
+        }
+        out.push(Finding::new(
+            RULE,
+            &sf.rel_path,
+            m.tok.line,
+            m.in_fn.as_deref(),
+            format!(
+                "probe hook `.{}()` is not behind `P::ENABLED`; wrap it in \
+                 `if P::ENABLED {{ … }}` so disabled builds pay nothing",
+                m.tok.text
+            ),
+        ));
+    }
+    out
+}

@@ -1,0 +1,174 @@
+//! determinism/unordered-iter — no iteration over hash-ordered
+//! collections in the kernel crates.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified and changes across
+//! std versions and hasher seeds; any simulation decision derived from it
+//! silently breaks bitwise determinism. Keyed access (`get`, `insert`,
+//! `entry`, `remove`, `contains_key`, `len`) stays legal — only the
+//! order-exposing methods and `for … in &map` loops are flagged.
+//!
+//! Binding is lexical, per file: a name is "hash-typed" when it is
+//! declared with a `: …HashMap<…>` / `: …HashSet<…>` ascription (struct
+//! fields, lets, fn params) or initialized from `HashMap::new()` /
+//! `with_capacity()` / `from(…)`. That deliberately over-approximates
+//! nothing and under-approximates little: kernel code that launders a map
+//! through a type alias should be flagged by review, not lexing.
+
+use crate::report::Finding;
+use crate::source::{CodeTok, SourceFile};
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "unordered-iter";
+
+/// Methods that expose (or consume in) hash order.
+const ORDER_EXPOSING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Keywords that can never be a bound name (guards the backward scan).
+const NOT_A_NAME: &[&str] = &[
+    "use", "pub", "crate", "super", "let", "in", "for", "where", "impl", "fn", "mut", "as",
+    "return", "type", "struct", "enum", "const", "static", "ref", "move", "if", "else", "match",
+];
+
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    let code = &sf.code;
+    let names = bind_hash_names(code);
+    let mut out = Vec::new();
+
+    for (i, ct) in code.iter().enumerate() {
+        if ct.in_cfg_test {
+            continue;
+        }
+        // `name.iter()` / `self.name.keys()` / `name.drain()` …
+        if ct.tok.kind == crate::lexer::TokKind::Ident && names.contains(ct.tok.text.as_str()) {
+            if let Some(dot) = code.get(i + 1) {
+                if dot.tok.is_punct('.') {
+                    if let Some(m) = code.get(i + 2) {
+                        if ORDER_EXPOSING.iter().any(|name| m.tok.is_ident(name))
+                            && code
+                                .get(i + 3)
+                                .is_some_and(|t| t.tok.is_punct('(') || t.tok.is_punct(':'))
+                        {
+                            out.push(Finding::new(
+                                RULE,
+                                &sf.rel_path,
+                                m.tok.line,
+                                m.in_fn.as_deref(),
+                                format!(
+                                    ".{}() on hash-ordered `{}` exposes unspecified order; \
+                                     use a BTreeMap/BTreeSet, sort the output, or keep access keyed",
+                                    m.tok.text, ct.tok.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            // `for x in &name { … }` / `for x in &mut self.name { … }` —
+            // borrow-iterating the collection directly.
+            if is_for_in_target(code, i, &ct.tok.text) {
+                out.push(Finding::new(
+                    RULE,
+                    &sf.rel_path,
+                    ct.tok.line,
+                    ct.in_fn.as_deref(),
+                    format!(
+                        "`for … in &{}` iterates a hash-ordered collection; \
+                         use a BTreeMap/BTreeSet or sort first",
+                        ct.tok.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Is the identifier at `i` the direct target of `for … in & [mut] …`,
+/// followed by the loop body brace (i.e. iterated, not indexed)?
+fn is_for_in_target(code: &[CodeTok], i: usize, _name: &str) -> bool {
+    // Walk back over `self .` and `& mut`.
+    let mut j = i;
+    if j >= 2 && code[j - 1].tok.is_punct('.') && code[j - 2].tok.is_ident("self") {
+        j -= 2;
+    }
+    let mut saw_amp = false;
+    if j >= 1 && code[j - 1].tok.is_ident("mut") {
+        j -= 1;
+    }
+    if j >= 1 && code[j - 1].tok.is_punct('&') {
+        saw_amp = true;
+        j -= 1;
+    }
+    if !(j >= 1 && code[j - 1].tok.is_ident("in")) {
+        return false;
+    }
+    // Both `in &name` and the by-move `in name` iterate in hash order;
+    // either is flagged, so the borrow marker itself is irrelevant.
+    let _ = saw_amp;
+    // The loop body brace must follow immediately: anything else (`.`,
+    // `[`, `(`) means the expression continues and the identifier at `i`
+    // is a prefix or receiver, not the iterated collection — those forms
+    // are handled (or legitimately keyed) elsewhere.
+    code.get(i + 1).is_some_and(|t| t.tok.is_punct('{'))
+}
+
+/// One backward/forward scan binding hash-typed names (see module docs).
+fn bind_hash_names(code: &[CodeTok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, ct) in code.iter().enumerate() {
+        if !(ct.tok.is_ident("HashMap") || ct.tok.is_ident("HashSet")) {
+            continue;
+        }
+        // Forward form: `… = HashMap::new()` → bind the ident before `=`.
+        // Backward form: `name : [&][mut] [std::collections::] HashXxx`.
+        let mut j = i;
+        let mut crossed_colon = false;
+        let mut crossed_eq = false;
+        while j > 0 {
+            j -= 1;
+            let t = &code[j].tok;
+            match t.kind {
+                crate::lexer::TokKind::Punct(':') => crossed_colon = true,
+                crate::lexer::TokKind::Punct('=') => {
+                    crossed_eq = true;
+                    break;
+                }
+                crate::lexer::TokKind::Punct('&' | '<' | ',') => {}
+                crate::lexer::TokKind::Lifetime => {}
+                crate::lexer::TokKind::Ident
+                    if matches!(t.text.as_str(), "std" | "collections" | "mut") => {}
+                _ => break,
+            }
+        }
+        if crossed_eq {
+            // `let [mut] name = HashMap::…` — ident right before the `=`.
+            if j > 0 {
+                let cand = &code[j - 1].tok;
+                if cand.kind == crate::lexer::TokKind::Ident
+                    && !NOT_A_NAME.contains(&cand.text.as_str())
+                {
+                    names.insert(cand.text.clone());
+                }
+            }
+        } else if crossed_colon {
+            let cand = &code[j].tok;
+            if cand.kind == crate::lexer::TokKind::Ident
+                && !NOT_A_NAME.contains(&cand.text.as_str())
+            {
+                names.insert(cand.text.clone());
+            }
+        }
+    }
+    names
+}

@@ -1,0 +1,46 @@
+//! determinism/wall-clock — no wall-clock reads in the kernel crates.
+//!
+//! The simulator's determinism contract (byte-pinned outputs, replicated
+//! windows) only holds if simulated time is the *only* clock. `Instant`
+//! and `SystemTime` are allowed in exactly one place: the observe span
+//! layer, which measures the simulator from outside and is excluded by
+//! path in the engine. Bench binaries live in `crates/bench` and are
+//! never handed to this rule.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "wall-clock";
+
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code = &sf.code;
+    for (i, ct) in code.iter().enumerate() {
+        if ct.in_cfg_test {
+            continue;
+        }
+        // `Instant::now(` — path call, any path prefix.
+        if super::is_path_call(code, i, "Instant", "now") {
+            out.push(Finding::new(
+                RULE,
+                &sf.rel_path,
+                ct.tok.line,
+                ct.in_fn.as_deref(),
+                "Instant::now() reads the wall clock; kernel code must use simulated time only"
+                    .to_string(),
+            ));
+        }
+        // Any mention of SystemTime at all (type position included): the
+        // kernel has no legitimate use for calendar time.
+        if ct.tok.is_ident("SystemTime") {
+            out.push(Finding::new(
+                RULE,
+                &sf.rel_path,
+                ct.tok.line,
+                ct.in_fn.as_deref(),
+                "SystemTime has no place in kernel code; use simulated time".to_string(),
+            ));
+        }
+    }
+    out
+}

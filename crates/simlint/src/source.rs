@@ -1,0 +1,370 @@
+//! Per-file structural analysis layered on top of the lexer.
+//!
+//! [`SourceFile`] separates comments from code, parses `simlint:` allow
+//! directives out of line comments, and runs a single brace-matching pass
+//! that computes for every code token:
+//!
+//! - the innermost named `fn` whose body contains it,
+//! - whether it sits inside a `#[cfg(test)] mod … { }` block,
+//! - whether it is guarded by an `ENABLED` conditional: an enclosing
+//!   `if …ENABLED… { }` block, a preceding `if !…ENABLED… { return…; }`
+//!   early-out in the same scope, or `ENABLED` mentioned in the same
+//!   statement (`debug_assert!(P::ENABLED && …)`).
+//!
+//! Rules then work over `code` tokens plus these annotations and never
+//! have to re-derive scoping themselves.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// An inline escape: `// simlint: allow(<rule>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the comment sits on. The directive covers findings on this
+    /// line and, when the comment is alone on its line, the next line.
+    pub line: u32,
+    pub rule: String,
+    /// Text after the rule, with any leading dash/em-dash stripped.
+    pub reason: String,
+    /// Set by the engine when a finding consumes this directive; an
+    /// unconsumed directive is itself reported (stale allows rot fast).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// One code token plus the structural facts rules need.
+#[derive(Debug, Clone)]
+pub struct CodeTok {
+    pub tok: Tok,
+    /// Innermost enclosing named function, if any.
+    pub in_fn: Option<String>,
+    /// Inside a `#[cfg(test)] mod` block.
+    pub in_cfg_test: bool,
+    /// Guarded by an `ENABLED` condition (see module docs).
+    pub enabled_gated: bool,
+}
+
+/// A lexed-and-analyzed source file.
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub rel_path: String,
+    pub code: Vec<CodeTok>,
+    pub allows: Vec<AllowDirective>,
+    /// Lines that hold only a comment (used to extend allow coverage to
+    /// the following line).
+    comment_only_lines: std::collections::BTreeSet<u32>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, content: &str) -> SourceFile {
+        let toks = lex(content);
+
+        let mut allows = Vec::new();
+        let mut code_toks: Vec<Tok> = Vec::new();
+        let mut code_lines = std::collections::BTreeSet::new();
+        let mut comment_lines = std::collections::BTreeSet::new();
+        for t in toks {
+            match t.kind {
+                TokKind::LineComment => {
+                    if let Some(d) = parse_allow(&t) {
+                        allows.push(d);
+                    }
+                    comment_lines.insert(t.line);
+                }
+                TokKind::BlockComment => {
+                    comment_lines.insert(t.line);
+                }
+                _ => {
+                    code_lines.insert(t.line);
+                    code_toks.push(t);
+                }
+            }
+        }
+        let comment_only_lines = comment_lines
+            .into_iter()
+            .filter(|l| !code_lines.contains(l))
+            .collect();
+
+        let code = annotate(&code_toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            code,
+            allows,
+            comment_only_lines,
+        }
+    }
+
+    /// Finds an allow directive covering `rule` on `line` — either a
+    /// trailing comment on the same line or a comment-only line directly
+    /// above — and marks it used.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        let d = self.allows.iter().find(|d| {
+            d.rule == rule
+                && (d.line == line
+                    || (d.line + 1 == line && self.comment_only_lines.contains(&d.line)))
+        })?;
+        d.used.set(true);
+        Some(d)
+    }
+}
+
+fn parse_allow(t: &Tok) -> Option<AllowDirective> {
+    let text = t.text.trim();
+    let rest = text.strip_prefix("simlint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let mut reason = rest[close + 1..].trim();
+    for dash in ["—", "--", "-"] {
+        if let Some(r) = reason.strip_prefix(dash) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    Some(AllowDirective {
+        line: t.line,
+        rule,
+        reason: reason.to_string(),
+        used: std::cell::Cell::new(false),
+    })
+}
+
+/// What one open brace on the scope stack means.
+#[derive(Clone, Default)]
+struct Scope {
+    /// `Some(name)` when this brace opened a `fn name(…) … {` body.
+    fn_name: Option<String>,
+    /// This brace is a `#[cfg(test)] mod name {`.
+    cfg_test_mod: bool,
+    /// The scope header mentioned `ENABLED` without negation — an
+    /// `if P::ENABLED { … }` style guard.
+    enabled_guard: bool,
+    /// The scope header was `if !…ENABLED… {` — candidate early-out.
+    neg_enabled_if: bool,
+    /// Somewhere earlier in this scope an `if !…ENABLED… { return…; }`
+    /// ran, so the remainder of the scope is effectively gated.
+    gated_after_early_return: bool,
+    /// A `return` token appeared directly in this scope's body.
+    saw_return: bool,
+}
+
+/// The single structural pass: brace matching plus statement tracking.
+fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
+    let mut out: Vec<CodeTok> = Vec::with_capacity(toks.len());
+    let mut stack: Vec<Scope> = Vec::new();
+    // Tokens since the last statement boundary (`;`, `{`, `}`): the
+    // "header" that classifies the next `{`, and the current statement
+    // for same-statement ENABLED detection.
+    let mut header: Vec<usize> = Vec::new();
+    let mut stmt_start = 0usize; // index into `out` where the statement began
+                                 // `#[cfg(test)]` seen since the last statement boundary or earlier on
+                                 // the same item (attributes sit in the same header as their item).
+    let mut pending_cfg_test = false;
+
+    let make = |t: &Tok, stack: &[Scope]| CodeTok {
+        tok: t.clone(),
+        in_fn: stack.iter().rev().find_map(|s| s.fn_name.clone()),
+        in_cfg_test: stack.iter().any(|s| s.cfg_test_mod),
+        enabled_gated: stack
+            .iter()
+            .any(|s| s.enabled_guard || s.gated_after_early_return),
+    };
+
+    // Marks the current statement gated when it mentions ENABLED.
+    let backfill_stmt = |out: &mut [CodeTok], stmt_start: usize| {
+        if out[stmt_start..]
+            .iter()
+            .any(|ct| ct.tok.is_ident("ENABLED"))
+        {
+            for ct in &mut out[stmt_start..] {
+                ct.enabled_gated = true;
+            }
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct('{') => {
+                let h: Vec<&Tok> = header.iter().map(|&j| &toks[j]).collect();
+                let mut scope = Scope::default();
+                for (k, ht) in h.iter().enumerate() {
+                    if ht.is_ident("fn") {
+                        if let Some(name) = h.get(k + 1) {
+                            if name.kind == TokKind::Ident {
+                                scope.fn_name = Some(name.text.clone());
+                            }
+                        }
+                    }
+                    if ht.is_ident("mod") && pending_cfg_test {
+                        scope.cfg_test_mod = true;
+                    }
+                }
+                let has_enabled = h.iter().any(|ht| ht.is_ident("ENABLED"));
+                if has_enabled {
+                    // The guard's own header is gated too: in
+                    // `if P::ENABLED && probe.audit_on() { … }` the
+                    // condition call only runs when ENABLED is true
+                    // (short-circuit), and compiles away when it's false.
+                    // `out` is index-aligned with `toks`, so the header
+                    // indices address the already-emitted tokens.
+                    for &j in &header {
+                        out[j].enabled_gated = true;
+                    }
+                    let negated = h
+                        .iter()
+                        .position(|ht| ht.is_ident("if"))
+                        .and_then(|p| h.get(p + 1))
+                        .is_some_and(|ht| ht.is_punct('!'));
+                    if negated {
+                        scope.neg_enabled_if = true;
+                    } else {
+                        scope.enabled_guard = true;
+                    }
+                }
+                stack.push(scope);
+                pending_cfg_test = false;
+                header.clear();
+                out.push(make(t, &stack));
+                stmt_start = out.len();
+            }
+            TokKind::Punct('}') => {
+                backfill_stmt(&mut out, stmt_start);
+                if let Some(closed) = stack.pop() {
+                    // Early-out pattern: `if !…ENABLED… { … return …; }`
+                    // gates everything after it in the enclosing scope.
+                    if closed.neg_enabled_if && closed.saw_return {
+                        if let Some(parent) = stack.last_mut() {
+                            parent.gated_after_early_return = true;
+                        }
+                    }
+                }
+                header.clear();
+                out.push(make(t, &stack));
+                stmt_start = out.len();
+            }
+            TokKind::Punct(';') => {
+                out.push(make(t, &stack));
+                backfill_stmt(&mut out, stmt_start);
+                header.clear();
+                stmt_start = out.len();
+            }
+            _ => {
+                if t.is_ident("return") {
+                    if let Some(s) = stack.last_mut() {
+                        s.saw_return = true;
+                    }
+                }
+                if t.is_ident("cfg")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("test"))
+                {
+                    pending_cfg_test = true;
+                }
+                header.push(i);
+                out.push(make(t, &stack));
+            }
+        }
+    }
+    backfill_stmt(&mut out, stmt_start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_at<'a>(sf: &'a SourceFile, word: &str) -> &'a CodeTok {
+        sf.code
+            .iter()
+            .find(|ct| ct.tok.is_ident(word))
+            .unwrap_or_else(|| panic!("token {word:?} not found"))
+    }
+
+    #[test]
+    fn fn_attribution_is_innermost() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn outer() { helper(); fn inner() { deep(); } tail(); }",
+        );
+        assert_eq!(code_at(&sf, "helper").in_fn.as_deref(), Some("outer"));
+        assert_eq!(code_at(&sf, "deep").in_fn.as_deref(), Some("inner"));
+        assert_eq!(code_at(&sf, "tail").in_fn.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn closures_stay_in_enclosing_fn() {
+        let sf = SourceFile::parse("x.rs", "fn hot() { items.for_each(|x| { body(x); }); }");
+        assert_eq!(code_at(&sf, "body").in_fn.as_deref(), Some("hot"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn live() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }",
+        );
+        assert!(!code_at(&sf, "a").in_cfg_test);
+        assert!(code_at(&sf, "b").in_cfg_test);
+    }
+
+    #[test]
+    fn enabled_block_guard() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn f(&mut self) { if P::ENABLED { self.probe.on_start(1); } self.probe.on_raw(2); }",
+        );
+        assert!(code_at(&sf, "on_start").enabled_gated);
+        assert!(!code_at(&sf, "on_raw").enabled_gated);
+    }
+
+    #[test]
+    fn enabled_early_return_gates_remainder() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn f(&mut self) { if !P::ENABLED { return; } self.probe.set_stat(1); }",
+        );
+        assert!(code_at(&sf, "set_stat").enabled_gated);
+    }
+
+    #[test]
+    fn neg_enabled_without_return_does_not_gate() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn f(&mut self) { if !P::ENABLED { cheap(); } self.probe.on_x(); }",
+        );
+        assert!(!code_at(&sf, "on_x").enabled_gated);
+    }
+
+    #[test]
+    fn same_statement_enabled_gates() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn f() { debug_assert!(P::ENABLED && probe.check()); }",
+        );
+        assert!(code_at(&sf, "check").enabled_gated);
+    }
+
+    #[test]
+    fn allow_same_line_and_line_above() {
+        let src = "\
+fn f() {
+    x.clone(); // simlint: allow(hot-alloc) — same line
+    // simlint: allow(hot-alloc) — line above
+    y.clone();
+    z.clone();
+}
+";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(sf.allow_for("hot-alloc", 2).is_some());
+        assert!(sf.allow_for("hot-alloc", 4).is_some());
+        assert!(sf.allow_for("hot-alloc", 5).is_none());
+        assert!(sf.allow_for("unordered-iter", 2).is_none());
+    }
+
+    #[test]
+    fn allow_reason_parses_dashes() {
+        let sf = SourceFile::parse("x.rs", "// simlint: allow(wall-clock) -- the reason\n");
+        assert_eq!(sf.allows.len(), 1);
+        assert_eq!(sf.allows[0].rule, "wall-clock");
+        assert_eq!(sf.allows[0].reason, "the reason");
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: trips `hot-alloc` (and nothing else) when checked under a
+// kernel path — the fn name `earliest_fit` is in the hot registry; the
+// identically-allocating `warm_helper` is not and must NOT be flagged.
+// Not compiled — simlint input only.
+
+pub fn earliest_fit(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.extend(xs.iter().map(|x| x + 1));
+    let doubled = xs.to_vec();
+    let _label = format!("{}", doubled.len());
+    out.clone()
+}
+
+pub fn warm_helper(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

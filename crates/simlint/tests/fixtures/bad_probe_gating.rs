@@ -1,0 +1,6 @@
+// Fixture: trips `probe-gating` (and nothing else) when checked under a
+// kernel path. Not compiled — simlint input only.
+
+pub fn advance_sim(probe: &mut impl Probe, depth: usize) {
+    probe.on_queue_depth(depth);
+}

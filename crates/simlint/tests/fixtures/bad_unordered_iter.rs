@@ -1,0 +1,22 @@
+// Fixture: trips `unordered-iter` (and nothing else) when checked under
+// a kernel path. Keyed access appears too and must NOT be flagged.
+// Not compiled — simlint input only.
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    counts: HashMap<usize, u32>,
+}
+
+pub fn sum(table: &Table, seen: HashSet<usize>) -> u32 {
+    let mut total = 0;
+    // Keyed access: legal.
+    total += table.counts.get(&7).copied().unwrap_or(0);
+    // Order-exposing: flagged.
+    for (_, v) in table.counts.iter() {
+        total += v;
+    }
+    for id in &seen {
+        total += *id as u32;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+// Fixture: trips `wall-clock` (and nothing else) when checked under a
+// kernel path. Not compiled — simlint input only.
+use std::time::{Instant, SystemTime};
+
+pub fn epoch_stamp() -> f64 {
+    let t = Instant::now();
+    let _calendar: SystemTime = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}

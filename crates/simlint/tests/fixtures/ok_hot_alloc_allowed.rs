@@ -1,0 +1,8 @@
+// Fixture: an allocation in a registered hot fn, escaped with a reasoned
+// allow — it must produce no finding but one inventory candidate.
+// Not compiled — simlint input only.
+
+pub fn earliest_fit(xs: &[u32]) -> Vec<u32> {
+    // simlint: allow(hot-alloc) — fixture: returns an owned Vec by contract
+    xs.to_vec()
+}

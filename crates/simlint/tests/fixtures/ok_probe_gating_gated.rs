@@ -1,0 +1,20 @@
+// Fixture: every probe hook form simlint must accept as gated — block
+// guard, early-return guard, condition-position call, same-statement
+// mention. Not compiled — simlint input only.
+
+pub fn advance_sim<P: Probe>(probe: &mut P, depth: usize) {
+    if P::ENABLED {
+        probe.on_queue_depth(depth);
+    }
+    if P::ENABLED && probe.audit_on() {
+        probe.on_settle(depth);
+    }
+    debug_assert!(P::ENABLED && probe.consistent());
+}
+
+pub fn harvest<P: Probe>(probe: &mut P, depth: usize) {
+    if !P::ENABLED {
+        return;
+    }
+    probe.set_depth(depth);
+}

@@ -1,0 +1,12 @@
+// Fixture: the same hash iterations as bad_unordered_iter.rs, escaped
+// with allow directives. Not compiled — simlint input only.
+use std::collections::HashMap;
+
+pub fn sum(counts: &HashMap<usize, u32>) -> u32 {
+    let mut total = 0;
+    // simlint: allow(unordered-iter) — summation is order-independent
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}

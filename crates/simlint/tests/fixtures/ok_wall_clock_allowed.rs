@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock reads as bad_wall_clock.rs, each escaped
+// with an allow directive. Not compiled — simlint input only.
+use std::time::Instant; // a type mention alone is fine; `now` is the read
+
+pub fn stamp() -> f64 {
+    // simlint: allow(wall-clock) — measuring the host, not the simulation
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
