@@ -152,10 +152,10 @@ where
                     Reverse(Scheduled {
                         time: s.time,
                         seq: s.seq,
-                        event: s.event.clone(),
+                        event: s.event.clone(), // simlint: allow(hot-alloc) — replicate/fork path only — hot via `.clone()` name fan-out, never called from the event loop
                     })
                 })
-                .collect(),
+                .collect(), // simlint: allow(hot-alloc) — replicate/fork path only — hot via `.clone()` name fan-out, never called from the event loop
             seq: self.seq,
             now: self.now,
         }

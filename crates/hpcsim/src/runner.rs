@@ -82,7 +82,7 @@ pub fn run_scheduler_recorded(
         policy,
         backfill,
         &ClusterSpec::homogeneous(trace.cluster_procs()),
-        Arc::new(StaticAffinity),
+        Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         ReroutePolicy::AtSubmission,
         recorder,
     )
@@ -99,7 +99,7 @@ pub fn run_scheduler_on(
     policy: Policy,
     backfill: Backfill,
     spec: &ClusterSpec,
-    router: Arc<dyn Router>,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
 ) -> ScheduleResult {
     run_scheduler_on_rerouted(
         trace,
@@ -121,7 +121,7 @@ pub fn run_scheduler_on_rerouted(
     policy: Policy,
     backfill: Backfill,
     spec: &ClusterSpec,
-    router: Arc<dyn Router>,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     reroute: ReroutePolicy,
 ) -> ScheduleResult {
     let total = spec.total_procs();
@@ -137,7 +137,7 @@ pub fn run_scheduler_on_rerouted_recorded(
     policy: Policy,
     backfill: Backfill,
     spec: &ClusterSpec,
-    router: Arc<dyn Router>,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     reroute: ReroutePolicy,
     recorder: Recorder,
 ) -> (ScheduleResult, Recorder) {
@@ -155,7 +155,7 @@ pub fn run_scheduler_on_rerouted_probed<P: crate::observe::Probe>(
     policy: Policy,
     backfill: Backfill,
     spec: &ClusterSpec,
-    router: Arc<dyn Router>,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     reroute: ReroutePolicy,
     probe: P,
 ) -> (ScheduleResult, P) {

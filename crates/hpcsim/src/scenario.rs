@@ -91,11 +91,12 @@ impl RouterSpec {
     ];
 
     /// Instantiates the router.
+    // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     pub fn build(&self) -> Arc<dyn Router> {
         match self {
-            RouterSpec::Affinity => Arc::new(StaticAffinity),
-            RouterSpec::LeastLoaded => Arc::new(LeastLoaded),
-            RouterSpec::EarliestStart(est) => Arc::new(EarliestStart { estimator: *est }),
+            RouterSpec::Affinity => Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+            RouterSpec::LeastLoaded => Arc::new(LeastLoaded), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+            RouterSpec::EarliestStart(est) => Arc::new(EarliestStart { estimator: *est }), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         }
     }
 
@@ -190,6 +191,7 @@ impl Platform {
 
     /// The concrete (cluster, router) pair for a given trace: the explicit
     /// shape when present, otherwise the trace's homogeneous machine.
+    // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     pub fn realize(&self, trace: &Trace) -> (ClusterSpec, Arc<dyn Router>) {
         let cluster = self
             .cluster
@@ -1021,7 +1023,7 @@ fn run_once_audited(
             spec.policy,
             backfill,
             &ClusterSpec::homogeneous(trace.cluster_procs()),
-            Arc::new(StaticAffinity),
+            Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
             ReroutePolicy::AtSubmission,
             AuditProbe::new(),
         )),

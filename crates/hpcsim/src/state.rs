@@ -265,7 +265,7 @@ impl<P: Probe> BackfillSim for ProbedSimulation<P> {
     }
 
     fn shadow_extra(&mut self, estimator: RuntimeEstimator) -> Option<(f64, u32)> {
-        let reserved = *self.parts[self.active].queue.first()?;
+        let reserved = *self.parts[self.active].queue.first()?; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         Some(
             self.planner
                 .shadow_extra(&self.parts, self.active, estimator, self.now, &reserved),
@@ -290,6 +290,7 @@ impl<P: Probe> BackfillSim for ProbedSimulation<P> {
 
     fn audit_backfill_skip(&mut self, queue_idx: usize, reason: SkipReason) {
         if P::ENABLED {
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             if let Some(job) = self.parts[self.active].queue.get(queue_idx) {
                 let id = job.id;
                 self.probe
@@ -345,7 +346,7 @@ enum ClusterEvent {
 pub struct ProbedSimulation<P: Probe = NoopProbe> {
     policy: Policy,
     spec: ClusterSpec,
-    router: Arc<dyn Router>,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     reroute: ReroutePolicy,
     parts: Vec<Partition>,
     /// The partition the current backfilling opportunity is in (always 0
@@ -401,7 +402,7 @@ impl<P: Probe + Default> ProbedSimulation<P> {
             trace,
             policy,
             ClusterSpec::homogeneous(trace.cluster_procs()),
-            Arc::new(StaticAffinity),
+            Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         )
     }
 
@@ -415,7 +416,7 @@ impl<P: Probe + Default> ProbedSimulation<P> {
         trace: &Trace,
         policy: Policy,
         spec: ClusterSpec,
-        router: Arc<dyn Router>,
+        router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
     ) -> Self {
         Self::with_cluster_rerouted(trace, policy, spec, router, ReroutePolicy::AtSubmission)
     }
@@ -430,7 +431,7 @@ impl<P: Probe + Default> ProbedSimulation<P> {
         trace: &Trace,
         policy: Policy,
         spec: ClusterSpec,
-        router: Arc<dyn Router>,
+        router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         reroute: ReroutePolicy,
     ) -> Self {
         Self::with_cluster_rerouted_probed(trace, policy, spec, router, reroute, P::default())
@@ -445,7 +446,7 @@ impl<P: Probe> ProbedSimulation<P> {
         trace: &Trace,
         policy: Policy,
         spec: ClusterSpec,
-        router: Arc<dyn Router>,
+        router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         reroute: ReroutePolicy,
         probe: P,
     ) -> Self {
@@ -503,7 +504,7 @@ impl<P: Probe> ProbedSimulation<P> {
             trace,
             policy,
             ClusterSpec::homogeneous(trace.cluster_procs()),
-            Arc::new(StaticAffinity),
+            Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
             ReroutePolicy::AtSubmission,
             probe,
         )
@@ -528,7 +529,7 @@ impl<P: Probe> ProbedSimulation<P> {
     /// Free processors of the **active partition** right now (the whole
     /// machine on a one-partition cluster).
     pub fn free_procs(&self) -> u32 {
-        self.parts[self.active].free
+        self.parts[self.active].free // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
     }
 
     /// Total processors across every partition.
@@ -561,12 +562,12 @@ impl<P: Probe> ProbedSimulation<P> {
     /// last scheduling pass; index 0 is the reserved job during a backfill
     /// opportunity.
     pub fn queue(&self) -> &[Job] {
-        &self.parts[self.active].queue
+        &self.parts[self.active].queue // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
     }
 
     /// Jobs currently executing on the active partition.
     pub fn running(&self) -> &[RunningJob] {
-        &self.parts[self.active].running
+        &self.parts[self.active].running // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
     }
 
     /// Jobs that finished (across all partitions), in completion order.
@@ -599,7 +600,7 @@ impl<P: Probe> ProbedSimulation<P> {
 
     /// The reserved job (head of the active partition's queue), if any.
     pub fn reserved_job(&self) -> Option<&Job> {
-        self.parts[self.active].queue.first()
+        self.parts[self.active].queue.first() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
     }
 
     /// Advances the simulation until the next backfilling opportunity (in
@@ -622,10 +623,10 @@ impl<P: Probe> ProbedSimulation<P> {
                 self.probe.on_settle(self.now, &self.parts);
             }
             if let Some(p) = self.next_opportunity() {
-                self.parts[p].opportunity_armed = false;
+                self.parts[p].opportunity_armed = false; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 self.active = p;
                 if P::ENABLED {
-                    self.probe.on_queue_depth(self.parts[p].queue.len());
+                    self.probe.on_queue_depth(self.parts[p].queue.len()); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 }
                 return SimEvent::BackfillOpportunity;
             }
@@ -661,7 +662,7 @@ impl<P: Probe> ProbedSimulation<P> {
     /// that fit its free processors — the raw action space at an
     /// opportunity.
     pub fn backfill_candidates(&self) -> Vec<usize> {
-        let part = &self.parts[self.active];
+        let part = &self.parts[self.active]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         part.queue
             .iter()
             .enumerate()
@@ -680,7 +681,7 @@ impl<P: Probe> ProbedSimulation<P> {
     pub fn backfill(&mut self, queue_idx: usize) -> Result<BackfillOutcome, BackfillError> {
         // The reservation mark applies to this call only, error or not.
         let next_reservation = std::mem::take(&mut self.audit_next_reservation);
-        let part = &self.parts[self.active];
+        let part = &self.parts[self.active]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         if queue_idx >= part.queue.len() {
             if P::ENABLED {
                 self.probe.on_backfill(false);
@@ -693,7 +694,7 @@ impl<P: Probe> ProbedSimulation<P> {
             }
             return Err(BackfillError::ReservedJob);
         }
-        let job = part.queue[queue_idx];
+        let job = part.queue[queue_idx]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         if job.procs > part.free {
             if P::ENABLED {
                 self.probe.on_backfill(false);
@@ -708,8 +709,8 @@ impl<P: Probe> ProbedSimulation<P> {
             }
         }
         let p = self.active;
-        self.parts[p].queue.remove(queue_idx);
-        self.parts[p].touch();
+        self.parts[p].queue.remove(queue_idx); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+        self.parts[p].touch(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         self.planner.on_start(p, queue_idx, &job, self.now);
         if P::ENABLED && self.probe.audit_on() {
             let kind = if next_reservation {
@@ -720,7 +721,7 @@ impl<P: Probe> ProbedSimulation<P> {
             self.probe.on_job_started(self.now, p, &job, kind);
         }
         self.start_job(p, job);
-        self.parts[p].opportunity_armed = true;
+        self.parts[p].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         Ok(BackfillOutcome { delays_reserved })
     }
 
@@ -729,6 +730,7 @@ impl<P: Probe> ProbedSimulation<P> {
     /// the planner's persistent actual-runtime profile (a trial usage is
     /// applied and exactly retracted).
     fn would_delay_reserved(&mut self, job: &Job) -> bool {
+        // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         let Some(&reserved) = self.parts[self.active].queue.first() else {
             return false;
         };
@@ -764,8 +766,8 @@ impl<P: Probe> ProbedSimulation<P> {
             }
             match event {
                 ClusterEvent::Arrival(idx) => {
-                    let job = self.arrivals[idx];
-                    let router = Arc::clone(&self.router);
+                    let job = self.arrivals[idx]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                    let router = Arc::clone(&self.router); // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
                     let p = router.route(
                         &job,
                         &ClusterView {
@@ -776,11 +778,11 @@ impl<P: Probe> ProbedSimulation<P> {
                         },
                     );
                     debug_assert!(
-                        job.procs <= self.parts[p].procs(),
+                        job.procs <= self.parts[p].procs(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         "router sent a {}-proc job to partition {} ({} procs)",
                         job.procs,
                         p,
-                        self.parts[p].procs()
+                        self.parts[p].procs() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     );
                     if P::ENABLED && self.probe.audit_on() {
                         // The routing evidence: the same estimated-start
@@ -801,8 +803,8 @@ impl<P: Probe> ProbedSimulation<P> {
                             .collect(); // simlint: allow(hot-alloc) — audit-only routing candidates; gated on audit_on()
                         self.probe.on_job_submitted(self.now, &job, p, &cands);
                     }
-                    let scaled = self.parts[p].scale_job(job);
-                    let pos = self.parts[p].enqueue(scaled, self.policy, self.now);
+                    let scaled = self.parts[p].scale_job(job); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                    let pos = self.parts[p].enqueue(scaled, self.policy, self.now); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     self.planner.on_enqueue(p, pos);
                     if let Some(next) = self.arrivals.get(idx + 1) {
                         self.events.schedule(
@@ -812,12 +814,12 @@ impl<P: Probe> ProbedSimulation<P> {
                     }
                 }
                 ClusterEvent::Completion { part: p, job } => {
-                    let part = &mut self.parts[p];
+                    let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     let pos = part
                         .running
                         .iter()
                         .position(|r| r.job.id == job)
-                        .expect("completion event for a job not running");
+                        .expect("completion event for a job not running"); // simlint: allow(panic-path) — event-queue invariant: completions are scheduled only for running jobs
                     let r = part.running.swap_remove(pos);
                     part.free += r.job.procs;
                     part.touch();
@@ -894,21 +896,23 @@ impl<P: Probe> ProbedSimulation<P> {
         let mut frozen = std::mem::take(&mut self.frozen_scratch);
         frozen.clear();
         frozen.extend(self.parts.iter().map(Self::has_opportunity));
-        let router = Arc::clone(&self.router);
+        let router = Arc::clone(&self.router); // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
         for p in 0..self.parts.len() {
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             if frozen[p] {
                 continue;
             }
             let mut pos = 1;
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             while pos < self.parts[p].queue.len() {
-                let stored = self.parts[p].queue[pos];
+                let stored = self.parts[p].queue[pos]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 if self.moves.get(&stored.id).copied().unwrap_or(0) >= max_moves_per_job {
                     pos += 1;
                     continue;
                 }
                 // The router reasons in reference-hardware durations; the
                 // queued copy is scaled to its current partition.
-                let reference = self.parts[p].unscale_job(stored);
+                let reference = self.parts[p].unscale_job(stored); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 let view = ClusterView {
                     now: self.now,
                     policy: self.policy,
@@ -923,24 +927,25 @@ impl<P: Probe> ProbedSimulation<P> {
                     }
                 }
                 match decision {
+                    // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     Some(d) if d.gain >= min_gain_secs && !frozen[d.to] && d.to != p => {
                         debug_assert!(
-                            reference.procs <= self.parts[d.to].procs(),
+                            reference.procs <= self.parts[d.to].procs(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                             "router migrated a {}-proc job to partition {} ({} procs)",
                             reference.procs,
                             d.to,
-                            self.parts[d.to].procs()
+                            self.parts[d.to].procs() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         );
-                        let job = self.parts[p].queue.remove(pos);
-                        self.parts[p].touch();
+                        let job = self.parts[p].queue.remove(pos); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                        self.parts[p].touch(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         self.planner.on_dequeue(p, pos);
-                        let moved = self.parts[d.to].scale_job(self.parts[p].unscale_job(job));
-                        let to_pos = self.parts[d.to].enqueue(moved, self.policy, self.now);
+                        let moved = self.parts[d.to].scale_job(self.parts[p].unscale_job(job)); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                        let to_pos = self.parts[d.to].enqueue(moved, self.policy, self.now); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         self.planner.on_enqueue(d.to, to_pos);
                         // Both queues changed: re-arm their opportunities
                         // (state-change semantics, same as a job start).
-                        self.parts[p].opportunity_armed = true;
-                        self.parts[d.to].opportunity_armed = true;
+                        self.parts[p].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                        self.parts[d.to].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         *self.moves.entry(job.id).or_insert(0) += 1;
                         self.migrations += 1;
                         if P::ENABLED {
@@ -978,7 +983,7 @@ impl<P: Probe> ProbedSimulation<P> {
     /// identical.
     fn start_ready_jobs(&mut self) {
         for p in 0..self.parts.len() {
-            let part = &mut self.parts[p];
+            let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             if part.queue.is_empty() {
                 continue;
             }
@@ -988,23 +993,24 @@ impl<P: Probe> ProbedSimulation<P> {
                 part.touch();
                 self.planner.on_resort(p);
             }
-            while !self.parts[p].queue.is_empty()
+            while !self.parts[p].queue.is_empty() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 && self.parts[p].queue[0].procs <= self.parts[p].free
             {
-                let job = self.parts[p].queue.remove(0);
+                let job = self.parts[p].queue.remove(0); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                 self.planner.on_start(p, 0, &job, self.now);
                 if P::ENABLED && self.probe.audit_on() {
                     self.probe
                         .on_job_started(self.now, p, &job, StartKind::Head);
                 }
                 self.start_job(p, job);
-                self.parts[p].opportunity_armed = true;
+                self.parts[p].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             }
         }
     }
 
     fn start_job(&mut self, p: usize, job: Job) {
-        let part = &mut self.parts[p];
+        let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
         debug_assert!(
             job.procs <= part.free,
             "start_job overcommits the partition"

@@ -151,7 +151,14 @@ impl Lexer {
         self.pos += 1;
         while let Some(c) = self.peek(0) {
             match c {
-                '\\' => self.pos += 2,
+                // An escaped char can be a newline (line-continuation
+                // `\` at end of line) — it still advances the line count.
+                '\\' => {
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 '"' => {
                     self.pos += 1;
                     break;
@@ -310,6 +317,12 @@ mod tests {
         assert!(toks[0].is_ident("let"));
         assert!(toks[2].is_punct('='));
         assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn line_continuation_in_string_counts_its_newline() {
+        let toks = lex("let s = \"a \\\n b\";\nafter");
+        assert_eq!(toks.last().unwrap().line, 3);
     }
 
     #[test]

@@ -1,21 +1,28 @@
 //! CLI: `simlint check [--root DIR] [--format text|json] [--out FILE]
-//! [--bless]`.
+//! [--diff BASELINE] [--bless]`.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. `--bless` (or
-//! `SIMLINT_BLESS=1`) rewrites `results/hot_alloc_inventory.json` from
-//! the current allow comments instead of diffing against it.
+//! `SIMLINT_BLESS=1`) rewrites `results/hot_set.json` and the ratchet
+//! inventories from the current sources/allow comments instead of
+//! diffing against them. `--diff FILE` compares against a committed JSON
+//! report and prints (and exits on) only *new* findings — the actionable
+//! view for a PR; `--out` still writes the full report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: simlint check [--root DIR] [--format text|json] [--out FILE] [--bless]
+usage: simlint check [--root DIR] [--format text|json] [--out FILE]
+                     [--diff BASELINE] [--bless]
 
   --root DIR      repo root to check (default: current directory)
   --format FMT    diagnostics format: text (default) or json
   --out FILE      also write the JSON report to FILE (any --format)
-  --bless         rewrite results/hot_alloc_inventory.json from the
-                  current allow comments (also: SIMLINT_BLESS=1)
+  --diff BASELINE compare against a committed JSON report; print and
+                  fail on new findings only
+  --bless         rewrite results/hot_set.json and the ratchet
+                  inventories from the current sources and allow
+                  comments (also: SIMLINT_BLESS=1)
 ";
 
 fn main() -> ExitCode {
@@ -47,6 +54,7 @@ fn run() -> Result<bool, String> {
     let mut root = PathBuf::from(".");
     let mut format = "text".to_string();
     let mut out_file: Option<PathBuf> = None;
+    let mut diff_file: Option<PathBuf> = None;
     let mut bless = std::env::var("SIMLINT_BLESS")
         .map(|v| v == "1")
         .unwrap_or(false);
@@ -61,6 +69,7 @@ fn run() -> Result<bool, String> {
                 }
             }
             "--out" => out_file = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--diff" => diff_file = Some(PathBuf::from(args.next().ok_or("--diff needs a value")?)),
             "--bless" => bless = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -73,16 +82,45 @@ fn run() -> Result<bool, String> {
         std::fs::write(path, report.to_json())
             .map_err(|e| format!("while writing {}: {e}", path.display()))?;
     }
+
+    if let Some(path) = &diff_file {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("while reading {}: {e}", path.display()))?;
+        let baseline = simlint::report::parse_findings(&text)
+            .map_err(|e| format!("baseline {}: {e}", path.display()))?;
+        let fresh = simlint::report::new_findings(&report.findings, &baseline);
+        let mut diff = simlint::report::Report {
+            findings: fresh,
+            files_checked: report.files_checked,
+            inventoried: report.inventoried,
+            hot_functions: report.hot_functions,
+        };
+        diff.findings.sort();
+        match format.as_str() {
+            "json" => print!("{}", diff.to_json()),
+            _ => {
+                print!("{}", diff.to_text());
+                println!(
+                    "simlint: {} new finding(s) vs baseline {}",
+                    diff.findings.len(),
+                    path.display()
+                );
+            }
+        }
+        return Ok(diff.is_clean());
+    }
+
     match format.as_str() {
         "json" => print!("{}", report.to_json()),
         _ => print!("{}", report.to_text()),
     }
     if bless {
         eprintln!(
-            "simlint: blessed {} with {} entr{}",
-            simlint::inventory::INVENTORY_REL,
+            "simlint: blessed {} hot fn(s) into {} and {} ratcheted hit(s) across {} inventorie(s)",
+            report.hot_functions,
+            simlint::graph::HOT_SET_REL,
             report.inventoried,
-            if report.inventoried == 1 { "y" } else { "ies" },
+            simlint::inventory::SPECS.len(),
         );
     }
     Ok(report.is_clean())

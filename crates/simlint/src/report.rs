@@ -36,9 +36,11 @@ impl Finding {
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_checked: usize,
-    /// Allowed hot-path allocations that matched the committed inventory
-    /// (informational; they are the ratchet's blessed set).
+    /// Allowed ratcheted hits that matched the committed inventories
+    /// (informational; they are the ratchets' blessed set).
     pub inventoried: usize,
+    /// Size of the derived hot set (call-graph closure from the seeds).
+    pub hot_functions: usize,
 }
 
 impl Report {
@@ -65,9 +67,11 @@ impl Report {
             out.push_str(&format!("{loc}: [{}] {}{in_fn}\n", f.rule, f.message));
         }
         out.push_str(&format!(
-            "simlint: {} finding(s) across {} file(s); {} inventoried hot-path allocation(s)\n",
+            "simlint: {} finding(s) across {} file(s); {} hot fn(s); \
+             {} inventoried ratcheted hit(s)\n",
             self.findings.len(),
             self.files_checked,
+            self.hot_functions,
             self.inventoried,
         ));
         out
@@ -101,10 +105,72 @@ impl Report {
                     ("total", n(self.findings.len() as u64)),
                     ("files_checked", n(self.files_checked as u64)),
                     ("inventoried", n(self.inventoried as u64)),
+                    ("hot_functions", n(self.hot_functions as u64)),
                     ("clean", Value::Bool(self.is_clean())),
                 ]),
             ),
         ]);
         crate::json::to_string_pretty(&doc)
     }
+}
+
+/// Parses the findings array back out of a JSON report (the `--diff`
+/// baseline path). Accepts exactly what [`Report::to_json`] writes.
+pub fn parse_findings(text: &str) -> Result<Vec<Finding>, String> {
+    let doc = crate::json::parse(text)?;
+    let arr = doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("missing `findings` array")?;
+    let mut out = Vec::new();
+    for f in arr {
+        let field = |k: &str| {
+            f.get(k)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("finding missing `{k}`"))
+        };
+        out.push(Finding {
+            file: field("file")?.to_string(),
+            line: f
+                .get("line")
+                .and_then(Value::as_u64)
+                .ok_or("finding missing `line`")? as u32,
+            rule: field("rule")?.to_string(),
+            function: f
+                .get("function")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            message: field("message")?.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// The multiset difference `current − baseline`, keyed on
+/// `(rule, file, function, message)` — deliberately line-insensitive, so
+/// unrelated edits that shift a pre-existing finding don't resurface it
+/// on a PR diff.
+pub fn new_findings(current: &[Finding], baseline: &[Finding]) -> Vec<Finding> {
+    use std::collections::HashMap;
+    let key = |f: &Finding| {
+        (
+            f.rule.clone(),
+            f.file.clone(),
+            f.function.clone(),
+            f.message.clone(),
+        )
+    };
+    let mut seen: HashMap<_, usize> = HashMap::new();
+    for f in baseline {
+        *seen.entry(key(f)).or_default() += 1;
+    }
+    let mut out = Vec::new();
+    for f in current {
+        match seen.get_mut(&key(f)) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => out.push(f.clone()),
+        }
+    }
+    out.sort();
+    out
 }

@@ -1,0 +1,151 @@
+//! float-order — no float accumulation over order-unstable iteration.
+//!
+//! Float addition is not associative: the same set of job contributions
+//! summed in two different orders produces bitwise-different schedules,
+//! which is exactly the drift the serial/threadsafe equivalence bar
+//! forbids. This rule flags reductions whose iteration order is (or will
+//! become) unspecified:
+//!
+//! - `.sum()` / `.product()` / `.fold(…)` where the receiver chain runs
+//!   through a rayon parallel bridge (`par_iter`, `into_par_iter`,
+//!   `par_bridge`, `par_chunks*`) or a lexically hash-bound name (the
+//!   same binding analysis as unordered-iter);
+//! - `+=` inside a `for` loop whose header iterates such a source.
+//!
+//! Reductions with an explicit integer turbofish (`.sum::<u64>()`) are
+//! exempt — integer addition commutes. Hits are ratcheted into
+//! `results/parallel_readiness_inventory.json`: an allowed site's reason
+//! must say what pins the order (a sort, a sequential collect, a pinning
+//! test).
+
+use super::RatchetHit;
+use crate::lexer::TokKind;
+use crate::source::{CodeTok, SourceFile};
+
+pub const RULE: &str = "float-order";
+
+const REDUCERS: &[&str] = &["sum", "product", "fold"];
+
+/// Receiver-chain names that mean "order is parallel/unspecified".
+const PAR_MARKERS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+];
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+pub fn hits(sf: &SourceFile) -> Vec<RatchetHit> {
+    let code = &sf.code;
+    let hash_names = super::unordered_iter::bind_hash_names(code);
+    let unstable = |name: &str| PAR_MARKERS.contains(&name) || hash_names.contains(name);
+    let mut out = Vec::new();
+
+    for (i, ct) in code.iter().enumerate() {
+        if ct.in_cfg_test {
+            continue;
+        }
+
+        // Reduction form: `.sum()` / `.fold(…)` over an unstable chain.
+        if REDUCERS.iter().any(|r| super::is_method_call(code, i, r)) {
+            if has_int_turbofish(code, i) {
+                continue;
+            }
+            let chain = super::chain_idents_before(code, i - 1); // before the `.`
+            if let Some(src) = chain.iter().find(|n| unstable(n)) {
+                out.push(RatchetHit {
+                    line: ct.tok.line,
+                    function: ct.in_fn.clone().unwrap_or_default(),
+                    pattern: ".sum()/.fold()",
+                    message: format!(
+                        "float `.{}()` reduces over order-unstable `{src}`; float addition is \
+                         not associative, so the result is not bitwise-stable — sort/sequence \
+                         the source, use an integer accumulator, or allow with a reason \
+                         (ratcheted in results/parallel_readiness_inventory.json)",
+                        ct.tok.text
+                    ),
+                });
+            }
+        }
+
+        // Loop form: `for x in <unstable source> { … acc += …; … }`.
+        if ct.tok.is_ident("for") {
+            flag_accumulating_loop(code, i, &unstable, &mut out);
+        }
+    }
+    out
+}
+
+/// `.sum::<u64>()`-style explicit integer annotation right after the
+/// reducer name at `i`.
+fn has_int_turbofish(code: &[CodeTok], i: usize) -> bool {
+    code.get(i + 1).is_some_and(|t| t.tok.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.tok.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.tok.is_punct('<'))
+        && code.get(i + 4).is_some_and(|t| {
+            t.tok.kind == TokKind::Ident && INT_TYPES.contains(&t.tok.text.as_str())
+        })
+}
+
+/// For the `for` keyword at `i`: if the loop header (between `in` and the
+/// body `{`) mentions an unstable source, flag every `+=` in the body.
+fn flag_accumulating_loop(
+    code: &[CodeTok],
+    i: usize,
+    unstable: &dyn Fn(&str) -> bool,
+    out: &mut Vec<RatchetHit>,
+) {
+    // Find the body-opening `{` at bracket depth 0.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let body_open = loop {
+        let Some(ct) = code.get(j) else { return };
+        match ct.tok.kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('{') if depth == 0 => break j,
+            TokKind::Punct(';') => return, // not a loop header after all
+            _ => {}
+        }
+        j += 1;
+    };
+    let source_name = code[i + 1..body_open].iter().find_map(|ct| {
+        (ct.tok.kind == TokKind::Ident && unstable(&ct.tok.text)).then(|| ct.tok.text.clone())
+    });
+    let Some(src) = source_name else { return };
+
+    // Flag `+=` inside the body (balanced to the matching `}`).
+    let mut depth = 1i32;
+    let mut k = body_open + 1;
+    while let Some(ct) = code.get(k) {
+        match ct.tok.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Punct('+') if code.get(k + 1).is_some_and(|t| t.tok.is_punct('=')) => {
+                out.push(RatchetHit {
+                    line: ct.tok.line,
+                    function: ct.in_fn.clone().unwrap_or_default(),
+                    pattern: "+= in for-loop",
+                    message: format!(
+                        "`+=` accumulates inside a loop over order-unstable `{src}`; float \
+                         addition is not associative, so the result is not bitwise-stable — \
+                         sort/sequence the source or allow with a reason \
+                         (ratcheted in results/parallel_readiness_inventory.json)"
+                    ),
+                });
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}

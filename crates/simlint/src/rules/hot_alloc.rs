@@ -1,104 +1,27 @@
-//! hot-path/alloc — allocation discipline inside the registered hot
-//! functions.
+//! hot-path/alloc — allocation discipline inside the derived hot set.
 //!
-//! These are the functions the profiler says dominate a simulation run:
-//! the availability-profile scan, the backfill passes, the incremental
-//! planner, the router estimate path, and the event loop itself. An
-//! allocation here runs O(events × queue) times, and the upcoming SoA
-//! refactor will churn exactly these bodies. Inside a registered
-//! function (closures included — attribution is to the innermost *named*
-//! fn) the patterns `Vec::new`, `vec![…]`, `.collect()`, `.clone()`,
-//! `.to_vec()`, `Box::new` and `format!` are flagged.
+//! The hot set is no longer a hand list: it is the transitive call-graph
+//! closure from the seed entry points in [`crate::graph`] (the event
+//! loop, the availability scan, the backfill passes, the planner, the
+//! router estimate path), committed as `results/hot_set.json`. An
+//! allocation in a hot function runs O(events × queue) times. Inside one
+//! (closures included — attribution is to the innermost *named* fn) the
+//! patterns `Vec::new`, `vec![…]`, `.collect()`, `.clone()`, `.to_vec()`,
+//! `Box::new` and `format!` are flagged.
 //!
 //! This rule is a *ratchet*, not a ban: an allowed finding (with a
 //! reason) is legal but must appear in the committed
 //! `results/hot_alloc_inventory.json`; see [`crate::inventory`].
 
-use crate::report::Finding;
+use super::RatchetHit;
+use crate::graph::HotSet;
 use crate::source::SourceFile;
 
 pub const RULE: &str = "hot-alloc";
 
-/// The hot-function registry. Names, not paths: the point is that a
-/// function with one of these names in a kernel crate is hot wherever it
-/// lives, and renaming a hot function away from its registered name is a
-/// reviewable act.
-pub const HOT_FNS: &[&str] = &[
-    // availability profile scan (crates/hpcsim/src/profile.rs)
-    "earliest_fit",
-    "earliest_avail",
-    "avail_at",
-    "next_candidate_after",
-    "next_shortfall_after",
-    "insert_contrib",
-    "remove_contrib",
-    // backfill passes
-    "conservative_pass",
-    "easy_pass",
-    "easy_pass_with_order",
-    "backfill",
-    "backfill_candidates",
-    // incremental planner
-    "plan_conservative_starts",
-    "conservative_starts",
-    "shadow_extra",
-    "would_delay",
-    "would_delay_reserved",
-    // router estimate path
-    "estimated_start",
-    "estimated_start_shared",
-    "estimated_start_scratch",
-    "best_move",
-    "route",
-    "reroute",
-    "reroute_pass",
-    "seek",
-    "rebuild",
-    // event loop and settle hooks
-    "advance",
-    "apply_due_events",
-    "start_ready_jobs",
-    "start_job",
-    "step_with",
-    "schedule",
-    "pop",
-    "pop_until",
-    "on_enqueue",
-    "on_dequeue",
-    "on_start",
-    "on_complete",
-    "on_resort",
-];
-
-/// A matched allocation pattern, named for the inventory.
-pub struct Hit {
-    pub line: u32,
-    pub function: String,
-    pub pattern: &'static str,
-}
-
-pub fn check(sf: &SourceFile) -> Vec<Finding> {
-    hits(sf)
-        .into_iter()
-        .map(|h| {
-            Finding::new(
-                RULE,
-                &sf.rel_path,
-                h.line,
-                Some(&h.function),
-                format!(
-                    "{} allocates inside hot fn `{}`; hoist/reuse a scratch buffer \
-                     or allow with a reason (ratcheted in results/hot_alloc_inventory.json)",
-                    h.pattern, h.function
-                ),
-            )
-        })
-        .collect()
-}
-
 /// Raw pattern matches with their inventory identity; the engine splits
 /// them into violations and (allowed) inventory entries.
-pub fn hits(sf: &SourceFile) -> Vec<Hit> {
+pub fn hits(sf: &SourceFile, hot: &HotSet) -> Vec<RatchetHit> {
     let code = &sf.code;
     let mut out = Vec::new();
     for (i, ct) in code.iter().enumerate() {
@@ -108,7 +31,7 @@ pub fn hits(sf: &SourceFile) -> Vec<Hit> {
         let Some(func) = ct.in_fn.as_deref() else {
             continue;
         };
-        if !HOT_FNS.contains(&func) {
+        if !hot.is_hot(&sf.rel_path, func) {
             continue;
         }
         let pattern: Option<&'static str> = if super::is_path_call(code, i, "Vec", "new") {
@@ -130,10 +53,14 @@ pub fn hits(sf: &SourceFile) -> Vec<Hit> {
             None
         };
         if let Some(pattern) = pattern {
-            out.push(Hit {
+            out.push(RatchetHit {
                 line: ct.tok.line,
                 function: func.to_string(),
                 pattern,
+                message: format!(
+                    "{pattern} allocates inside hot fn `{func}`; hoist/reuse a scratch buffer \
+                     or allow with a reason (ratcheted in results/hot_alloc_inventory.json)"
+                ),
             });
         }
     }

@@ -1,0 +1,97 @@
+//! panic-path — no unguarded panics inside the derived hot set.
+//!
+//! The upcoming serial/threadsafe kernel split runs backfill passes on
+//! worker threads; a panic mid-pass there doesn't abort the run, it
+//! poisons locks and leaves shards half-advanced — the worst possible
+//! failure mode for a bitwise-equivalence bar. Inside the hot closure
+//! (see [`crate::graph`]) the panicking constructs are therefore
+//! ratcheted: `.unwrap(…)`, `.expect(…)`, the panicking macros
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`) and slice/array
+//! indexing `x[i]` (which hides a bounds panic). Each surviving site
+//! carries an allow with a reason — collectively the committed
+//! `results/panic_path_inventory.json` is the audit list the threadsafe
+//! split will be built against.
+
+use super::RatchetHit;
+use crate::graph::HotSet;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "panic-path";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn hits(sf: &SourceFile, hot: &HotSet) -> Vec<RatchetHit> {
+    let code = &sf.code;
+    let mut out = Vec::new();
+    for (i, ct) in code.iter().enumerate() {
+        if ct.in_cfg_test {
+            continue;
+        }
+        let Some(func) = ct.in_fn.as_deref() else {
+            continue;
+        };
+        if !hot.is_hot(&sf.rel_path, func) {
+            continue;
+        }
+
+        let hit: Option<(&'static str, String)> = if super::is_method_call(code, i, "unwrap") {
+            Some((
+                ".unwrap()",
+                format!("`.unwrap()` can panic inside hot fn `{func}`"),
+            ))
+        } else if super::is_method_call(code, i, "expect") {
+            Some((
+                ".expect()",
+                format!("`.expect()` can panic inside hot fn `{func}`"),
+            ))
+        } else if ct.tok.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&ct.tok.text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.tok.is_punct('!'))
+        {
+            Some((
+                "panic!",
+                format!("`{}!` panics inside hot fn `{func}`", ct.tok.text),
+            ))
+        } else if is_index_bracket(code, i) {
+            Some((
+                "indexing",
+                format!("slice/array indexing hides a bounds panic inside hot fn `{func}`"),
+            ))
+        } else {
+            None
+        };
+
+        if let Some((pattern, what)) = hit {
+            out.push(RatchetHit {
+                line: ct.tok.line,
+                function: func.to_string(),
+                pattern,
+                message: format!(
+                    "{what}; a panic mid-pass breaks the parallel kernel's bitwise-equivalence \
+                     recovery — return an error/handle the case, or allow with a reason \
+                     (ratcheted in results/panic_path_inventory.json)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Is the token at `i` a `[` that indexes a value expression? True when
+/// the previous token is an identifier (not a keyword), a close-paren or
+/// a close-bracket — `xs[i]`, `f(x)[0]`, `grid[r][c]`. Array literals
+/// (`[0; N]`), patterns (`let [a, b] = …`), types (`: [u8; 4]`) and
+/// attributes (`#[…]`) all have a non-expression token before the
+/// bracket and never match.
+fn is_index_bracket(code: &[crate::source::CodeTok], i: usize) -> bool {
+    if !code[i].tok.is_punct('[') || i == 0 {
+        return false;
+    }
+    let prev = &code[i - 1].tok;
+    match prev.kind {
+        TokKind::Ident => !super::EXPR_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct(')' | ']') => true,
+        _ => false,
+    }
+}

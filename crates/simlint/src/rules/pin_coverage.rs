@@ -33,11 +33,13 @@ pub fn check(root: &Path) -> Vec<Finding> {
     for path in json_files(&root.join("results")) {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let rel = format!("results/{name}");
-        // The ratchet baseline is simlint's own artifact — simlint is the
-        // test that reads it, so the reference requirement is satisfied
-        // by construction (parse validation below still applies).
-        let is_inventory = rel == crate::inventory::INVENTORY_REL;
-        if !is_inventory && !corpus.contains(&name) {
+        // The ratchet baselines and the derived hot set are simlint's own
+        // artifacts — simlint is the test that reads them, so the
+        // reference requirement is satisfied by construction (parse
+        // validation below still applies).
+        let is_own_artifact = crate::inventory::SPECS.iter().any(|spec| rel == spec.rel)
+            || rel == crate::graph::HOT_SET_REL;
+        if !is_own_artifact && !corpus.contains(&name) {
             out.push(Finding::new(
                 RULE,
                 &rel,

@@ -1,0 +1,92 @@
+//! sync-audit — every piece of shared-mutability machinery in the kernel
+//! crates is inventoried before the parallel split.
+//!
+//! The serial/threadsafe kernel split will have to re-justify every
+//! `RefCell`, `Rc`, atomic and lock in `desim`/`hpcsim`: `Rc`/`RefCell`/
+//! `Cell` are `!Sync` and block `Send`ing shards outright; ad-hoc
+//! `Mutex`/atomics introduce ordering the equivalence bar can't see.
+//! This rule makes that audit a committed artifact: outside the
+//! sanctioned sync module (`crates/desim/src/replicate.rs` today,
+//! `crates/desim/src/sync/` once the split lands — carved out by path in
+//! the engine), any mention of `static mut`, `Rc`, `Arc`, `RefCell`,
+//! `Cell`, `UnsafeCell`, `Mutex`, `RwLock`, `Condvar`, `Atomic*` or
+//! `thread::spawn` needs a reasoned allow, ratcheted into
+//! `results/parallel_readiness_inventory.json`. `Arc` is included
+//! deliberately: it is thread-*safe* but not decision-*neutral*, and the
+//! split must argue each one.
+//!
+//! `use` statements are skipped — the audit tracks uses, not imports.
+
+use super::RatchetHit;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "sync-audit";
+
+const SHARED_TYPES: &[&str] = &[
+    "Rc",
+    "Arc",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+pub fn hits(sf: &SourceFile) -> Vec<RatchetHit> {
+    let code = &sf.code;
+    let mut out = Vec::new();
+    // Statement-level `use` tracking: a `use` at statement start skips
+    // everything up to the closing `;`.
+    let mut in_use_stmt = false;
+    let mut at_stmt_start = true;
+
+    for (i, ct) in code.iter().enumerate() {
+        if let TokKind::Punct(';' | '{' | '}') = ct.tok.kind {
+            in_use_stmt = false;
+            at_stmt_start = true;
+            continue;
+        }
+        if at_stmt_start && ct.tok.is_ident("use") {
+            in_use_stmt = true;
+        }
+        at_stmt_start = false;
+        if in_use_stmt || ct.in_cfg_test || ct.tok.kind != TokKind::Ident {
+            continue;
+        }
+
+        let name = ct.tok.text.as_str();
+        let pattern: Option<&'static str> =
+            if name == "static" && code.get(i + 1).is_some_and(|t| t.tok.is_ident("mut")) {
+                Some("static mut")
+            } else if let Some(p) = SHARED_TYPES.iter().copied().find(|t| *t == name) {
+                Some(p)
+            } else if name.starts_with("Atomic") && name.len() > "Atomic".len() {
+                Some("Atomic*")
+            } else if name == "thread"
+                && code.get(i + 1).is_some_and(|t| t.tok.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.tok.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.tok.is_ident("spawn"))
+            {
+                Some("thread::spawn")
+            } else {
+                None
+            };
+
+        if let Some(pattern) = pattern {
+            out.push(RatchetHit {
+                line: ct.tok.line,
+                function: ct.in_fn.clone().unwrap_or_default(),
+                pattern,
+                message: format!(
+                    "`{pattern}` is shared-mutability machinery in a kernel crate; the \
+                     parallel split must audit every use — move it behind the sanctioned \
+                     desim sync module or allow with a reason \
+                     (ratcheted in results/parallel_readiness_inventory.json)"
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,90 @@
+//! time-cast — no lossy `as` casts on simulation-time values.
+//!
+//! `SimTime` is an `f64` of seconds; `x as u32`/`as usize`/`as f32` on a
+//! time-derived value silently truncates or rounds, and two shards that
+//! truncate at different points produce different schedules. This rule
+//! flags `<expr> as <lossy>` where the lossy targets are every integer
+//! type plus `f32` (`as f64` is the widening direction and stays legal),
+//! and the subject expression's postfix chain mentions a time-ish name:
+//! `SimTime` itself, clock/duration accessors (`now`, `elapsed`,
+//! `as_secs*`, `as_millis`), or identifiers spelled like times
+//! (`*_time`, `*_secs`, `*_ms`, `*_deadline`, `runtime`, `walltime`,
+//! `submit`, `shadow_end`, …).
+//!
+//! Lexical, so deliberately narrow: a cast of `count` or `idx` never
+//! matches. Surviving hits are ratcheted into
+//! `results/parallel_readiness_inventory.json` with a reason saying why
+//! the truncation is sound (e.g. a floor to a whole-second bucket that
+//! both engines perform identically).
+
+use super::RatchetHit;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "time-cast";
+
+/// Cast targets that lose information coming from an `f64`/wide-`u64`
+/// time value. `f64` is deliberately absent.
+const LOSSY_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+/// Is `name` a time-ish identifier?
+fn time_marker(name: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "SimTime",
+        "now",
+        "elapsed",
+        "runtime",
+        "walltime",
+        "deadline",
+        "submit",
+        "timestamp",
+    ];
+    const SUFFIX: &[&str] = &[
+        "_time",
+        "_secs",
+        "_ms",
+        "_millis",
+        "_deadline",
+        "_start",
+        "_end",
+        "_finish",
+    ];
+    const PREFIX: &[&str] = &["as_secs", "as_millis", "as_micros", "as_nanos", "time_"];
+    EXACT.contains(&name)
+        || SUFFIX.iter().any(|s| name.ends_with(s))
+        || PREFIX.iter().any(|p| name.starts_with(p))
+}
+
+pub fn hits(sf: &SourceFile) -> Vec<RatchetHit> {
+    let code = &sf.code;
+    let mut out = Vec::new();
+    for (i, ct) in code.iter().enumerate() {
+        if ct.in_cfg_test || !ct.tok.is_ident("as") {
+            continue;
+        }
+        let Some(target) = code.get(i + 1).filter(|t| {
+            t.tok.kind == TokKind::Ident && LOSSY_TARGETS.contains(&t.tok.text.as_str())
+        }) else {
+            continue;
+        };
+        let subject = super::chain_idents_before(code, i);
+        let Some(marker) = subject.iter().find(|n| time_marker(n)) else {
+            continue;
+        };
+        out.push(RatchetHit {
+            line: ct.tok.line,
+            function: ct.in_fn.clone().unwrap_or_default(),
+            pattern: "as-cast",
+            message: format!(
+                "`… as {}` on time-valued `{marker}` is lossy; truncation points must be \
+                 bitwise-identical across engines — keep SimTime arithmetic in f64, or allow \
+                 with a reason saying why this rounding is deterministic \
+                 (ratcheted in results/parallel_readiness_inventory.json)",
+                target.tok.text
+            ),
+        });
+    }
+    out
+}

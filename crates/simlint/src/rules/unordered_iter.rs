@@ -124,7 +124,9 @@ fn is_for_in_target(code: &[CodeTok], i: usize, _name: &str) -> bool {
 }
 
 /// One backward/forward scan binding hash-typed names (see module docs).
-fn bind_hash_names(code: &[CodeTok]) -> BTreeSet<String> {
+/// Shared with float-order, which treats hash-bound receivers as
+/// order-unstable reduction sources.
+pub(crate) fn bind_hash_names(code: &[CodeTok]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, ct) in code.iter().enumerate() {
         if !(ct.tok.is_ident("HashMap") || ct.tok.is_ident("HashSet")) {

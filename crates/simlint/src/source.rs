@@ -4,7 +4,10 @@
 //! directives out of line comments, and runs a single brace-matching pass
 //! that computes for every code token:
 //!
-//! - the innermost named `fn` whose body contains it,
+//! - the innermost named `fn` whose body contains it (both the bare name
+//!   and a definition id into [`SourceFile::defs`]),
+//! - the innermost `impl`/`trait` type, so `fn route` on `EarliestStart`
+//!   and `fn route` on `LeastLoaded` are distinct definitions,
 //! - whether it sits inside a `#[cfg(test)] mod … { }` block,
 //! - whether it is guarded by an `ENABLED` conditional: an enclosing
 //!   `if …ENABLED… { }` block, a preceding `if !…ENABLED… { return…; }`
@@ -12,7 +15,8 @@
 //!   statement (`debug_assert!(P::ENABLED && …)`).
 //!
 //! Rules then work over `code` tokens plus these annotations and never
-//! have to re-derive scoping themselves.
+//! have to re-derive scoping themselves; the call-graph pass
+//! ([`crate::graph`]) consumes the definition table.
 
 use crate::lexer::{lex, Tok, TokKind};
 
@@ -36,10 +40,25 @@ pub struct CodeTok {
     pub tok: Tok,
     /// Innermost enclosing named function, if any.
     pub in_fn: Option<String>,
+    /// Index into [`SourceFile::defs`] of that innermost function.
+    pub fn_def: Option<usize>,
     /// Inside a `#[cfg(test)] mod` block.
     pub in_cfg_test: bool,
     /// Guarded by an `ENABLED` condition (see module docs).
     pub enabled_gated: bool,
+}
+
+/// One named `fn` definition discovered by the structural pass.
+#[derive(Debug, Clone)]
+pub struct FnDefSite {
+    pub name: String,
+    /// Line of the name token.
+    pub line: u32,
+    /// The innermost enclosing `impl Type`/`impl Trait for Type`/`trait
+    /// Type` target, if any — how same-named methods are told apart.
+    pub impl_ty: Option<String>,
+    /// Declared under `#[cfg(test)]` (enclosing mod or direct attribute).
+    pub in_cfg_test: bool,
 }
 
 /// A lexed-and-analyzed source file.
@@ -48,6 +67,8 @@ pub struct SourceFile {
     pub rel_path: String,
     pub code: Vec<CodeTok>,
     pub allows: Vec<AllowDirective>,
+    /// Every named `fn` definition, in source order.
+    pub defs: Vec<FnDefSite>,
     /// Lines that hold only a comment (used to extend allow coverage to
     /// the following line).
     comment_only_lines: std::collections::BTreeSet<u32>,
@@ -83,11 +104,12 @@ impl SourceFile {
             .filter(|l| !code_lines.contains(l))
             .collect();
 
-        let code = annotate(&code_toks);
+        let (code, defs) = annotate(&code_toks);
         SourceFile {
             rel_path: rel_path.to_string(),
             code,
             allows,
+            defs,
             comment_only_lines,
         }
     }
@@ -133,6 +155,11 @@ fn parse_allow(t: &Tok) -> Option<AllowDirective> {
 struct Scope {
     /// `Some(name)` when this brace opened a `fn name(…) … {` body.
     fn_name: Option<String>,
+    /// Index into the def table when this brace opened a fn body.
+    fn_def: Option<usize>,
+    /// `Some(Type)` when this brace opened `impl … Type {` or `trait
+    /// Type {` — the self type that methods defined inside belong to.
+    impl_ty: Option<String>,
     /// This brace is a `#[cfg(test)] mod name {`.
     cfg_test_mod: bool,
     /// The scope header mentioned `ENABLED` without negation — an
@@ -147,9 +174,54 @@ struct Scope {
     saw_return: bool,
 }
 
+/// Extracts the self type from an `impl`/`trait` scope header: the final
+/// path segment of the type after `for` when present (`impl Router for
+/// EarliestStart` → `EarliestStart`), else the first type path after the
+/// keyword and its generic parameters (`impl<T: Ord> Queue<T>` → `Queue`).
+fn impl_target(h: &[&Tok]) -> Option<String> {
+    let kw = h
+        .iter()
+        .position(|t| t.is_ident("impl") || t.is_ident("trait"))?;
+    // Prefer the segment after a top-level `for` (generic bounds like
+    // `for<'a>` never precede the self type in an impl header).
+    let mut start = kw + 1;
+    let mut depth = 0i32;
+    for (k, t) in h.iter().enumerate().skip(kw + 1) {
+        match t.kind {
+            crate::lexer::TokKind::Punct('<') => depth += 1,
+            crate::lexer::TokKind::Punct('>') => depth -= 1,
+            crate::lexer::TokKind::Ident if depth == 0 && t.text == "for" => start = k + 1,
+            _ => {}
+        }
+    }
+    // Walk the type path from `start`: final segment before generics.
+    let mut depth = 0i32;
+    let mut name: Option<String> = None;
+    for t in h.iter().skip(start) {
+        match t.kind {
+            crate::lexer::TokKind::Punct('<') => depth += 1,
+            crate::lexer::TokKind::Punct('>') => depth -= 1,
+            crate::lexer::TokKind::Punct(':' | '&') => {}
+            crate::lexer::TokKind::Ident if depth == 0 => {
+                if matches!(t.text.as_str(), "mut" | "dyn" | "where") {
+                    if t.text == "where" {
+                        break;
+                    }
+                    continue;
+                }
+                name = Some(t.text.clone());
+            }
+            _ if depth == 0 => break,
+            _ => {}
+        }
+    }
+    name
+}
+
 /// The single structural pass: brace matching plus statement tracking.
-fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
+fn annotate(toks: &[Tok]) -> (Vec<CodeTok>, Vec<FnDefSite>) {
     let mut out: Vec<CodeTok> = Vec::with_capacity(toks.len());
+    let mut defs: Vec<FnDefSite> = Vec::new();
     let mut stack: Vec<Scope> = Vec::new();
     // Tokens since the last statement boundary (`;`, `{`, `}`): the
     // "header" that classifies the next `{`, and the current statement
@@ -163,6 +235,7 @@ fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
     let make = |t: &Tok, stack: &[Scope]| CodeTok {
         tok: t.clone(),
         in_fn: stack.iter().rev().find_map(|s| s.fn_name.clone()),
+        fn_def: stack.iter().rev().find_map(|s| s.fn_def),
         in_cfg_test: stack.iter().any(|s| s.cfg_test_mod),
         enabled_gated: stack
             .iter()
@@ -191,8 +264,26 @@ fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
                         if let Some(name) = h.get(k + 1) {
                             if name.kind == TokKind::Ident {
                                 scope.fn_name = Some(name.text.clone());
+                                scope.fn_def = Some(defs.len());
+                                // A fn marked `#[cfg(test)]` directly has
+                                // the attribute in its own header.
+                                let header_cfg_test = h.windows(3).any(|w| {
+                                    w[0].is_ident("cfg")
+                                        && w[1].is_punct('(')
+                                        && w[2].is_ident("test")
+                                });
+                                defs.push(FnDefSite {
+                                    name: name.text.clone(),
+                                    line: name.line,
+                                    impl_ty: stack.iter().rev().find_map(|s| s.impl_ty.clone()),
+                                    in_cfg_test: stack.iter().any(|s| s.cfg_test_mod)
+                                        || header_cfg_test,
+                                });
                             }
                         }
+                    }
+                    if (ht.is_ident("impl") || ht.is_ident("trait")) && scope.fn_name.is_none() {
+                        scope.impl_ty = impl_target(&h);
                     }
                     if ht.is_ident("mod") && pending_cfg_test {
                         scope.cfg_test_mod = true;
@@ -265,7 +356,7 @@ fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
         }
     }
     backfill_stmt(&mut out, stmt_start);
-    out
+    (out, defs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,18 @@
+//! Fixture: float reductions over order-unstable iteration. A sequential
+//! slice reduction is order-stable and stays clean.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().sum()
+}
+
+pub fn loop_total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for chunk in xs.par_chunks(4) {
+        acc += chunk.first().copied().unwrap_or(0.0);
+    }
+    acc
+}
+
+pub fn ordered_total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

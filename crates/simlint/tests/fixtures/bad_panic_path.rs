@@ -1,0 +1,15 @@
+//! Fixture: every panic source inside a hot (seeded) fn is flagged;
+//! identical code outside the hot closure is not panic-path's business.
+
+pub fn advance(xs: &[u32], i: usize) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("two elements");
+    if i > xs.len() {
+        panic!("index past the end");
+    }
+    first + second + xs[i]
+}
+
+pub fn cold_report(xs: &[u32]) -> u32 {
+    xs.first().unwrap() + xs[0]
+}

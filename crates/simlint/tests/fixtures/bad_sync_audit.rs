@@ -1,0 +1,18 @@
+//! Fixture: shared-mutability machinery outside the sanctioned sync
+//! module. The `use` declaration itself is not a use site.
+
+use std::cell::RefCell;
+
+pub static mut TICKS: u64 = 0;
+
+pub struct Cache {
+    inner: RefCell<Vec<u64>>,
+}
+
+pub fn guard(v: u64) -> std::sync::Mutex<u64> {
+    std::sync::Mutex::new(v)
+}
+
+pub fn counter() -> std::sync::atomic::AtomicU64 {
+    std::sync::atomic::AtomicU64::new(0)
+}

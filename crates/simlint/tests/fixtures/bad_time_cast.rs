@@ -1,0 +1,13 @@
+//! Fixture: lossy `as` casts on time-valued expressions. Casting a
+//! non-time value, or widening to f64, stays clean.
+
+pub fn bucket(start_time: f64, now: f64) -> (u32, i64, f32) {
+    let a = start_time as u32;
+    let b = now as i64;
+    let c = start_time as f32;
+    let widened = start_time as f64;
+    let count = 10usize;
+    let d = count as u32;
+    let _ = (widened, d);
+    (a, b, c)
+}

@@ -1,0 +1,5 @@
+//! Fixture: a reasoned allow on an order-unstable float reduction.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().sum() // simlint: allow(float-order) — inputs are exact dyadic rationals; the sum is order-exact
+}

@@ -1,0 +1,7 @@
+//! Fixture: reasoned allows turn panic-path hits into inventory
+//! candidates.
+
+pub fn advance(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap(); // simlint: allow(panic-path) — caller guarantees a non-empty slice
+    first + xs[0] // simlint: allow(panic-path) — non-emptiness established on the line above
+}

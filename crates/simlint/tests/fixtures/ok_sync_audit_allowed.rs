@@ -1,0 +1,5 @@
+//! Fixture: a reasoned allow on interior mutability.
+
+pub struct Cache {
+    inner: std::cell::RefCell<Vec<u64>>, // simlint: allow(sync-audit) — single-threaded scratch; the split moves it per-worker
+}

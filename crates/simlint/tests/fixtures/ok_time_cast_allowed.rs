@@ -1,0 +1,5 @@
+//! Fixture: a reasoned allow on a lossy time cast.
+
+pub fn bucket(start_time: f64) -> u64 {
+    start_time as u64 // simlint: allow(time-cast) — start times are integral seconds by construction; truncation is exact
+}

@@ -4,9 +4,9 @@ use std::collections::HashMap;
 
 pub fn sum(counts: &HashMap<usize, u32>) -> u32 {
     let mut total = 0;
-    // simlint: allow(unordered-iter) — summation is order-independent
+    // simlint: allow(unordered-iter) — max is order-independent
     for (_, v) in counts.iter() {
-        total += v;
+        total = total.max(*v);
     }
     total
 }
