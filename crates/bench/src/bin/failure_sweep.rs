@@ -1,0 +1,275 @@
+//! Robustness sweep for the dynamic-machine fault layer: the 2- and
+//! 4-partition Lublin machines from the migration grid, perturbed by a
+//! seeded generative failure/repair process at rising failure rates, run
+//! under EASY, CONS, and CONS with decision-point migration. Each cell
+//! reports the fault layer's own accounting — kills, resubmits, wasted
+//! node-seconds — plus the bounded-slowdown degradation against the
+//! unperturbed run of the *same* spec (computed by `scenario::run`).
+//!
+//! A final pair of cells replays an explicit maintenance-drain trace on
+//! the express partition and contrasts submit-and-forget binding with
+//! decision-point migration: with migration on, jobs queued behind the
+//! drain escape to the other partition instead of waiting it out, so the
+//! drain's degradation shrinks. Results go to `results/failures.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin failure_sweep               # 2k jobs
+//! cargo run --release -p bench --bin failure_sweep -- --jobs 400 # smoke
+//! ```
+
+use bench::{fmt_bsld, print_table, write_json, TRACE_SEED};
+use hpcsim::platform::{FailureProcess, PlatformEvent, PlatformEventSpec};
+use hpcsim::prelude::*;
+use serde::Serialize;
+use swf::{TracePreset, TraceSource};
+
+/// Same decision-point configuration as the committed migration grid.
+const DECISION_POINTS: ReroutePolicy = ReroutePolicy::AtDecisionPoints {
+    max_moves_per_job: 3,
+    min_gain_secs: 60.0,
+};
+
+/// Mean time between failures, seconds — ordered from gentle to hostile.
+const MTBF_SECS: [f64; 3] = [60_000.0, 20_000.0, 8_000.0];
+
+/// Processors lost per failure and the mean repair time.
+const FAIL_PROCS: u32 = 48;
+const REPAIR_SECS: f64 = 5_000.0;
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    scenario: String,
+    sched: String,
+    reroute: String,
+    /// Human-readable disturbance ("mtbf=20000s" or "drain express").
+    disturbance: String,
+    jobs: usize,
+    dropped_jobs: usize,
+    kills: usize,
+    resubmits: usize,
+    wasted_node_seconds: f64,
+    bsld: f64,
+    /// `bsld(perturbed) − bsld(same spec, no events)`.
+    bsld_degradation: f64,
+    /// The spec that regenerates this row.
+    spec: ScenarioSpec,
+}
+
+fn schedulers() -> Vec<(&'static str, Backfill, ReroutePolicy)> {
+    vec![
+        (
+            "EASY",
+            Backfill::Easy(RuntimeEstimator::RequestTime),
+            ReroutePolicy::AtSubmission,
+        ),
+        (
+            "CONS",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+            ReroutePolicy::AtSubmission,
+        ),
+        (
+            "CONS+mig",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+            DECISION_POINTS,
+        ),
+    ]
+}
+
+#[derive(Default)]
+struct Sweep {
+    table: Vec<Vec<String>>,
+    records: Vec<Row>,
+}
+
+impl Sweep {
+    fn run_cell(
+        &mut self,
+        spec: ScenarioSpec,
+        scenario: String,
+        sched: &str,
+        reroute: ReroutePolicy,
+        disturbance: String,
+        trace_len: usize,
+    ) {
+        let report = hpcsim::scenario::run(&spec).expect("perturbed spec runs");
+        let rob = report
+            .robustness
+            .clone()
+            .expect("perturbed runs report robustness");
+        assert_eq!(
+            report.jobs + report.dropped_jobs,
+            trace_len,
+            "jobs lost in {scenario} / {sched} / {disturbance}"
+        );
+        let degradation = rob.bsld_degradation.expect("full-trace degradation");
+        self.table.push(vec![
+            scenario.clone(),
+            sched.to_string(),
+            disturbance.clone(),
+            rob.kills.to_string(),
+            rob.resubmits.to_string(),
+            format!("{:.0}", rob.wasted_node_seconds),
+            report.dropped_jobs.to_string(),
+            fmt_bsld(report.metrics.mean_bounded_slowdown),
+            format!("{degradation:+.2}"),
+        ]);
+        self.records.push(Row {
+            label: report.label.clone(),
+            scenario,
+            sched: sched.to_string(),
+            reroute: reroute.label().to_string(),
+            disturbance,
+            jobs: report.jobs,
+            dropped_jobs: report.dropped_jobs,
+            kills: rob.kills,
+            resubmits: rob.resubmits,
+            wasted_node_seconds: rob.wasted_node_seconds,
+            bsld: report.metrics.mean_bounded_slowdown,
+            bsld_degradation: degradation,
+            spec,
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+
+    let mut sweep = Sweep::default();
+
+    // Part 1: generative failures at rising rates on the 2p/4p machines.
+    for parts in [2usize, 4] {
+        let source = TraceSource::PartitionedPreset {
+            preset: TracePreset::Lublin1,
+            parts,
+            jobs,
+            seed: TRACE_SEED,
+        };
+        let layout = source.layout().expect("partitioned sources carry layouts");
+        let trace = source
+            .materialize()
+            .expect("partitioned sources materialize");
+        // Failures cover the whole arrival window; later failures would
+        // hit an already-drained queue and measure nothing.
+        let until = trace.jobs().iter().map(|j| j.submit).fold(0.0f64, f64::max);
+        for mtbf in MTBF_SECS {
+            let events = PlatformEventSpec {
+                trace: Vec::new(),
+                processes: vec![FailureProcess {
+                    seed: TRACE_SEED ^ 0xfa11,
+                    until,
+                    mtbf_secs: mtbf,
+                    repair_secs: REPAIR_SECS,
+                    procs: FAIL_PROCS,
+                    part: None,
+                }],
+                failure_policy: FailurePolicy::KillResubmit,
+            };
+            for (sched, backfill, reroute) in schedulers() {
+                let spec = ScenarioSpec::builder(source.clone())
+                    .platform(
+                        Platform::from_layout(&layout, RouterSpec::LeastLoaded).rerouted(reroute),
+                    )
+                    .policy(Policy::Fcfs)
+                    .backfill(backfill)
+                    .events(events.clone())
+                    .build();
+                sweep.run_cell(
+                    spec,
+                    source.label(),
+                    sched,
+                    reroute,
+                    format!("mtbf={mtbf:.0}s"),
+                    trace.len(),
+                );
+            }
+        }
+    }
+
+    // Part 2: an explicit maintenance drain of the express partition over
+    // the middle of the arrival window — the cell where decision-point
+    // migration should visibly pay for itself.
+    let source = TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts: 2,
+        jobs,
+        seed: TRACE_SEED,
+    };
+    let layout = source.layout().expect("partitioned sources carry layouts");
+    let trace = source
+        .materialize()
+        .expect("partitioned sources materialize");
+    let span = trace.jobs().iter().map(|j| j.submit).fold(0.0f64, f64::max);
+    let drain = PlatformEventSpec {
+        trace: vec![
+            PlatformEvent::DrainStart {
+                at: 0.3 * span,
+                part: 1,
+            },
+            PlatformEvent::DrainEnd {
+                at: 0.7 * span,
+                part: 1,
+            },
+        ],
+        processes: Vec::new(),
+        failure_policy: FailurePolicy::KillResubmit,
+    };
+    let mut drain_degradation = Vec::new();
+    for (sched, backfill, reroute) in [
+        (
+            "CONS",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+            ReroutePolicy::AtSubmission,
+        ),
+        (
+            "CONS+mig",
+            Backfill::Conservative(RuntimeEstimator::RequestTime),
+            DECISION_POINTS,
+        ),
+    ] {
+        let spec = ScenarioSpec::builder(source.clone())
+            .platform(Platform::from_layout(&layout, RouterSpec::LeastLoaded).rerouted(reroute))
+            .policy(Policy::Fcfs)
+            .backfill(backfill)
+            .events(drain.clone())
+            .build();
+        sweep.run_cell(
+            spec,
+            source.label(),
+            sched,
+            reroute,
+            "drain express".to_string(),
+            trace.len(),
+        );
+        drain_degradation.push(sweep.records.last().unwrap().bsld_degradation);
+    }
+
+    print_table(
+        &format!("Fault-layer sweep ({jobs} jobs, FCFS base, least-loaded router)"),
+        &[
+            "scenario",
+            "sched",
+            "disturbance",
+            "kills",
+            "resub",
+            "wasted-s",
+            "dropped",
+            "bsld",
+            "Δbsld",
+        ],
+        &sweep.table,
+    );
+    if let [at_submission, with_migration] = drain_degradation[..] {
+        println!(
+            "drain: Δbsld {at_submission:+.2} (submit-and-forget) vs {with_migration:+.2} \
+             (decision-point migration)"
+        );
+    }
+    write_json("failures", &sweep.records);
+}

@@ -154,6 +154,56 @@ fn example_specs() -> Vec<(&'static str, ScenarioSpec)> {
     .audit(true)
     .build();
 
+    // The dynamic-machine demo: the audit_demo platform perturbed by an
+    // explicit, replayable event trace — a mid-run outage on partition 0
+    // (kills + resubmits land in the audit log) and a later maintenance
+    // drain of partition 1 (the reroute pass evacuates its queue). The
+    // reproduce test pins its report byte-for-byte.
+    let failure_demo = ScenarioSpec::builder(TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts: 2,
+        jobs: 800,
+        seed: TRACE_SEED,
+    })
+    .platform(
+        Platform::from_layout(
+            &swf::table2_partitions(TracePreset::Lublin1, 2),
+            RouterSpec::LeastLoaded,
+        )
+        .rerouted(ReroutePolicy::AtDecisionPoints {
+            max_moves_per_job: 3,
+            min_gain_secs: 60.0,
+        }),
+    )
+    .policy(Policy::Fcfs)
+    .backfill(Backfill::Conservative(RuntimeEstimator::RequestTime))
+    .audit(true)
+    .events(PlatformEventSpec {
+        trace: vec![
+            PlatformEvent::NodeFail {
+                at: 150_000.0,
+                part: 0,
+                procs: 100,
+            },
+            PlatformEvent::NodeRepair {
+                at: 220_000.0,
+                part: 0,
+                procs: 100,
+            },
+            PlatformEvent::DrainStart {
+                at: 260_000.0,
+                part: 1,
+            },
+            PlatformEvent::DrainEnd {
+                at: 330_000.0,
+                part: 1,
+            },
+        ],
+        processes: Vec::new(),
+        failure_policy: FailurePolicy::KillResubmit,
+    })
+    .build();
+
     vec![
         ("table3_fcfs", table3_fcfs),
         ("multi_partition_2p", multi_partition_2p),
@@ -161,19 +211,54 @@ fn example_specs() -> Vec<(&'static str, ScenarioSpec)> {
         ("rl_smoke", rl_smoke),
         ("trace_demo", trace_demo),
         ("audit_demo", audit_demo),
+        ("failure_demo", failure_demo),
     ]
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario run <spec.json> [--out NAME] [--stdout]\n       \
-         scenario trace <spec.json> [--out FILE]\n       \
-         scenario explain <spec.json> [--job ID]\n       \
-         scenario audit <spec.json> [--out FILE]\n       \
+        "usage: scenario run <spec.json> [--out NAME] [--stdout] [--perturb EVENTS]\n       \
+         scenario trace <spec.json> [--out FILE] [--perturb EVENTS]\n       \
+         scenario explain <spec.json> [--job ID] [--perturb EVENTS]\n       \
+         scenario audit <spec.json> [--out FILE] [--perturb EVENTS]\n       \
          scenario audit-diff <a_audit.json> <b_audit.json>\n       \
          scenario examples [dir]"
     );
     std::process::exit(2);
+}
+
+/// Applies a `--perturb events.json` overlay: the file holds one
+/// serialized [`PlatformEventSpec`] that **replaces** the spec's own
+/// event stream, so any committed spec can be rerun under a perturbation
+/// trace without editing the spec file.
+fn apply_perturb_overlay(spec: &mut ScenarioSpec, args: &[String]) {
+    let Some(i) = args.iter().position(|a| a == "--perturb") else {
+        return;
+    };
+    let Some(path) = args.get(i + 1) else {
+        eprintln!("error: --perturb takes a path to a platform-events JSON file");
+        std::process::exit(2);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let events: PlatformEventSpec = match serde_json::from_str(&json) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: cannot parse {path} as a platform-event spec: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "perturbing with {path}: {} explicit events, {} generative processes",
+        events.trace.len(),
+        events.processes.len()
+    );
+    spec.events = events;
 }
 
 /// Loads a spec file or exits with the parse/read error — the shared
@@ -289,7 +374,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = load_spec_or_exit(path);
+            let mut spec = load_spec_or_exit(path);
+            apply_perturb_overlay(&mut spec, &args);
             let reports: Vec<RunReport> = if spec.seeds.is_empty() {
                 match run_one(&spec) {
                     Ok(r) => vec![r],
@@ -357,7 +443,8 @@ fn main() {
         }
         Some("trace") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = load_spec_or_exit(path);
+            let mut spec = load_spec_or_exit(path);
+            apply_perturb_overlay(&mut spec, &args);
             let (report, recorder) = match hpcsim::scenario::run_recorded(&spec) {
                 Ok(pair) => pair,
                 Err(e) => {
@@ -394,7 +481,8 @@ fn main() {
         }
         Some("explain") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = load_spec_or_exit(path);
+            let mut spec = load_spec_or_exit(path);
+            apply_perturb_overlay(&mut spec, &args);
             let job = args.iter().position(|a| a == "--job").map(|i| {
                 args.get(i + 1)
                     .and_then(|s| s.parse::<usize>().ok())
@@ -415,7 +503,8 @@ fn main() {
         }
         Some("audit") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let spec = load_spec_or_exit(path);
+            let mut spec = load_spec_or_exit(path);
+            apply_perturb_overlay(&mut spec, &args);
             let (report, log) = run_audited_or_exit(&spec);
             eprintln!(
                 "{}: {} jobs, {} audit records",

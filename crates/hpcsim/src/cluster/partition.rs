@@ -12,12 +12,26 @@ use swf::Job;
 /// Invariants (checked by `debug_assert`s in the simulation and pinned by
 /// `tests/proptest_cluster.rs`):
 ///
-/// * `free <= spec.procs` at all times;
-/// * `free + Σ running.procs == spec.procs`;
-/// * every queued or running job fits the partition (`procs <= spec.procs`).
+/// * `free <= capacity` at all times;
+/// * `free + Σ running.procs == capacity`;
+/// * every queued or running job fits the partition's width when admitted
+///   (`procs <= capacity` at admission; a later shrink evicts queued jobs
+///   that no longer fit).
+///
+/// `capacity` starts at `spec.procs` and only platform events
+/// ([`crate::platform::PlatformEvent`]) move it; without them it is
+/// constant and the invariants reduce to the historical
+/// `free + Σ running.procs == spec.procs`.
 #[derive(Debug, Clone)]
 pub struct Partition {
     pub(crate) spec: PartitionSpec,
+    /// Live capacity: `spec.procs` minus failed processors plus any
+    /// resize growth. Equal to `spec.procs` unless platform events fired.
+    pub(crate) capacity: u32,
+    /// True while a maintenance drain is in effect: the partition admits
+    /// no jobs (routing, head starts and backfill all skip it) and the
+    /// reroute pass evacuates its queue.
+    pub(crate) draining: bool,
     pub(crate) free: u32,
     pub(crate) queue: Vec<Job>,
     pub(crate) running: Vec<RunningJob>,
@@ -41,6 +55,8 @@ impl Partition {
     pub(crate) fn new(spec: PartitionSpec) -> Self {
         let free = spec.procs;
         Self {
+            capacity: spec.procs,
+            draining: false,
             spec,
             free,
             queue: Vec::new(),
@@ -72,9 +88,31 @@ impl Partition {
         &self.spec.name
     }
 
-    /// Total processors in this partition.
+    /// Total processors in this partition as specified (the static
+    /// width; see [`Partition::capacity`] for the live value).
     pub fn procs(&self) -> u32 {
         self.spec.procs
+    }
+
+    /// Live capacity: `spec.procs` adjusted by platform events (node
+    /// failures/repairs, resizes). Equal to [`Partition::procs`] unless a
+    /// scenario's [`crate::platform::PlatformEventSpec`] changed it.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// True while a maintenance drain is in effect (the partition admits
+    /// no new jobs).
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether a job of width `procs` may be admitted right now: the
+    /// partition is not draining and the live capacity covers the width.
+    /// Without platform events this is the historical `procs <=
+    /// spec.procs` check, bitwise.
+    pub fn admits(&self, procs: u32) -> bool {
+        !self.draining && procs <= self.capacity
     }
 
     /// Relative speed factor.
@@ -100,7 +138,7 @@ impl Partition {
 
     /// Processors currently in use.
     pub fn used(&self) -> u32 {
-        self.spec.procs - self.free
+        self.capacity - self.free
     }
 
     /// Queue backlog in processor units (the least-loaded router's load

@@ -231,13 +231,16 @@ impl PartRouterPlan {
 }
 
 impl ClusterView<'_> {
-    /// Indices of partitions the job fits by width.
+    /// Indices of partitions the job may join right now: wide enough for
+    /// the job at live capacity and not draining. Without platform events
+    /// this is the historical static width check (capacity never moves,
+    /// nothing drains).
     pub fn fitting(&self, job: &Job) -> impl Iterator<Item = usize> + '_ {
         let procs = job.procs;
         self.parts
             .iter()
             .enumerate()
-            .filter(move |(_, p)| procs <= p.procs())
+            .filter(move |(_, p)| p.admits(procs))
             .map(|(i, _)| i)
     }
 }

@@ -50,6 +50,7 @@ pub mod estimator;
 pub mod metrics;
 pub mod observe;
 pub mod plan;
+pub mod platform;
 pub mod policy;
 pub mod profile;
 pub mod reference;
@@ -69,14 +70,16 @@ pub use observe::audit::{
     WaitCause,
 };
 pub use observe::{NoopProbe, Phase, Probe, Recorder, Telemetry};
+pub use platform::{FailurePolicy, FailureProcess, PlatformEvent, PlatformEventSpec};
 pub use policy::Policy;
 pub use runner::{
     run_scheduler, run_scheduler_on, run_scheduler_on_rerouted, run_scheduler_on_rerouted_probed,
-    run_scheduler_on_rerouted_recorded, run_scheduler_recorded, Backfill, ScheduleResult,
+    run_scheduler_on_rerouted_probed_perturbed, run_scheduler_on_rerouted_recorded,
+    run_scheduler_recorded, Backfill, ScheduleResult,
 };
 pub use scenario::{
-    AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport, ScenarioBuilder,
-    ScenarioError, ScenarioSpec, SchedulerSpec,
+    AgentSlot, Engine, MetricKind, Platform, Protocol, RobustnessReport, RouterSpec, RunReport,
+    ScenarioBuilder, ScenarioError, ScenarioSpec, SchedulerSpec,
 };
 pub use state::{BackfillSim, ProbedSimulation, SimEvent, Simulation};
 
@@ -93,15 +96,16 @@ pub mod prelude {
         WaitCause,
     };
     pub use crate::observe::{NoopProbe, Probe, Recorder, Telemetry};
+    pub use crate::platform::{FailurePolicy, FailureProcess, PlatformEvent, PlatformEventSpec};
     pub use crate::policy::Policy;
     pub use crate::runner::{
         run_scheduler, run_scheduler_on, run_scheduler_on_rerouted,
-        run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_recorded,
-        run_scheduler_recorded, Backfill, ScheduleResult,
+        run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_probed_perturbed,
+        run_scheduler_on_rerouted_recorded, run_scheduler_recorded, Backfill, ScheduleResult,
     };
     pub use crate::scenario::{
-        self, AgentSlot, Engine, MetricKind, Platform, Protocol, RouterSpec, RunReport,
-        ScenarioBuilder, ScenarioError, ScenarioSpec, SchedulerSpec,
+        self, AgentSlot, Engine, MetricKind, Platform, Protocol, RobustnessReport, RouterSpec,
+        RunReport, ScenarioBuilder, ScenarioError, ScenarioSpec, SchedulerSpec,
     };
     pub use crate::state::{SimEvent, Simulation};
 }

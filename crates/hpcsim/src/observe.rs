@@ -374,6 +374,23 @@ pub trait Probe: std::fmt::Debug + Clone {
     #[inline]
     fn on_settle(&mut self, _now: f64, _parts: &[Partition]) {}
 
+    /// A platform event (node failure/repair, drain, resize) fired.
+    #[inline]
+    fn on_platform_event(&mut self, _t: f64, _event: &crate::platform::PlatformEvent) {}
+
+    /// A running job was killed by a capacity retraction; `wasted` is the
+    /// destroyed work in reference node-seconds.
+    #[inline]
+    fn on_job_killed(&mut self, _t: f64, _part: usize, _job: &Job, _wasted: f64) {}
+
+    /// A killed or displaced job re-entered a queue on partition `to`.
+    #[inline]
+    fn on_job_resubmitted(&mut self, _t: f64, _job: &Job, _to: usize) {}
+
+    /// A queued job escaped a draining partition via the reroute pass.
+    #[inline]
+    fn on_drain_evacuated(&mut self, _t: f64, _job_id: usize, _from: usize, _to: usize) {}
+
     /// End-of-run harvest of the summed persistent-profile stats.
     /// Idempotent set semantics: a later call replaces the value.
     #[inline]
@@ -411,7 +428,13 @@ pub struct RepairRow {
 /// histograms that are a pure function of the schedule. Serialized into
 /// `RunReport.telemetry` when a spec opts in, and pinnable byte-for-byte
 /// (`results/telemetry_table3.json`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Serde is hand-written: the original fields serialize unconditionally in
+/// declaration order (byte-identical to the historical derive, so every
+/// committed pin survives), while the platform counters appended for the
+/// dynamic-machine layer are omit-when-zero — a run without platform
+/// events serializes to exactly the pre-layer bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Telemetry {
     /// Cluster events executed (arrivals + completions).
     pub events: u64,
@@ -457,6 +480,14 @@ pub struct Telemetry {
     pub repair_len_hist: Histogram,
     /// Buckets scanned per `earliest_fit` query (log₂ buckets).
     pub bucket_scan_hist: Histogram,
+    /// Platform events applied (failures + repairs + drains + resizes).
+    pub platform_events: u64,
+    /// Running jobs killed by capacity retractions.
+    pub platform_kills: u64,
+    /// Killed/displaced jobs rerouted back into a queue.
+    pub platform_resubmits: u64,
+    /// Queued jobs evacuated from draining partitions.
+    pub platform_drain_evacuations: u64,
 }
 
 impl Telemetry {
@@ -503,6 +534,10 @@ impl Telemetry {
         self.queue_depth_hist.merge(&other.queue_depth_hist);
         self.repair_len_hist.merge(&other.repair_len_hist);
         self.bucket_scan_hist.merge(&other.bucket_scan_hist);
+        self.platform_events += other.platform_events;
+        self.platform_kills += other.platform_kills;
+        self.platform_resubmits += other.platform_resubmits;
+        self.platform_drain_evacuations += other.platform_drain_evacuations;
     }
 
     /// Pretty JSON (the committed-snapshot format).
@@ -513,6 +548,155 @@ impl Telemetry {
     /// Parses the committed-snapshot format.
     pub fn from_json(json: &str) -> Result<Self, serde::Error> {
         serde_json::from_str(json)
+    }
+}
+
+impl serde::Serialize for Telemetry {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("events".to_string(), self.events.to_value()),
+            (
+                "heap_depth_peak".to_string(),
+                self.heap_depth_peak.to_value(),
+            ),
+            ("heap_depth_sum".to_string(), self.heap_depth_sum.to_value()),
+            (
+                "backfill_attempts".to_string(),
+                self.backfill_attempts.to_value(),
+            ),
+            ("backfill_hits".to_string(), self.backfill_hits.to_value()),
+            (
+                "backfill_would_delay".to_string(),
+                self.backfill_would_delay.to_value(),
+            ),
+            (
+                "migration_candidates".to_string(),
+                self.migration_candidates.to_value(),
+            ),
+            (
+                "migrations_proposed".to_string(),
+                self.migrations_proposed.to_value(),
+            ),
+            (
+                "migrations_accepted".to_string(),
+                self.migrations_accepted.to_value(),
+            ),
+            (
+                "router_candidate_evals".to_string(),
+                self.router_candidate_evals.to_value(),
+            ),
+            (
+                "router_plan_reuses".to_string(),
+                self.router_plan_reuses.to_value(),
+            ),
+            (
+                "router_plan_rebuilds".to_string(),
+                self.router_plan_rebuilds.to_value(),
+            ),
+            (
+                "router_scratch_fallbacks".to_string(),
+                self.router_scratch_fallbacks.to_value(),
+            ),
+            (
+                "profile_edge_inserts".to_string(),
+                self.profile_edge_inserts.to_value(),
+            ),
+            (
+                "profile_edge_removes".to_string(),
+                self.profile_edge_removes.to_value(),
+            ),
+            (
+                "earliest_fit_calls".to_string(),
+                self.earliest_fit_calls.to_value(),
+            ),
+            (
+                "earliest_fit_buckets_scanned".to_string(),
+                self.earliest_fit_buckets_scanned.to_value(),
+            ),
+            ("plan_repairs".to_string(), self.plan_repairs.to_value()),
+            (
+                "heap_depth_hist".to_string(),
+                self.heap_depth_hist.to_value(),
+            ),
+            (
+                "queue_depth_hist".to_string(),
+                self.queue_depth_hist.to_value(),
+            ),
+            (
+                "repair_len_hist".to_string(),
+                self.repair_len_hist.to_value(),
+            ),
+            (
+                "bucket_scan_hist".to_string(),
+                self.bucket_scan_hist.to_value(),
+            ),
+        ];
+        // Dynamic-platform counters: appended omit-when-zero so pre-layer
+        // snapshots (and every run without platform events) keep their
+        // exact committed bytes.
+        if self.platform_events != 0 {
+            entries.push((
+                "platform_events".to_string(),
+                self.platform_events.to_value(),
+            ));
+        }
+        if self.platform_kills != 0 {
+            entries.push(("platform_kills".to_string(), self.platform_kills.to_value()));
+        }
+        if self.platform_resubmits != 0 {
+            entries.push((
+                "platform_resubmits".to_string(),
+                self.platform_resubmits.to_value(),
+            ));
+        }
+        if self.platform_drain_evacuations != 0 {
+            entries.push((
+                "platform_drain_evacuations".to_string(),
+                self.platform_drain_evacuations.to_value(),
+            ));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl serde::Deserialize for Telemetry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let has = |name: &str| matches!(v, serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == name));
+        let opt_u64 = |name: &str| -> Result<u64, serde::Error> {
+            if has(name) {
+                serde::field(v, name)
+            } else {
+                Ok(0)
+            }
+        };
+        Ok(Telemetry {
+            events: serde::field(v, "events")?,
+            heap_depth_peak: serde::field(v, "heap_depth_peak")?,
+            heap_depth_sum: serde::field(v, "heap_depth_sum")?,
+            backfill_attempts: serde::field(v, "backfill_attempts")?,
+            backfill_hits: serde::field(v, "backfill_hits")?,
+            backfill_would_delay: serde::field(v, "backfill_would_delay")?,
+            migration_candidates: serde::field(v, "migration_candidates")?,
+            migrations_proposed: serde::field(v, "migrations_proposed")?,
+            migrations_accepted: serde::field(v, "migrations_accepted")?,
+            router_candidate_evals: serde::field(v, "router_candidate_evals")?,
+            router_plan_reuses: serde::field(v, "router_plan_reuses")?,
+            router_plan_rebuilds: serde::field(v, "router_plan_rebuilds")?,
+            router_scratch_fallbacks: serde::field(v, "router_scratch_fallbacks")?,
+            profile_edge_inserts: serde::field(v, "profile_edge_inserts")?,
+            profile_edge_removes: serde::field(v, "profile_edge_removes")?,
+            earliest_fit_calls: serde::field(v, "earliest_fit_calls")?,
+            earliest_fit_buckets_scanned: serde::field(v, "earliest_fit_buckets_scanned")?,
+            plan_repairs: serde::field(v, "plan_repairs")?,
+            heap_depth_hist: serde::field(v, "heap_depth_hist")?,
+            queue_depth_hist: serde::field(v, "queue_depth_hist")?,
+            repair_len_hist: serde::field(v, "repair_len_hist")?,
+            bucket_scan_hist: serde::field(v, "bucket_scan_hist")?,
+            platform_events: opt_u64("platform_events")?,
+            platform_kills: opt_u64("platform_kills")?,
+            platform_resubmits: opt_u64("platform_resubmits")?,
+            platform_drain_evacuations: opt_u64("platform_drain_evacuations")?,
+        })
     }
 }
 
@@ -653,6 +837,26 @@ impl Probe for Recorder {
     #[inline]
     fn on_migration_accepted(&mut self) {
         self.telemetry.migrations_accepted += 1;
+    }
+
+    #[inline]
+    fn on_platform_event(&mut self, _t: f64, _event: &crate::platform::PlatformEvent) {
+        self.telemetry.platform_events += 1;
+    }
+
+    #[inline]
+    fn on_job_killed(&mut self, _t: f64, _part: usize, _job: &Job, _wasted: f64) {
+        self.telemetry.platform_kills += 1;
+    }
+
+    #[inline]
+    fn on_job_resubmitted(&mut self, _t: f64, _job: &Job, _to: usize) {
+        self.telemetry.platform_resubmits += 1;
+    }
+
+    #[inline]
+    fn on_drain_evacuated(&mut self, _t: f64, _job_id: usize, _from: usize, _to: usize) {
+        self.telemetry.platform_drain_evacuations += 1;
     }
 
     // Sanctioned wall-clock read: span timing measures the simulator from

@@ -220,6 +220,68 @@ pub enum AuditRecord {
         /// The policy network's logit for the slot.
         score: f64,
     },
+    /// A platform event shrank a partition: `procs` processors failed.
+    NodeFailed {
+        /// Failure time.
+        t: f64,
+        /// Partition that lost capacity.
+        part: usize,
+        /// Processors lost.
+        procs: u32,
+    },
+    /// A platform event returned `procs` processors to service.
+    NodeRepaired {
+        /// Repair time.
+        t: f64,
+        /// Partition that regained capacity.
+        part: usize,
+        /// Processors restored.
+        procs: u32,
+    },
+    /// A partition entered a maintenance drain (stopped admitting jobs).
+    DrainStarted {
+        /// Drain start time.
+        t: f64,
+        /// Partition draining.
+        part: usize,
+    },
+    /// A maintenance drain ended (the partition admits jobs again).
+    DrainEnded {
+        /// Drain end time.
+        t: f64,
+        /// Partition back in service.
+        part: usize,
+    },
+    /// A platform event set a partition's capacity to an absolute target.
+    Resized {
+        /// Resize time.
+        t: f64,
+        /// Partition resized.
+        part: usize,
+        /// New capacity.
+        procs: u32,
+    },
+    /// A running job was killed by a capacity retraction.
+    Killed {
+        /// Kill time.
+        t: f64,
+        /// Partition it was running on.
+        part: usize,
+        /// Job id.
+        job: usize,
+        /// Destroyed work in reference node-seconds (elapsed run under
+        /// kill-and-resubmit; restart overhead under checkpoint-restart).
+        wasted: f64,
+    },
+    /// A killed or displaced job re-entered a partition queue.
+    Resubmitted {
+        /// Resubmission time.
+        t: f64,
+        /// Job id.
+        job: usize,
+        /// The partition the router chose for the retry.
+        part: usize,
+    },
 }
 
 impl AuditRecord {
@@ -234,6 +296,13 @@ impl AuditRecord {
             AuditRecord::Started { .. } => "started",
             AuditRecord::Completed { .. } => "completed",
             AuditRecord::AgentPicked { .. } => "agent_picked",
+            AuditRecord::NodeFailed { .. } => "node_failed",
+            AuditRecord::NodeRepaired { .. } => "node_repaired",
+            AuditRecord::DrainStarted { .. } => "drain_started",
+            AuditRecord::DrainEnded { .. } => "drain_ended",
+            AuditRecord::Resized { .. } => "resized",
+            AuditRecord::Killed { .. } => "killed",
+            AuditRecord::Resubmitted { .. } => "resubmitted",
         }
     }
 
@@ -246,8 +315,15 @@ impl AuditRecord {
             | AuditRecord::Migrated { job, .. }
             | AuditRecord::Started { job, .. }
             | AuditRecord::Completed { job, .. }
-            | AuditRecord::AgentPicked { job, .. } => Some(job),
-            AuditRecord::PlanRepaired { .. } => None,
+            | AuditRecord::AgentPicked { job, .. }
+            | AuditRecord::Killed { job, .. }
+            | AuditRecord::Resubmitted { job, .. } => Some(job),
+            AuditRecord::PlanRepaired { .. }
+            | AuditRecord::NodeFailed { .. }
+            | AuditRecord::NodeRepaired { .. }
+            | AuditRecord::DrainStarted { .. }
+            | AuditRecord::DrainEnded { .. }
+            | AuditRecord::Resized { .. } => None,
         }
     }
 
@@ -261,7 +337,14 @@ impl AuditRecord {
             | AuditRecord::Migrated { t, .. }
             | AuditRecord::Started { t, .. }
             | AuditRecord::Completed { t, .. }
-            | AuditRecord::AgentPicked { t, .. } => t,
+            | AuditRecord::AgentPicked { t, .. }
+            | AuditRecord::NodeFailed { t, .. }
+            | AuditRecord::NodeRepaired { t, .. }
+            | AuditRecord::DrainStarted { t, .. }
+            | AuditRecord::DrainEnded { t, .. }
+            | AuditRecord::Resized { t, .. }
+            | AuditRecord::Killed { t, .. }
+            | AuditRecord::Resubmitted { t, .. } => t,
         }
     }
 }
@@ -371,6 +454,37 @@ impl serde::Serialize for AuditRecord {
                 ("job".into(), job.to_value()),
                 ("slot".into(), slot.to_value()),
                 ("score".into(), score.to_value()),
+            ],
+            AuditRecord::NodeFailed { t, part, procs }
+            | AuditRecord::NodeRepaired { t, part, procs }
+            | AuditRecord::Resized { t, part, procs } => vec![
+                kind,
+                ("t".into(), t.to_value()),
+                ("part".into(), part.to_value()),
+                ("procs".into(), procs.to_value()),
+            ],
+            AuditRecord::DrainStarted { t, part } | AuditRecord::DrainEnded { t, part } => vec![
+                kind,
+                ("t".into(), t.to_value()),
+                ("part".into(), part.to_value()),
+            ],
+            AuditRecord::Killed {
+                t,
+                part,
+                job,
+                wasted,
+            } => vec![
+                kind,
+                ("t".into(), t.to_value()),
+                ("part".into(), part.to_value()),
+                ("job".into(), job.to_value()),
+                ("wasted".into(), wasted.to_value()),
+            ],
+            AuditRecord::Resubmitted { t, job, part } => vec![
+                kind,
+                ("t".into(), t.to_value()),
+                ("job".into(), job.to_value()),
+                ("part".into(), part.to_value()),
             ],
         };
         Value::Object(entries)
@@ -693,7 +807,24 @@ impl AuditLog {
                 AuditRecord::AgentPicked { t, slot, score, .. } => {
                     format!("  t={t:<12.1} picked by agent (slot {slot}, score {score:.3})")
                 }
-                AuditRecord::PlanRepaired { .. } => unreachable!("plan repairs carry no job id"),
+                AuditRecord::Killed {
+                    t, part, wasted, ..
+                } => {
+                    format!(
+                        "  t={t:<12.1} killed by capacity loss on p{part} ({wasted:.0} node-s wasted)"
+                    )
+                }
+                AuditRecord::Resubmitted { t, part, .. } => {
+                    format!("  t={t:<12.1} resubmitted -> partition {part}")
+                }
+                AuditRecord::PlanRepaired { .. }
+                | AuditRecord::NodeFailed { .. }
+                | AuditRecord::NodeRepaired { .. }
+                | AuditRecord::DrainStarted { .. }
+                | AuditRecord::DrainEnded { .. }
+                | AuditRecord::Resized { .. } => {
+                    unreachable!("records without a job id are filtered by records_for")
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -934,6 +1065,9 @@ impl Probe for AuditProbe {
             job: job.id,
             procs: job.procs,
         });
+        // A job displaced by a capacity shrink may have been waiting in a
+        // queue when it was dropped — its wait story ends here.
+        self.waiting.remove(&job.id);
     }
 
     fn on_backfill_skipped(&mut self, t: f64, part: usize, job_id: usize, reason: SkipReason) {
@@ -1000,6 +1134,43 @@ impl Probe for AuditProbe {
             part,
             job: job.id,
         });
+    }
+
+    fn on_platform_event(&mut self, t: f64, event: &crate::platform::PlatformEvent) {
+        use crate::platform::PlatformEvent as Pe;
+        self.recorder.on_platform_event(t, event);
+        self.records.push(match *event {
+            Pe::NodeFail { part, procs, .. } => AuditRecord::NodeFailed { t, part, procs },
+            Pe::NodeRepair { part, procs, .. } => AuditRecord::NodeRepaired { t, part, procs },
+            Pe::DrainStart { part, .. } => AuditRecord::DrainStarted { t, part },
+            Pe::DrainEnd { part, .. } => AuditRecord::DrainEnded { t, part },
+            Pe::Resize { part, procs, .. } => AuditRecord::Resized { t, part, procs },
+        });
+    }
+
+    fn on_job_killed(&mut self, t: f64, part: usize, job: &Job, wasted: f64) {
+        self.recorder.on_job_killed(t, part, job, wasted);
+        self.records.push(AuditRecord::Killed {
+            t,
+            part,
+            job: job.id,
+            wasted,
+        });
+    }
+
+    fn on_job_resubmitted(&mut self, t: f64, job: &Job, to: usize) {
+        self.recorder.on_job_resubmitted(t, job, to);
+        self.records.push(AuditRecord::Resubmitted {
+            t,
+            job: job.id,
+            part: to,
+        });
+    }
+
+    fn on_drain_evacuated(&mut self, t: f64, job_id: usize, from: usize, to: usize) {
+        self.recorder.on_drain_evacuated(t, job_id, from, to);
+        // The paired on_migrated hook records the move itself; the counter
+        // is all the forensics this hook adds.
     }
 
     fn on_settle(&mut self, now: f64, parts: &[Partition]) {

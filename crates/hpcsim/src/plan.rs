@@ -318,6 +318,30 @@ impl Planner {
         }
     }
 
+    /// Partition `p`'s live capacity changed by `delta` processors
+    /// (positive: repair / resize growth; negative: failure / shrink).
+    /// The simulation has already moved `part.free` by the same delta, so
+    /// every persistent baseline shifts to match — the PR-5 exact-removal
+    /// counterpart for capacity — and the conservative plan fully replans:
+    /// a capacity change moves availability at every future instant, the
+    /// same ripple as an early completion (and is attributed to that
+    /// cause, keeping the repair-cause vocabulary closed).
+    pub fn on_capacity(&mut self, p: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(actual) = &mut self.actual {
+            actual[p].shift_baseline(delta); // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
+        }
+        let Some(est) = &mut self.est else { return };
+        let pp = &mut est.parts[p]; // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
+        pp.releases.shift_baseline(delta);
+        let Some(cons) = pp.cons.as_mut() else { return };
+        cons.combined.shift_baseline(delta);
+        cons.invalidate_from(0);
+        cons.note(RepairCause::EarlyCompletion);
+    }
+
     fn cons_mut(&mut self, p: usize) -> Option<&mut ConsPlan> {
         self.est.as_mut()?.parts[p].cons.as_mut() // simlint: allow(panic-path) — partition/queue indices come from ensure_est-built state; in-bounds by construction
     }

@@ -475,6 +475,9 @@ pub fn run_seed_scheduler(
         metrics,
         dropped_jobs: 0,
         migrations: 0,
+        kills: 0,
+        resubmits: 0,
+        wasted_node_seconds: 0.0,
     }
 }
 

@@ -58,6 +58,14 @@ pub struct ScheduleResult {
     /// Queue migrations performed (0 unless the run used
     /// [`ReroutePolicy::AtDecisionPoints`]).
     pub migrations: usize,
+    /// Running jobs killed by platform events (0 without a
+    /// [`crate::platform::PlatformEventSpec`]).
+    pub kills: usize,
+    /// Killed or displaced jobs rerouted back into a queue by platform
+    /// events (0 without a platform-event stream).
+    pub resubmits: usize,
+    /// Work destroyed by platform-event kills, reference node-seconds.
+    pub wasted_node_seconds: f64,
 }
 
 /// Schedules `trace` to completion under `policy` + `backfill` and returns
@@ -172,6 +180,37 @@ pub fn run_scheduler_on_rerouted_probed<P: crate::observe::Probe>(
     (result, sim.into_probe())
 }
 
+/// [`run_scheduler_on_rerouted_probed`] under a dynamic machine: `events`
+/// is installed on the simulation before the drive, so node failures,
+/// drains, and resizes fire alongside arrivals and completions. With an
+/// empty [`crate::platform::PlatformEventSpec`] this is bitwise
+/// [`run_scheduler_on_rerouted_probed`] (nothing is scheduled or checked).
+/// Errors only on an invalid spec (bad rates, out-of-range partitions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheduler_on_rerouted_probed_perturbed<P: crate::observe::Probe>(
+    trace: &Trace,
+    policy: Policy,
+    backfill: Backfill,
+    spec: &ClusterSpec,
+    router: Arc<dyn Router>, // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+    reroute: ReroutePolicy,
+    events: &crate::platform::PlatformEventSpec,
+    probe: P,
+) -> Result<(ScheduleResult, P), String> {
+    let total = spec.total_procs();
+    let mut sim = ProbedSimulation::with_cluster_rerouted_probed(
+        trace,
+        policy,
+        spec.clone(),
+        router,
+        reroute,
+        probe,
+    );
+    sim.install_platform_events(events)?;
+    let result = drive_to_completion(&mut sim, total, backfill);
+    Ok((result, sim.into_probe()))
+}
+
 /// [`run_scheduler`] on the preserved seed stepping engine
 /// ([`crate::reference::ReferenceSimulation`]) — the differential-testing
 /// oracle and the benchmark baseline. Same inputs, same schedule (pinned
@@ -212,6 +251,9 @@ fn drive_to_completion<S: crate::state::BackfillSim>(
         metrics,
         dropped_jobs: sim.dropped_jobs(),
         migrations: sim.migrations(),
+        kills: sim.kills(),
+        resubmits: sim.resubmits(),
+        wasted_node_seconds: sim.wasted_node_seconds(),
     }
 }
 

@@ -59,8 +59,9 @@ use crate::observe::audit::{AuditLog, AuditProbe, WaitAttribution};
 use crate::observe::{Recorder, Telemetry};
 use crate::policy::Policy;
 use crate::runner::{
-    run_scheduler, run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_recorded,
-    run_scheduler_recorded, run_scheduler_reference, Backfill, ScheduleResult,
+    run_scheduler, run_scheduler_on_rerouted_probed, run_scheduler_on_rerouted_probed_perturbed,
+    run_scheduler_on_rerouted_recorded, run_scheduler_recorded, run_scheduler_reference, Backfill,
+    ScheduleResult,
 };
 use crate::state::CompletedJob;
 use desim::Replicator;
@@ -383,6 +384,12 @@ pub struct ScenarioSpec {
     /// attribution to [`RunReport::attribution`]. Kernel engine only; the
     /// schedule itself is bitwise unaffected.
     pub audit: bool,
+    /// Dynamic-machine platform events (node failures/repairs, drains,
+    /// resizes) applied during the run — see [`crate::platform`]. The
+    /// empty default is inert: nothing is scheduled and the run is bitwise
+    /// identical to a spec without the field. Kernel engine only when
+    /// non-empty.
+    pub events: crate::platform::PlatformEventSpec,
 }
 
 // Hand-written serde (like [`Platform`]'s): `telemetry` and `audit` are
@@ -413,6 +420,9 @@ impl Serialize for ScenarioSpec {
         if self.audit {
             entries.push(("audit".to_string(), self.audit.to_value()));
         }
+        if self.events != crate::platform::PlatformEventSpec::default() {
+            entries.push(("events".to_string(), self.events.to_value()));
+        }
         serde::Value::Object(entries)
     }
 }
@@ -426,6 +436,10 @@ impl Deserialize for ScenarioSpec {
         let has_audit = matches!(
             v,
             serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "audit")
+        );
+        let has_events = matches!(
+            v,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "events")
         );
         Ok(ScenarioSpec {
             name: serde::field(v, "name")?,
@@ -447,6 +461,11 @@ impl Deserialize for ScenarioSpec {
                 serde::field(v, "audit")?
             } else {
                 false
+            },
+            events: if has_events {
+                serde::field(v, "events")?
+            } else {
+                crate::platform::PlatformEventSpec::default()
             },
         })
     }
@@ -471,6 +490,7 @@ impl ScenarioSpec {
                 record_schedule: false,
                 telemetry: false,
                 audit: false,
+                events: crate::platform::PlatformEventSpec::default(),
             },
         }
     }
@@ -641,6 +661,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Applies a dynamic-machine platform-event stream to the run (node
+    /// failures/repairs, drains, resizes — kernel engine only when
+    /// non-empty).
+    pub fn events(mut self, events: crate::platform::PlatformEventSpec) -> Self {
+        self.spec.events = events;
+        self
+    }
+
     /// Finishes the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -689,6 +717,66 @@ pub struct RunReport {
     /// ([`ScenarioSpec::audit`]). Summed across windows under
     /// [`Protocol::Windows`].
     pub attribution: Option<WaitAttribution>,
+    /// Robustness accounting, present only when the spec carries platform
+    /// events ([`ScenarioSpec::events`]). Summed across windows under
+    /// [`Protocol::Windows`].
+    pub robustness: Option<RobustnessReport>,
+}
+
+/// Robustness accounting for a run perturbed by platform events: what the
+/// failures/drains/resizes cost the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Running jobs killed by capacity loss.
+    pub kills: usize,
+    /// Jobs re-entered into a queue after a kill or displacement.
+    pub resubmits: usize,
+    /// Reference node-seconds of work discarded by kills (checkpoint
+    /// overhead under [`crate::platform::FailurePolicy::CheckpointRestart`]).
+    pub wasted_node_seconds: f64,
+    /// Mean bounded slowdown of this run minus the same spec run with the
+    /// event stream stripped — how much the perturbation degraded the
+    /// schedule. Mean of per-window deltas under [`Protocol::Windows`].
+    pub bsld_degradation: Option<f64>,
+}
+
+// Hand-written serde (the [`RunReport`] pattern): `bsld_degradation` is
+// omitted when `None` so reports without a baseline comparison carry no
+// null placeholder.
+impl Serialize for RobustnessReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("kills".to_string(), self.kills.to_value()),
+            ("resubmits".to_string(), self.resubmits.to_value()),
+            (
+                "wasted_node_seconds".to_string(),
+                self.wasted_node_seconds.to_value(),
+            ),
+        ];
+        if let Some(d) = self.bsld_degradation {
+            entries.push(("bsld_degradation".to_string(), d.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for RobustnessReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let has_degradation = matches!(
+            v,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "bsld_degradation")
+        );
+        Ok(RobustnessReport {
+            kills: serde::field(v, "kills")?,
+            resubmits: serde::field(v, "resubmits")?,
+            wasted_node_seconds: serde::field(v, "wasted_node_seconds")?,
+            bsld_degradation: if has_degradation {
+                Some(serde::field(v, "bsld_degradation")?)
+            } else {
+                None
+            },
+        })
+    }
 }
 
 // Hand-written serde (like [`Platform`]'s): `dropped_jobs` is omitted
@@ -715,6 +803,9 @@ impl Serialize for RunReport {
         }
         if let Some(a) = &self.attribution {
             entries.push(("attribution".to_string(), a.to_value()));
+        }
+        if let Some(r) = &self.robustness {
+            entries.push(("robustness".to_string(), r.to_value()));
         }
         serde::Value::Object(entries)
     }
@@ -748,6 +839,11 @@ impl Deserialize for RunReport {
             },
             attribution: if has("attribution") {
                 Some(serde::field(v, "attribution")?)
+            } else {
+                None
+            },
+            robustness: if has("robustness") {
+                Some(serde::field(v, "robustness")?)
             } else {
                 None
             },
@@ -792,6 +888,9 @@ pub enum ScenarioError {
     /// The decision-forensics audit hooks are only threaded through the
     /// kernel engine.
     AuditNeedsKernel,
+    /// Dynamic-machine platform events are only applied by the kernel
+    /// engine.
+    PlatformEventsNeedKernel,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -817,6 +916,11 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "audit collection requires the kernel engine (the decision-forensics hooks \
                  are not threaded through the preserved seed engines)"
+            ),
+            ScenarioError::PlatformEventsNeedKernel => write!(
+                f,
+                "platform events (failures/drains/resizes) require the kernel engine (the \
+                 preserved seed engines model a static machine)"
             ),
         }
     }
@@ -884,6 +988,7 @@ pub fn make_report(
         spec: spec.clone(),
         telemetry: None,
         attribution: None,
+        robustness: None,
     }
 }
 
@@ -951,12 +1056,54 @@ pub fn execute_recorded(
     run_once_recorded(trace, spec, backfill, recorder)
 }
 
+/// Resolves the platform a perturbed (platform-event-carrying) run
+/// executes on: the explicit cluster, or the degenerate homogeneous one
+/// for flat specs — which realizes the identical schedule (pinned by the
+/// equivalence suite), so the event layer has one machine model to act
+/// on.
+fn perturbed_platform(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+) -> (ClusterSpec, Arc<dyn Router>, ReroutePolicy) {
+    match &spec.platform.cluster {
+        Some(cluster) => (
+            cluster.clone(),
+            spec.platform.router.build(),
+            spec.platform.reroute,
+        ),
+        None => (
+            ClusterSpec::homogeneous(trace.cluster_procs()),
+            Arc::new(StaticAffinity), // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+            ReroutePolicy::AtSubmission,
+        ),
+    }
+}
+
 /// Executes one trace (or window) on the spec's engine and platform.
 fn run_once(
     trace: &Trace,
     spec: &ScenarioSpec,
     backfill: Backfill,
 ) -> Result<ScheduleResult, ScenarioError> {
+    if !spec.events.is_empty() {
+        if spec.engine != Engine::Kernel {
+            return Err(ScenarioError::PlatformEventsNeedKernel);
+        }
+        let (cluster, router, reroute) = perturbed_platform(trace, spec);
+        let (r, _) = run_scheduler_on_rerouted_probed_perturbed(
+            trace,
+            spec.policy,
+            backfill,
+            &cluster,
+            router,
+            reroute,
+            &spec.events,
+            crate::observe::NoopProbe,
+        )
+        .map_err(|e| ScenarioError::Spec(format!("platform events: {e}")))?;
+        return Ok(r);
+    }
     match (spec.engine, &spec.platform.cluster) {
         (Engine::Kernel, None) => Ok(run_scheduler(trace, spec.policy, backfill)),
         (Engine::Kernel, Some(cluster)) => Ok(crate::runner::run_scheduler_on_rerouted(
@@ -986,6 +1133,23 @@ fn run_once_recorded(
     backfill: Backfill,
     recorder: Recorder,
 ) -> Result<(ScheduleResult, Recorder), ScenarioError> {
+    if !spec.events.is_empty() {
+        if spec.engine != Engine::Kernel {
+            return Err(ScenarioError::PlatformEventsNeedKernel);
+        }
+        let (cluster, router, reroute) = perturbed_platform(trace, spec);
+        return run_scheduler_on_rerouted_probed_perturbed(
+            trace,
+            spec.policy,
+            backfill,
+            &cluster,
+            router,
+            reroute,
+            &spec.events,
+            recorder,
+        )
+        .map_err(|e| ScenarioError::Spec(format!("platform events: {e}")));
+    }
     match (spec.engine, &spec.platform.cluster) {
         (Engine::Kernel, None) => Ok(run_scheduler_recorded(
             trace,
@@ -1017,6 +1181,23 @@ fn run_once_audited(
     spec: &ScenarioSpec,
     backfill: Backfill,
 ) -> Result<(ScheduleResult, AuditProbe), ScenarioError> {
+    if !spec.events.is_empty() {
+        if spec.engine != Engine::Kernel {
+            return Err(ScenarioError::PlatformEventsNeedKernel);
+        }
+        let (cluster, router, reroute) = perturbed_platform(trace, spec);
+        return run_scheduler_on_rerouted_probed_perturbed(
+            trace,
+            spec.policy,
+            backfill,
+            &cluster,
+            router,
+            reroute,
+            &spec.events,
+            AuditProbe::new(),
+        )
+        .map_err(|e| ScenarioError::Spec(format!("platform events: {e}")));
+    }
     match (spec.engine, &spec.platform.cluster) {
         (Engine::Kernel, None) => Ok(run_scheduler_on_rerouted_probed(
             trace,
@@ -1038,6 +1219,32 @@ fn run_once_audited(
         )),
         (Engine::Reference | Engine::SeedNaive, _) => Err(ScenarioError::AuditNeedsKernel),
     }
+}
+
+/// Robustness section for a whole-trace perturbed result: the kill /
+/// resubmit / wasted-work counters plus the bsld delta against the same
+/// spec with the event stream stripped — one extra unperturbed run
+/// prices the perturbation. `None` when the spec carries no events.
+fn robustness_of(
+    trace: &Trace,
+    spec: &ScenarioSpec,
+    backfill: Backfill,
+    r: &ScheduleResult,
+) -> Result<Option<RobustnessReport>, ScenarioError> {
+    if spec.events.is_empty() {
+        return Ok(None);
+    }
+    let mut base_spec = spec.clone();
+    base_spec.events = crate::platform::PlatformEventSpec::default();
+    let base = run_once(trace, &base_spec, backfill)?;
+    Ok(Some(RobustnessReport {
+        kills: r.kills,
+        resubmits: r.resubmits,
+        wasted_node_seconds: r.wasted_node_seconds,
+        bsld_degradation: Some(
+            r.metrics.mean_bounded_slowdown - base.metrics.mean_bounded_slowdown,
+        ),
+    }))
 }
 
 fn run_with_seed(spec: &ScenarioSpec, seed: Option<u64>) -> Result<RunReport, ScenarioError> {
@@ -1070,10 +1277,12 @@ fn run_protocol(
             } else {
                 (run_once(trace, spec, backfill)?, None, None)
             };
+            let robustness = robustness_of(trace, spec, backfill, &r)?;
             let schedule = spec.record_schedule.then_some(r.completed);
             let mut report = make_report(spec, seed, r.metrics, r.dropped_jobs, schedule);
             report.telemetry = telemetry;
             report.attribution = attribution;
+            report.robustness = robustness;
             Ok(report)
         }
         Protocol::Windows {
@@ -1084,31 +1293,58 @@ fn run_protocol(
             let windows = sample_windows(trace, samples, window_len, wseed);
             let mut telemetry = spec.telemetry.then(Telemetry::default);
             let mut attribution = spec.audit.then(WaitAttribution::default);
+            let mut robustness = (!spec.events.is_empty()).then_some(RobustnessReport {
+                kills: 0,
+                resubmits: 0,
+                wasted_node_seconds: 0.0,
+                bsld_degradation: None,
+            });
+            let base_spec = robustness.is_some().then(|| {
+                let mut base = spec.clone();
+                base.events = crate::platform::PlatformEventSpec::default();
+                base
+            });
+            let mut degradation = 0.0;
             let per = windows
                 .iter()
                 .map(|w| {
-                    if let Some(attr) = &mut attribution {
+                    let r = if let Some(attr) = &mut attribution {
                         let (r, probe) = run_once_audited(w, spec, backfill)?;
                         let (log, tel) = probe.into_log_and_telemetry();
                         attr.merge(&log.attribution());
                         if let Some(total) = &mut telemetry {
                             total.merge(&tel);
                         }
-                        Ok((r.metrics, r.dropped_jobs))
+                        r
                     } else if let Some(total) = &mut telemetry {
                         let (r, rec) = run_once_recorded(w, spec, backfill, Recorder::default())?;
                         total.merge(rec.telemetry());
-                        Ok((r.metrics, r.dropped_jobs))
+                        r
                     } else {
-                        run_once(w, spec, backfill).map(|r| (r.metrics, r.dropped_jobs))
+                        run_once(w, spec, backfill)?
+                    };
+                    if let Some(rob) = &mut robustness {
+                        rob.kills += r.kills;
+                        rob.resubmits += r.resubmits;
+                        rob.wasted_node_seconds += r.wasted_node_seconds;
                     }
+                    if let Some(base) = &base_spec {
+                        let b = run_once(w, base, backfill)?;
+                        degradation +=
+                            r.metrics.mean_bounded_slowdown - b.metrics.mean_bounded_slowdown;
+                    }
+                    Ok((r.metrics, r.dropped_jobs))
                 })
                 .collect::<Result<Vec<_>, ScenarioError>>()?;
+            if let Some(rob) = &mut robustness {
+                rob.bsld_degradation = Some(degradation / (windows.len().max(1)) as f64);
+            }
             let dropped = per.iter().map(|(_, d)| d).sum();
             let metrics: Vec<Metrics> = per.into_iter().map(|(m, _)| m).collect();
             let mut report = make_report(spec, seed, mean_metrics(&metrics), dropped, None);
             report.telemetry = telemetry;
             report.attribution = attribution;
+            report.robustness = robustness;
             Ok(report)
         }
     }
@@ -1147,9 +1383,11 @@ pub fn run_recorded(spec: &ScenarioSpec) -> Result<(RunReport, Recorder), Scenar
         SchedulerSpec::Agent(_) => return Err(ScenarioError::NeedsAgent),
     };
     let (r, rec) = run_once_recorded(&trace, spec, backfill, Recorder::with_spans())?;
+    let robustness = robustness_of(&trace, spec, backfill, &r)?;
     let schedule = spec.record_schedule.then_some(r.completed);
     let mut report = make_report(spec, None, r.metrics, r.dropped_jobs, schedule);
     report.telemetry = Some(rec.telemetry().clone());
+    report.robustness = robustness;
     Ok((report, rec))
 }
 
@@ -1174,10 +1412,12 @@ pub fn run_audited(spec: &ScenarioSpec) -> Result<(RunReport, AuditLog), Scenari
     };
     let (r, probe) = run_once_audited(&trace, spec, backfill)?;
     let (log, telemetry) = probe.into_log_and_telemetry();
+    let robustness = robustness_of(&trace, spec, backfill, &r)?;
     let schedule = spec.record_schedule.then_some(r.completed);
     let mut report = make_report(spec, None, r.metrics, r.dropped_jobs, schedule);
     report.telemetry = spec.telemetry.then_some(telemetry);
     report.attribution = Some(log.attribution());
+    report.robustness = robustness;
     Ok((report, log))
 }
 
@@ -1242,6 +1482,7 @@ pub fn replication_seeds(master: u64, n: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::PlatformEvent;
     use swf::TracePreset;
 
     fn lublin_spec(jobs: usize) -> ScenarioBuilder {
@@ -1518,5 +1759,99 @@ mod tests {
         let m = mean_metrics(&[]);
         assert_eq!(m.jobs, 0);
         assert_eq!(m.mean_bounded_slowdown, 0.0);
+    }
+
+    fn outage(fail_at: f64, procs: u32, repair_at: f64) -> crate::platform::PlatformEventSpec {
+        crate::platform::PlatformEventSpec {
+            trace: vec![
+                PlatformEvent::NodeFail {
+                    at: fail_at,
+                    part: 0,
+                    procs,
+                },
+                PlatformEvent::NodeRepair {
+                    at: repair_at,
+                    part: 0,
+                    procs,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn platform_events_round_trip_and_are_omitted_when_empty() {
+        let spec = lublin_spec(50).events(outage(100.0, 32, 5000.0)).build();
+        let json = spec.to_json_pretty();
+        assert!(json.contains("\"events\""));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+        // Event-free specs keep their committed bytes: the field vanishes,
+        // and so does the report's robustness section.
+        let off = lublin_spec(50).build();
+        assert!(!off.to_json_pretty().contains("\"events\""));
+        assert!(!run(&off).unwrap().to_json_pretty().contains("robustness"));
+    }
+
+    #[test]
+    fn platform_events_require_the_kernel_engine() {
+        let spec = lublin_spec(50)
+            .engine(Engine::Reference)
+            .events(outage(100.0, 32, 5000.0))
+            .build();
+        assert_eq!(run(&spec), Err(ScenarioError::PlatformEventsNeedKernel));
+    }
+
+    #[test]
+    fn perturbed_run_reports_robustness_and_conserves_jobs() {
+        // Fail 200 of Lublin-1's 256 procs mid-run: jobs must be killed,
+        // resubmitted (or dropped if they no longer fit), and accounted.
+        let spec = lublin_spec(300)
+            .events(outage(100_000.0, 200, 180_000.0))
+            .build();
+        let report = run(&spec).unwrap();
+        let rob = report.robustness.as_ref().expect("robustness attached");
+        assert!(rob.kills >= 1, "a 200-proc outage must kill something");
+        assert!(rob.resubmits >= 1);
+        assert!(rob.wasted_node_seconds > 0.0);
+        // The delta can be negative when the outage drops wide jobs from
+        // the completed population — only require that it was computed.
+        assert!(rob
+            .bsld_degradation
+            .expect("baseline delta computed")
+            .is_finite());
+        let trace = TracePreset::Lublin1.generate(300, 21);
+        assert_eq!(report.jobs + report.dropped_jobs, trace.len());
+        // The robustness section survives the committed-report round trip.
+        let back = RunReport::from_json(&report.to_json_pretty()).unwrap();
+        assert_eq!(back, report);
+        // And the perturbed run is deterministic.
+        assert_eq!(run(&spec).unwrap(), report);
+    }
+
+    #[test]
+    fn empty_event_stream_is_bitwise_inert() {
+        let plain = run(&lublin_spec(200).build()).unwrap();
+        let with_default = run(&lublin_spec(200)
+            .events(crate::platform::PlatformEventSpec::default())
+            .build())
+        .unwrap();
+        assert_eq!(plain.to_json_pretty(), with_default.to_json_pretty());
+    }
+
+    #[test]
+    fn perturbed_windows_runs_sum_counters_and_average_degradation() {
+        let spec = lublin_spec(400)
+            .windows(3, 64, 11)
+            .events(outage(1_000.0, 200, 50_000.0))
+            .build();
+        let report = run(&spec).unwrap();
+        let rob = report.robustness.as_ref().expect("robustness attached");
+        assert!(rob.bsld_degradation.is_some());
+        let trace = TracePreset::Lublin1.generate(400, 21);
+        let windows = sample_windows(&trace, 3, 64, 11);
+        assert_eq!(
+            report.jobs + report.dropped_jobs,
+            windows.iter().map(|w| w.len()).sum::<usize>()
+        );
     }
 }

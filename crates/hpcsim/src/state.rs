@@ -37,6 +37,7 @@ use crate::estimator::RuntimeEstimator;
 use crate::observe::audit::{SkipReason, StartKind};
 use crate::observe::{NoopProbe, Phase, Probe};
 use crate::plan::Planner;
+use crate::platform::{FailurePolicy, PlatformEvent, PlatformEventSpec};
 use crate::policy::Policy;
 use desim::{EventQueue, SimTime};
 use std::collections::BTreeMap;
@@ -162,6 +163,25 @@ pub trait BackfillSim {
         0
     }
 
+    /// Running jobs killed by platform events so far (always 0 without a
+    /// [`crate::platform::PlatformEventSpec`]).
+    fn kills(&self) -> usize {
+        0
+    }
+
+    /// Killed or displaced jobs rerouted back into a queue by platform
+    /// events (always 0 without a platform-event stream).
+    fn resubmits(&self) -> usize {
+        0
+    }
+
+    /// Node-seconds of work destroyed by platform-event kills, in
+    /// reference-hardware units: the elapsed run under kill-and-resubmit,
+    /// or the restart overhead under checkpoint-restart.
+    fn wasted_node_seconds(&self) -> f64 {
+        0.0
+    }
+
     /// The reserved job (head of the sorted queue), if any.
     fn reserved_job(&self) -> Option<&Job> {
         self.queue().first()
@@ -251,6 +271,18 @@ macro_rules! forward_backfill_sim {
 impl<P: Probe> BackfillSim for ProbedSimulation<P> {
     forward_backfill_sim!(Self);
 
+    fn kills(&self) -> usize {
+        Self::kills(self)
+    }
+
+    fn resubmits(&self) -> usize {
+        Self::resubmits(self)
+    }
+
+    fn wasted_node_seconds(&self) -> f64 {
+        Self::wasted_node_seconds(self)
+    }
+
     fn plan_conservative_starts(&mut self, estimator: RuntimeEstimator) -> Vec<usize> {
         let p = self.active;
         let starts = self
@@ -319,7 +351,19 @@ enum ClusterEvent {
     /// keeping one pending at a time).
     Arrival(usize),
     /// The job with this id releases its processors on partition `part`.
-    Completion { part: usize, job: usize },
+    /// `generation` is the job's incarnation stamp at start time: a
+    /// platform-event kill bumps the live incarnation, turning the
+    /// already-scheduled completion of the dead run into a stale event
+    /// that is skipped when it pops (always 0 without platform events).
+    Completion {
+        part: usize,
+        job: usize,
+        generation: u32,
+    },
+    /// The platform event at this index of the materialized
+    /// [`PlatformEventSpec`] stream fires (node failure/repair, drain
+    /// boundary, or resize). Never scheduled when the stream is empty.
+    Platform(usize),
 }
 
 /// The simulation state machine. See the module docs for the protocol.
@@ -387,6 +431,22 @@ pub struct ProbedSimulation<P: Probe = NoopProbe> {
     /// successful [`Self::backfill`] consumes it to label its start
     /// [`StartKind::Reservation`] instead of [`StartKind::Backfill`].
     audit_next_reservation: bool,
+    /// The materialized platform-event stream (empty unless
+    /// [`Self::install_platform_events`] installed a non-empty spec —
+    /// and then the engine is bitwise the pre-platform one).
+    pevents: Vec<PlatformEvent>,
+    /// Fate of jobs running on failed processors.
+    failure_policy: FailurePolicy,
+    /// Per-job incarnation stamps, bumped on every platform-event kill so
+    /// the dead run's scheduled completion is recognized as stale. Empty
+    /// (never consulted) without platform events.
+    incarnations: BTreeMap<usize, u32>,
+    /// Jobs killed by platform events (failures / shrinking resizes).
+    kills: usize,
+    /// Killed jobs resubmitted (the remainder joined `dropped`).
+    resubmits: usize,
+    /// Node-seconds of work lost to kills, in reference-hardware units.
+    wasted_node_seconds: f64,
 }
 
 /// The uninstrumented simulation — the [`NoopProbe`] instantiation of
@@ -487,6 +547,12 @@ impl<P: Probe> ProbedSimulation<P> {
             router_cache: RouterPlanCache::new(),
             probe,
             audit_next_reservation: false,
+            pevents: Vec::new(),
+            failure_policy: FailurePolicy::default(),
+            incarnations: BTreeMap::new(),
+            kills: 0,
+            resubmits: 0,
+            wasted_node_seconds: 0.0,
         };
         if P::ENABLED && sim.probe.audit_on() {
             for i in 0..sim.dropped.len() {
@@ -596,6 +662,48 @@ impl<P: Probe> ProbedSimulation<P> {
     /// runs under [`ReroutePolicy::AtDecisionPoints`]).
     pub fn migrations(&self) -> usize {
         self.migrations
+    }
+
+    /// Installs a scenario's dynamic-platform events: materializes `spec`
+    /// against this cluster shape and schedules every event on the kernel
+    /// heap next to arrivals and completions. Call once, right after
+    /// construction. An empty spec installs nothing and the run is
+    /// bitwise identical to an engine without the layer (pinned by
+    /// `scenario_equivalence`).
+    pub fn install_platform_events(&mut self, spec: &PlatformEventSpec) -> Result<(), String> {
+        if spec.is_empty() {
+            return Ok(());
+        }
+        let events = spec.materialize(self.parts.len())?;
+        self.failure_policy = spec.failure_policy;
+        for (i, ev) in events.iter().enumerate() {
+            self.events.schedule(
+                SimTime::new(ev.at()).max(self.events.now()),
+                ClusterEvent::Platform(i),
+            );
+        }
+        self.pevents = events;
+        Ok(())
+    }
+
+    /// Jobs killed by platform events so far (node failures and shrinking
+    /// resizes; always 0 without platform events).
+    pub fn kills(&self) -> usize {
+        self.kills
+    }
+
+    /// Killed or displaced jobs successfully requeued after a platform
+    /// event (the rest are counted through [`Self::dropped_jobs`]).
+    pub fn resubmits(&self) -> usize {
+        self.resubmits
+    }
+
+    /// Node-seconds of work lost to platform-event kills, in
+    /// reference-hardware units (elapsed wall-clock × partition speed ×
+    /// processors under kill-and-resubmit; restart overhead × processors
+    /// under checkpoint-restart).
+    pub fn wasted_node_seconds(&self) -> f64 {
+        self.wasted_node_seconds
     }
 
     /// The reserved job (head of the active partition's queue), if any.
@@ -767,6 +875,32 @@ impl<P: Probe> ProbedSimulation<P> {
             match event {
                 ClusterEvent::Arrival(idx) => {
                     let job = self.arrivals[idx]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                    if let Some(next) = self.arrivals.get(idx + 1) {
+                        self.events.schedule(
+                            SimTime::new(next.submit).max(self.events.now()),
+                            ClusterEvent::Arrival(idx + 1),
+                        );
+                    }
+                    // Static sanitation only filtered jobs wider than the
+                    // widest partition; under platform events a job can
+                    // also arrive into a machine whose *current* capacity
+                    // (or drain state) admits it nowhere. Route only what
+                    // fits now — the rest joins the dropped count.
+                    if !self.pevents.is_empty() {
+                        let view = ClusterView {
+                            now: self.now,
+                            policy: self.policy,
+                            parts: &self.parts,
+                            plans: Some(&self.router_cache),
+                        };
+                        if view.fitting(&job).next().is_none() {
+                            if P::ENABLED && self.probe.audit_on() {
+                                self.probe.on_job_dropped(&job);
+                            }
+                            self.dropped.push(job);
+                            continue;
+                        }
+                    }
                     let router = Arc::clone(&self.router); // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
                     let p = router.route(
                         &job,
@@ -778,11 +912,11 @@ impl<P: Probe> ProbedSimulation<P> {
                         },
                     );
                     debug_assert!(
-                        job.procs <= self.parts[p].procs(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                        job.procs <= self.parts[p].capacity(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         "router sent a {}-proc job to partition {} ({} procs)",
                         job.procs,
                         p,
-                        self.parts[p].procs() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                        self.parts[p].capacity() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     );
                     if P::ENABLED && self.probe.audit_on() {
                         // The routing evidence: the same estimated-start
@@ -806,14 +940,21 @@ impl<P: Probe> ProbedSimulation<P> {
                     let scaled = self.parts[p].scale_job(job); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     let pos = self.parts[p].enqueue(scaled, self.policy, self.now); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     self.planner.on_enqueue(p, pos);
-                    if let Some(next) = self.arrivals.get(idx + 1) {
-                        self.events.schedule(
-                            SimTime::new(next.submit).max(self.events.now()),
-                            ClusterEvent::Arrival(idx + 1),
-                        );
-                    }
                 }
-                ClusterEvent::Completion { part: p, job } => {
+                ClusterEvent::Completion {
+                    part: p,
+                    job,
+                    generation,
+                } => {
+                    if !self.incarnations.is_empty()
+                        && self.incarnations.get(&job).copied().unwrap_or(0) != generation
+                    {
+                        // A platform event killed this incarnation after
+                        // its completion was scheduled: the event is
+                        // stale. (The map is only populated by kills, so
+                        // the check costs one branch without them.)
+                        continue;
+                    }
                     let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     let pos = part
                         .running
@@ -823,7 +964,7 @@ impl<P: Probe> ProbedSimulation<P> {
                     let r = part.running.swap_remove(pos);
                     part.free += r.job.procs;
                     part.touch();
-                    debug_assert!(part.free <= part.procs(), "released more than claimed");
+                    debug_assert!(part.free <= part.capacity, "released more than claimed");
                     self.planner.on_complete(p, &r, self.now);
                     if P::ENABLED && self.probe.audit_on() {
                         self.probe.on_job_completed(self.now, p, &r.job, r.start);
@@ -833,6 +974,7 @@ impl<P: Probe> ProbedSimulation<P> {
                         start: r.start,
                     });
                 }
+                ClusterEvent::Platform(i) => self.apply_platform_event(i),
             }
         }
         if P::ENABLED {
@@ -897,6 +1039,59 @@ impl<P: Probe> ProbedSimulation<P> {
         frozen.clear();
         frozen.extend(self.parts.iter().map(Self::has_opportunity));
         let router = Arc::clone(&self.router); // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+                                               // Drain evacuation: queued jobs on a draining partition can never
+                                               // start there, so they escape unconditionally — no gain threshold,
+                                               // no per-job move budget, head included. (Without platform events
+                                               // no partition drains and this loop is a no-op.)
+        for p in 0..self.parts.len() {
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            if !self.parts[p].draining {
+                continue;
+            }
+            let mut pos = 0;
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            while pos < self.parts[p].queue.len() {
+                let stored = self.parts[p].queue[pos]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                let reference = self.parts[p].unscale_job(stored); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                let view = ClusterView {
+                    now: self.now,
+                    policy: self.policy,
+                    parts: &self.parts,
+                    plans: Some(&self.router_cache),
+                };
+                // `fitting` excludes every draining partition (including
+                // this one), so `route` lands on a live target when any
+                // admits the job; otherwise it stays put until the drain
+                // ends or capacity returns.
+                if view.fitting(&reference).next().is_none() {
+                    pos += 1;
+                    continue;
+                }
+                let to = router.route(&reference, &view);
+                // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                if frozen[to] || to == p {
+                    pos += 1;
+                    continue;
+                }
+                let job = self.parts[p].queue.remove(pos); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.parts[p].touch(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.planner.on_dequeue(p, pos);
+                let moved = self.parts[to].scale_job(self.parts[p].unscale_job(job)); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                let to_pos = self.parts[to].enqueue(moved, self.policy, self.now); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.planner.on_enqueue(to, to_pos);
+                self.parts[p].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.parts[to].opportunity_armed = true; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.migrations += 1;
+                if P::ENABLED {
+                    self.probe.on_migration_accepted();
+                    self.probe.on_drain_evacuated(self.now, job.id, p, to);
+                    if self.probe.audit_on() {
+                        self.probe.on_migrated(self.now, job.id, p, to, 0.0);
+                    }
+                }
+                // The vec shifted left — re-examine this position.
+            }
+        }
         for p in 0..self.parts.len() {
             // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
             if frozen[p] {
@@ -930,11 +1125,11 @@ impl<P: Probe> ProbedSimulation<P> {
                     // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                     Some(d) if d.gain >= min_gain_secs && !frozen[d.to] && d.to != p => {
                         debug_assert!(
-                            reference.procs <= self.parts[d.to].procs(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                            reference.procs <= self.parts[d.to].capacity(), // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                             "router migrated a {}-proc job to partition {} ({} procs)",
                             reference.procs,
                             d.to,
-                            self.parts[d.to].procs() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                            self.parts[d.to].capacity() // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         );
                         let job = self.parts[p].queue.remove(pos); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
                         self.parts[p].touch(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
@@ -968,11 +1163,207 @@ impl<P: Probe> ProbedSimulation<P> {
 
     /// Whether this partition currently holds an (armed) backfilling
     /// opportunity — the exact predicate [`Self::next_opportunity`] scans
-    /// for.
+    /// for. Draining partitions never do: they admit no starts, so there
+    /// is nothing for a backfilling driver to decide there.
     fn has_opportunity(part: &Partition) -> bool {
-        part.opportunity_armed
+        !part.draining
+            && part.opportunity_armed
             && !part.queue.is_empty()
             && part.queue.iter().skip(1).any(|j| j.procs <= part.free)
+    }
+
+    /// Applies the materialized platform event at index `i` — the
+    /// dynamic-machine counterpart of a completion: capacity moves, the
+    /// planner's baselines shift via its exact-removal ops, and displaced
+    /// jobs are requeued or dropped, never silently lost. Runs inside the
+    /// settled-batch machinery, so the reroute pass and start decisions
+    /// follow at the same instant.
+    fn apply_platform_event(&mut self, i: usize) {
+        let ev = self.pevents[i]; // simlint: allow(panic-path) — platform events are scheduled from the materialized stream; index in-bounds by construction
+        if P::ENABLED {
+            self.probe.on_platform_event(self.now, &ev);
+        }
+        match ev {
+            PlatformEvent::NodeFail { part, procs, .. } => self.shrink_capacity(part, procs),
+            PlatformEvent::NodeRepair { part, procs, .. } => self.grow_capacity(part, procs),
+            PlatformEvent::DrainStart { part, .. } => {
+                let p = &mut self.parts[part]; // simlint: allow(panic-path) — materialize() validated partition indices against parts.len()
+                if !p.draining {
+                    p.draining = true;
+                    p.touch();
+                }
+            }
+            PlatformEvent::DrainEnd { part, .. } => {
+                let p = &mut self.parts[part]; // simlint: allow(panic-path) — materialize() validated partition indices against parts.len()
+                if p.draining {
+                    p.draining = false;
+                    p.touch();
+                }
+            }
+            PlatformEvent::Resize { part, procs, .. } => {
+                let cap = self.parts[part].capacity; // simlint: allow(panic-path) — materialize() validated partition indices against parts.len()
+                if procs < cap {
+                    self.shrink_capacity(part, cap - procs);
+                } else if procs > cap {
+                    self.grow_capacity(part, procs - cap);
+                }
+            }
+        }
+    }
+
+    /// Returns `delta` processors to partition `p` (a repair or a growing
+    /// resize): capacity and the free pool grow together and the planner
+    /// shifts every baseline to match.
+    fn grow_capacity(&mut self, p: usize, delta: u32) {
+        if delta == 0 {
+            return;
+        }
+        let part = &mut self.parts[p]; // simlint: allow(panic-path) — materialize() validated partition indices against parts.len()
+        part.capacity += delta;
+        part.free += delta;
+        part.touch();
+        self.planner.on_capacity(p, delta as i64);
+    }
+
+    /// Removes `delta` processors from partition `p` (a failure or a
+    /// shrinking resize). The free pool absorbs as much of the loss as it
+    /// can; the remainder kills running jobs — latest start first, ties
+    /// to the higher id, so the least-finished work dies first — whose
+    /// fate follows the scenario's [`FailurePolicy`]. Queued jobs wider
+    /// than the surviving capacity are displaced. Killed and displaced
+    /// jobs are rerouted through the live cluster view; jobs no partition
+    /// admits any more take the existing dropped path.
+    fn shrink_capacity(&mut self, p: usize, delta: u32) {
+        let take = delta.min(self.parts[p].capacity); // simlint: allow(panic-path) — materialize() validated partition indices against parts.len()
+        if take == 0 {
+            return;
+        }
+        // Phase 1: kill running jobs until the free pool covers the loss.
+        // Each kill releases processors exactly like an early completion,
+        // so the planner's baselines track `free` at every step.
+        let mut requeue: Vec<Job> = Vec::new(); // simlint: allow(hot-alloc) — platform-event path: runs per capacity event, not per job event
+                                                // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+        while self.parts[p].free < take {
+            let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            let victim = part
+                .running
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.start.total_cmp(&b.start).then(a.job.id.cmp(&b.job.id)))
+                .map(|(i, _)| i)
+                .expect("capacity deficit with no running jobs"); // simlint: allow(panic-path) — invariant free + Σ running == capacity: a deficit implies a running job
+            let r = part.running.swap_remove(victim);
+            part.free += r.job.procs;
+            part.touch();
+            // The dead run's scheduled completion is now stale.
+            *self.incarnations.entry(r.job.id).or_insert(0) += 1;
+            self.planner.on_complete(p, &r, self.now);
+            let speed = self.parts[p].speed(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            let elapsed = (self.now - r.start).max(0.0);
+            let reference = self.parts[p].unscale_job(r.job); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            let (resubmitted, wasted) = match self.failure_policy {
+                FailurePolicy::KillResubmit => {
+                    // From scratch: original submit, full runtime — the
+                    // elapsed run is lost entirely.
+                    (reference, elapsed * speed * r.job.procs as f64)
+                }
+                FailurePolicy::CheckpointRestart { overhead_secs } => {
+                    let overhead = overhead_secs.max(0.0);
+                    let remaining = (reference.runtime - elapsed * speed).max(0.0) + overhead;
+                    (
+                        Job {
+                            runtime: remaining,
+                            ..reference
+                        },
+                        overhead * r.job.procs as f64,
+                    )
+                }
+            };
+            self.kills += 1;
+            self.wasted_node_seconds += wasted;
+            if P::ENABLED {
+                self.probe.on_job_killed(self.now, p, &r.job, wasted);
+            }
+            requeue.push(resubmitted);
+        }
+        // Phase 2: retract the capacity itself; the planner shifts every
+        // baseline by the same delta (PR-5 exact removal, so the repaired
+        // plan suffix sees the shrunken availability at every instant).
+        {
+            let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            part.free -= take;
+            part.capacity -= take;
+            part.touch();
+        }
+        self.planner.on_capacity(p, -(take as i64));
+        // Phase 3: displace queued jobs wider than the surviving capacity
+        // — they could never start here again (until a repair, which may
+        // never come), so they reroute now instead of deadlocking the
+        // queue head.
+        let cap = self.parts[p].capacity; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+        let mut pos = 0;
+        // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+        while pos < self.parts[p].queue.len() {
+            // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            if self.parts[p].queue[pos].procs > cap {
+                let job = self.parts[p].queue.remove(pos); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.parts[p].touch(); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+                self.planner.on_dequeue(p, pos);
+                requeue.push(self.parts[p].unscale_job(job)); // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
+            } else {
+                pos += 1;
+            }
+        }
+        // Phase 4: reroute the fallout against the post-shrink cluster.
+        for job in requeue {
+            self.requeue_job(job);
+        }
+    }
+
+    /// Requeues a killed or displaced job (reference-hardware durations)
+    /// through the router against the live cluster view, or — when no
+    /// partition admits it any more — through the existing dropped path,
+    /// so platform events never silently lose work.
+    fn requeue_job(&mut self, job: Job) {
+        let admitted = self.parts.iter().any(|part| part.admits(job.procs));
+        if !admitted {
+            if P::ENABLED && self.probe.audit_on() {
+                self.probe.on_job_dropped(&job);
+            }
+            self.dropped.push(job);
+            return;
+        }
+        let router = Arc::clone(&self.router); // simlint: allow(sync-audit) — Arc shares immutable scenario inputs (workload/spec/estimator); read-only after construction
+        let p = router.route(
+            &job,
+            &ClusterView {
+                now: self.now,
+                policy: self.policy,
+                parts: &self.parts,
+                plans: Some(&self.router_cache),
+            },
+        );
+        self.resubmits += 1;
+        if P::ENABLED {
+            self.probe.on_job_resubmitted(self.now, &job, p);
+            if self.probe.audit_on() {
+                let est = crate::cluster::EarliestStart::default();
+                let view = ClusterView {
+                    now: self.now,
+                    policy: self.policy,
+                    parts: &self.parts,
+                    plans: Some(&self.router_cache),
+                };
+                let cands: Vec<(usize, f64)> = view
+                    .fitting(&job)
+                    .map(|i| (i, est.estimated_start(&job, &view, i)))
+                    .collect(); // simlint: allow(hot-alloc) — audit-only routing candidates; gated on audit_on()
+                self.probe.on_job_submitted(self.now, &job, p, &cands);
+            }
+        }
+        let scaled = self.parts[p].scale_job(job); // simlint: allow(panic-path) — router contract: route() returns indices of admitting partitions
+        let pos = self.parts[p].enqueue(scaled, self.policy, self.now); // simlint: allow(panic-path) — router contract: route() returns indices of admitting partitions
+        self.planner.on_enqueue(p, pos);
     }
 
     /// Starts policy-selected head jobs in every partition while they fit.
@@ -984,7 +1375,7 @@ impl<P: Probe> ProbedSimulation<P> {
     fn start_ready_jobs(&mut self) {
         for p in 0..self.parts.len() {
             let part = &mut self.parts[p]; // simlint: allow(panic-path) — partition index tracked against parts.len(); OOB is corrupted sim state — fail fast
-            if part.queue.is_empty() {
+            if part.draining || part.queue.is_empty() {
                 continue;
             }
             if part.needs_sort {
@@ -1021,11 +1412,19 @@ impl<P: Probe> ProbedSimulation<P> {
             job,
             start: self.now,
         });
+        // The incarnation stamp only matters (and the map is only
+        // populated) when platform events can kill this run.
+        let generation = if self.pevents.is_empty() {
+            0
+        } else {
+            self.incarnations.get(&job.id).copied().unwrap_or(0)
+        };
         self.events.schedule(
             SimTime::new(self.now + job.runtime).max(self.events.now()),
             ClusterEvent::Completion {
                 part: p,
                 job: job.id,
+                generation,
             },
         );
     }

@@ -1,0 +1,318 @@
+//! Property tests for the dynamic-machine platform layer: under random
+//! interleavings of node failures, repairs, maintenance drains and
+//! partition resizes, per-partition accounting must hold against the
+//! *current* (not nameplate) capacity at every decision point, no trace
+//! job may be silently lost or duplicated, and an empty event stream must
+//! leave the engine bitwise identical to one that never installed the
+//! layer.
+
+use hpcsim::cluster::{
+    ClusterSpec, EarliestStart, LeastLoaded, PartitionSpec, ReroutePolicy, Router, StaticAffinity,
+};
+use hpcsim::platform::{FailurePolicy, PlatformEvent, PlatformEventSpec};
+use hpcsim::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use swf::{Job, Trace};
+
+/// Asserts the capacity-aware per-partition invariants at one instant.
+fn check_invariants(sim: &Simulation) {
+    for (i, part) in sim.partitions().iter().enumerate() {
+        let running: u32 = part.running().iter().map(|r| r.job.procs).sum();
+        assert_eq!(
+            part.free() + running,
+            part.capacity(),
+            "partition {i}: free {} + running {} != capacity {}",
+            part.free(),
+            running,
+            part.capacity()
+        );
+        for j in part.queue() {
+            assert!(
+                j.procs <= part.capacity(),
+                "partition {i}: queued job {} ({} procs) exceeds capacity {}",
+                j.id,
+                j.procs,
+                part.capacity()
+            );
+        }
+    }
+}
+
+/// A random contended workload on a 48-processor machine.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let job = (
+        0.0f64..20_000.0, // submit
+        1u32..=24,        // procs (fits the smallest generated partition split)
+        1.0f64..10_000.0, // runtime
+        1.0f64..2.5,      // request multiplier
+    );
+    proptest::collection::vec(job, 1..60).prop_map(|specs| {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, procs, runtime, over))| {
+                Job::new(i, submit, procs, runtime * over, runtime)
+            })
+            .collect();
+        Trace::new("prop", 48, jobs)
+    })
+}
+
+/// A random 2–4 partition spec over 48 processors; the first partition is
+/// always wide enough (24) for every generated job.
+fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
+    let extra = (
+        4u32..=24,
+        prop_oneof![Just(0.8f64), Just(1.0), Just(1.35), Just(1.6)],
+    );
+    proptest::collection::vec(extra, 1..4).prop_map(|extras| {
+        let mut parts = vec![PartitionSpec::new("base", 24, 1.0)];
+        for (i, (procs, speed)) in extras.into_iter().enumerate() {
+            parts.push(PartitionSpec::new(format!("p{i}"), procs, speed));
+        }
+        ClusterSpec::new(parts)
+    })
+}
+
+fn arb_router() -> impl Strategy<Value = Arc<dyn Router>> {
+    prop_oneof![
+        Just(Arc::new(StaticAffinity) as Arc<dyn Router>),
+        Just(Arc::new(LeastLoaded) as Arc<dyn Router>),
+        Just(Arc::new(EarliestStart::default()) as Arc<dyn Router>),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fcfs),
+        Just(Policy::Sjf),
+        Just(Policy::Wfp3),
+        Just(Policy::F1)
+    ]
+}
+
+fn arb_reroute() -> impl Strategy<Value = ReroutePolicy> {
+    prop_oneof![
+        Just(ReroutePolicy::AtSubmission),
+        (0u32..=4, prop_oneof![Just(0.0f64), Just(60.0)]).prop_map(
+            |(max_moves_per_job, min_gain_secs)| ReroutePolicy::AtDecisionPoints {
+                max_moves_per_job,
+                min_gain_secs,
+            }
+        ),
+    ]
+}
+
+fn arb_failure_policy() -> impl Strategy<Value = FailurePolicy> {
+    prop_oneof![
+        Just(FailurePolicy::KillResubmit),
+        (0.0f64..600.0)
+            .prop_map(|overhead_secs| FailurePolicy::CheckpointRestart { overhead_secs }),
+    ]
+}
+
+/// One randomly-shaped platform disturbance with a guaranteed recovery:
+/// failures are paired with repairs, drains with drain-ends, and resizes
+/// are paired shrink-then-restore — so the machine always returns to (at
+/// least) its nameplate shape and every queued job can eventually start.
+/// `part_raw` is reduced modulo the spec's partition count at build time.
+#[derive(Debug, Clone, Copy)]
+enum Disturbance {
+    Outage {
+        at: f64,
+        part_raw: usize,
+        procs: u32,
+        repair_after: f64,
+    },
+    Drain {
+        at: f64,
+        part_raw: usize,
+        len: f64,
+    },
+    ShrinkThenRestore {
+        at: f64,
+        part_raw: usize,
+        to: u32,
+        restore_after: f64,
+    },
+}
+
+fn arb_disturbance() -> impl Strategy<Value = Disturbance> {
+    prop_oneof![
+        ((0.0f64..25_000.0, 0usize..4), (1u32..20, 10.0f64..8_000.0)).prop_map(
+            |((at, part_raw), (procs, repair_after))| Disturbance::Outage {
+                at,
+                part_raw,
+                procs,
+                repair_after,
+            }
+        ),
+        (0.0f64..25_000.0, 0usize..4, 10.0f64..8_000.0)
+            .prop_map(|(at, part_raw, len)| { Disturbance::Drain { at, part_raw, len } }),
+        ((0.0f64..25_000.0, 0usize..4), (0u32..24, 10.0f64..8_000.0)).prop_map(
+            |((at, part_raw), (to, restore_after))| Disturbance::ShrinkThenRestore {
+                at,
+                part_raw,
+                to,
+                restore_after,
+            }
+        ),
+    ]
+}
+
+/// Builds a concrete event spec against `spec`'s partition count.
+fn build_events(
+    disturbances: &[Disturbance],
+    spec: &ClusterSpec,
+    failure_policy: FailurePolicy,
+) -> PlatformEventSpec {
+    let n = spec.partitions().len();
+    let mut trace = Vec::new();
+    for d in disturbances {
+        match *d {
+            Disturbance::Outage {
+                at,
+                part_raw,
+                procs,
+                repair_after,
+            } => {
+                let part = part_raw % n;
+                trace.push(PlatformEvent::NodeFail { at, part, procs });
+                trace.push(PlatformEvent::NodeRepair {
+                    at: at + repair_after,
+                    part,
+                    procs,
+                });
+            }
+            Disturbance::Drain { at, part_raw, len } => {
+                let part = part_raw % n;
+                trace.push(PlatformEvent::DrainStart { at, part });
+                trace.push(PlatformEvent::DrainEnd { at: at + len, part });
+            }
+            Disturbance::ShrinkThenRestore {
+                at,
+                part_raw,
+                to,
+                restore_after,
+            } => {
+                let part = part_raw % n;
+                let nameplate = spec.partitions()[part].procs;
+                trace.push(PlatformEvent::Resize {
+                    at,
+                    part,
+                    procs: to,
+                });
+                trace.push(PlatformEvent::Resize {
+                    at: at + restore_after,
+                    part,
+                    procs: nameplate,
+                });
+            }
+        }
+    }
+    PlatformEventSpec {
+        trace,
+        processes: Vec::new(),
+        failure_policy,
+    }
+}
+
+fn drive(sim: &mut Simulation) {
+    let mut guard = 0usize;
+    loop {
+        let ev = sim.advance();
+        check_invariants(sim);
+        if ev == SimEvent::Done {
+            break;
+        }
+        hpcsim::easy::easy_pass(sim, RuntimeEstimator::RequestTime);
+        check_invariants(sim);
+        guard += 1;
+        assert!(guard < 100_000, "no progress");
+    }
+}
+
+proptest! {
+    /// Random recoverable disturbances: accounting holds against current
+    /// capacity at every decision point, and every trace job ends in
+    /// exactly one of completed / dropped — kills and resubmits included.
+    #[test]
+    fn platform_events_conserve_jobs_and_accounting(
+        trace in arb_trace(),
+        spec in arb_spec(),
+        router in arb_router(),
+        policy in arb_policy(),
+        reroute in arb_reroute(),
+        disturbances in proptest::collection::vec(arb_disturbance(), 0..6),
+        failure_policy in arb_failure_policy(),
+    ) {
+        let events = build_events(&disturbances, &spec, failure_policy);
+        let mut sim = Simulation::with_cluster_rerouted(
+            &trace,
+            policy,
+            spec,
+            router,
+            reroute,
+        );
+        sim.install_platform_events(&events).unwrap();
+        drive(&mut sim);
+        // Every disturbance recovers, so nothing may linger in a queue:
+        // each trace job completed exactly once or was counted dropped.
+        let queued: usize = sim.partitions().iter().map(|p| p.queue().len()).sum();
+        prop_assert_eq!(queued, 0);
+        prop_assert_eq!(sim.completed().len() + sim.dropped_jobs(), trace.len());
+        let mut ids: Vec<usize> = sim.completed().iter().map(|c| c.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), sim.completed().len());
+        // Resubmission bookkeeping is consistent: every kill either came
+        // back through a queue or joined the dropped count.
+        prop_assert!(sim.resubmits() + sim.dropped_jobs() >= sim.kills());
+        if sim.kills() > 0 {
+            prop_assert!(sim.wasted_node_seconds() >= 0.0);
+        }
+        // The machine recovered to (at least) its nameplate shape.
+        for part in sim.partitions() {
+            prop_assert!(part.capacity() >= part.procs());
+            prop_assert!(!part.draining());
+            prop_assert_eq!(part.free(), part.capacity());
+        }
+    }
+
+    /// Installing an empty event spec is bitwise inert: the realized
+    /// schedule, drop count and robustness counters are identical to a
+    /// simulation that never touched the platform layer.
+    #[test]
+    fn empty_event_stream_is_bitwise_inert(
+        trace in arb_trace(),
+        spec in arb_spec(),
+        router in arb_router(),
+        policy in arb_policy(),
+        reroute in arb_reroute(),
+    ) {
+        let mut plain = Simulation::with_cluster_rerouted(
+            &trace,
+            policy,
+            spec.clone(),
+            Arc::clone(&router),
+            reroute,
+        );
+        let mut installed = Simulation::with_cluster_rerouted(
+            &trace,
+            policy,
+            spec,
+            router,
+            reroute,
+        );
+        installed.install_platform_events(&PlatformEventSpec::default()).unwrap();
+        drive(&mut plain);
+        drive(&mut installed);
+        prop_assert_eq!(plain.completed(), installed.completed());
+        prop_assert_eq!(plain.dropped_jobs(), installed.dropped_jobs());
+        prop_assert_eq!(plain.migrations(), installed.migrations());
+        prop_assert_eq!(installed.kills(), 0);
+        prop_assert_eq!(installed.resubmits(), 0);
+        prop_assert_eq!(installed.wasted_node_seconds(), 0.0);
+    }
+}

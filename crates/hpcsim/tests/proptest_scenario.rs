@@ -188,6 +188,58 @@ fn arb_engine() -> impl Strategy<Value = Engine> {
     ]
 }
 
+fn arb_platform_event() -> impl Strategy<Value = PlatformEvent> {
+    prop_oneof![
+        (0.0f64..1e6, 0usize..4, 1u32..64).prop_map(|(at, part, procs)| PlatformEvent::NodeFail {
+            at,
+            part,
+            procs
+        }),
+        (0.0f64..1e6, 0usize..4, 1u32..64)
+            .prop_map(|(at, part, procs)| PlatformEvent::NodeRepair { at, part, procs }),
+        (0.0f64..1e6, 0usize..4).prop_map(|(at, part)| PlatformEvent::DrainStart { at, part }),
+        (0.0f64..1e6, 0usize..4).prop_map(|(at, part)| PlatformEvent::DrainEnd { at, part }),
+        (0.0f64..1e6, 0usize..4, 0u32..64).prop_map(|(at, part, procs)| PlatformEvent::Resize {
+            at,
+            part,
+            procs
+        }),
+    ]
+}
+
+fn arb_events() -> impl Strategy<Value = PlatformEventSpec> {
+    let part = prop_oneof![Just(None), (0usize..4).prop_map(Some)];
+    let process = (
+        (any::<u64>(), 1.0f64..1e6),
+        (100.0f64..1e5, 10.0f64..1e4),
+        (1u32..64, part),
+    )
+        .prop_map(
+            |((seed, until), (mtbf_secs, repair_secs), (procs, part))| FailureProcess {
+                seed,
+                until,
+                mtbf_secs,
+                repair_secs,
+                procs,
+                part,
+            },
+        );
+    let policy = prop_oneof![
+        Just(FailurePolicy::KillResubmit),
+        (0.0f64..1e4).prop_map(|overhead_secs| FailurePolicy::CheckpointRestart { overhead_secs }),
+    ];
+    (
+        proptest::collection::vec(arb_platform_event(), 0..4),
+        proptest::collection::vec(process, 0..3),
+        policy,
+    )
+        .prop_map(|(trace, processes, failure_policy)| PlatformEventSpec {
+            trace,
+            processes,
+            failure_policy,
+        })
+}
+
 #[allow(clippy::type_complexity)]
 fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
     let name =
@@ -199,16 +251,15 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             arb_protocol(),
             proptest::collection::vec(any::<u64>(), 0..8),
             proptest::collection::vec(arb_metric(), 0..5),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
+            (any::<bool>(), any::<bool>(), any::<bool>()),
+            arb_events(),
         ),
     )
         .prop_map(
             |(
                 (name, trace, platform),
                 (policy, scheduler, engine),
-                (protocol, seeds, metrics, record_schedule, telemetry, audit),
+                (protocol, seeds, metrics, (record_schedule, telemetry, audit), events),
             )| ScenarioSpec {
                 name,
                 trace,
@@ -222,6 +273,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 record_schedule,
                 telemetry,
                 audit,
+                events,
             },
         )
 }

@@ -185,6 +185,62 @@ fn at_submission_reroute_is_bitwise_inert_across_routers_and_policies() {
 }
 
 #[test]
+fn empty_platform_event_stream_is_bitwise_inert_across_routers_and_policies() {
+    // The fault layer's zero-cost contract: a spec carrying an explicit
+    // *empty* `events` block must serialize, run and report byte-for-byte
+    // identically to the same spec without the field — for every router ×
+    // policy. A diff here means a static machine pays for the dynamic
+    // layer, and every committed report pin in the repo is at risk.
+    let parts = 2;
+    let w = swf::partitioned_preset(TracePreset::Lublin1, parts, JOBS, SEED);
+    let cluster = ClusterSpec::from_layout(&w.layout);
+    let src = TraceSource::PartitionedPreset {
+        preset: TracePreset::Lublin1,
+        parts,
+        jobs: JOBS,
+        seed: SEED,
+    };
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::F1] {
+        for router_spec in [
+            RouterSpec::Affinity,
+            RouterSpec::LeastLoaded,
+            RouterSpec::EarliestStart(RuntimeEstimator::RequestTime),
+        ] {
+            let plain = ScenarioSpec::builder(src.clone())
+                .policy(policy)
+                .cluster(cluster.clone(), router_spec)
+                .record_schedule(true)
+                .build();
+            let with_empty = ScenarioSpec::builder(src.clone())
+                .policy(policy)
+                .cluster(cluster.clone(), router_spec)
+                .record_schedule(true)
+                .events(hpcsim::platform::PlatformEventSpec::default())
+                .build();
+            assert_eq!(plain, with_empty, "an empty event spec is the default");
+            let spec_json = with_empty.to_json_pretty();
+            assert!(
+                !spec_json.contains("\"events\""),
+                "empty events must be omitted from spec JSON"
+            );
+            let a = hpcsim::scenario::run(&plain).unwrap();
+            let b = hpcsim::scenario::run(&with_empty).unwrap();
+            assert_eq!(
+                a.to_json_pretty(),
+                b.to_json_pretty(),
+                "report bytes drifted: {policy} {}",
+                router_spec.label()
+            );
+            assert!(b.robustness.is_none(), "no events, no robustness block");
+            assert!(
+                !b.to_json_pretty().contains("\"robustness\""),
+                "unperturbed reports must not grow a robustness field"
+            );
+        }
+    }
+}
+
+#[test]
 fn decision_point_migration_changes_partitioned_schedules() {
     // The counterpart of the inertness pin: with migration on, the same
     // spec must realize a *different* schedule (otherwise the subsystem

@@ -56,6 +56,7 @@ pub const SEEDS: &[&str] = &[
     "plan_conservative_starts",
     "route",
     "reroute_pass",
+    "apply_platform_event",
     "estimated_start*",
     "backfill_candidates",
 ];

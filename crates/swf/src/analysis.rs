@@ -165,6 +165,23 @@ mod tests {
     }
 
     #[test]
+    fn profile_of_empty_trace_is_all_zero_and_renders() {
+        // Regression: the whole analysis path (quantiles, fractions, the
+        // Display table) must survive a trace with no jobs rather than
+        // panic on an empty sample.
+        let trace = Trace::new("empty", 64, vec![]);
+        let p = TraceProfile::of(&trace);
+        assert_eq!(p.runtime, Quantiles::of(&[]));
+        assert_eq!(p.interarrival, Quantiles::of(&[]));
+        assert_eq!(p.serial_fraction, 0.0);
+        assert_eq!(p.pow2_fraction, 0.0);
+        assert!(p.to_string().contains("runtime"));
+        // One job means no inter-arrival gaps — same guard, one level up.
+        let one = Trace::new("one", 64, vec![crate::job::Job::new(0, 0.0, 4, 10.0, 10.0)]);
+        assert_eq!(TraceProfile::of(&one).interarrival, Quantiles::of(&[]));
+    }
+
+    #[test]
     fn quantiles_are_monotone() {
         let trace = TracePreset::SdscSp2.generate(2000, 5);
         let p = TraceProfile::of(&trace);

@@ -137,10 +137,20 @@ impl SwfFile {
 }
 
 fn parse_field(tok: &str, line: usize, what: &str) -> Result<f64, SwfError> {
-    tok.parse::<f64>().map_err(|_| SwfError::Malformed {
+    let v = tok.parse::<f64>().map_err(|_| SwfError::Malformed {
         line,
         reason: format!("field `{what}` is not numeric: {tok:?}"),
-    })
+    })?;
+    // `"nan".parse::<f64>()` succeeds, and a NaN submit time would only
+    // blow up much later (the trace sorts arrivals by submit time) with
+    // no pointer back to the offending record — reject it here instead.
+    if !v.is_finite() {
+        return Err(SwfError::Malformed {
+            line,
+            reason: format!("field `{what}` is not finite: {tok:?}"),
+        });
+    }
+    Ok(v)
 }
 
 fn header_value(line: &str, key: &str) -> Option<u32> {
@@ -289,6 +299,20 @@ mod tests {
         let bad = "1 0 5 100 4 -1 -1 4 oops -1 1 7 1 -1 1 -1 -1 -1\n";
         let err = parse_swf(Cursor::new(bad)).unwrap_err();
         assert!(err.to_string().contains("requested_time"));
+    }
+
+    #[test]
+    fn non_finite_field_is_an_error_with_line_number() {
+        // Rust's f64 parser accepts "nan"/"inf"; without the finite check
+        // this record parsed fine and the NaN submit time panicked the
+        // trace's arrival sort long after the file was read.
+        let bad = "; MaxProcs: 16\n1 0 5 100 4 -1 -1 4 300 -1 1 7 1 -1 1 -1 -1 -1\n2 nan 0 50 8 -1 -1 -1 -1 -1 1 7 1 -1 1 -1 -1 -1\n";
+        let err = parse_swf(Cursor::new(bad)).unwrap_err();
+        assert!(matches!(&err, SwfError::Malformed { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("submit_time"));
+        assert!(err.to_string().contains("not finite"));
+        let inf = "1 inf 5 100 4 -1 -1 4 300 -1 1 7 1 -1 1 -1 -1 -1\n";
+        assert!(parse_swf(Cursor::new(inf)).is_err());
     }
 
     #[test]

@@ -104,6 +104,30 @@ fn audit_demo_report_reproduces_byte_identically() {
 }
 
 #[test]
+fn failure_demo_report_reproduces_byte_identically() {
+    // The dynamic-machine snapshot: a mid-run outage (kills, resubmits,
+    // wasted work) plus a maintenance drain, replayed from an explicit
+    // event trace. The pin covers the robustness block too — a diff here
+    // means the fault layer itself became nondeterministic.
+    let spec = ScenarioSpec::from_json(&read("examples/scenarios/failure_demo.json")).unwrap();
+    assert!(
+        !spec.events.is_empty(),
+        "the demo spec must carry platform events"
+    );
+    let committed = read("results/failure_demo.json");
+    let regenerated = scenario::run(&spec).expect("spec runs").to_json_pretty();
+    assert_eq!(
+        regenerated, committed,
+        "results/failure_demo.json is not the byte-exact report of its committed spec"
+    );
+    let report = RunReport::from_json(&committed).unwrap();
+    let rob = report.robustness.expect("perturbed run reports robustness");
+    assert!(rob.kills > 0, "the outage must land while jobs are running");
+    assert!(rob.resubmits > 0);
+    assert!(rob.wasted_node_seconds > 0.0);
+}
+
+#[test]
 fn table3_policies_fcfs_row_matches_the_committed_report() {
     let committed = RunReport::from_json(&read("results/table3_fcfs.json")).unwrap();
     let table: Vec<RunReport> =
